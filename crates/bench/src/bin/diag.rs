@@ -1,0 +1,56 @@
+//! Diagnostic dump: every collected statistic for one benchmark across
+//! all configurations. Not a paper artifact — a debugging/validation aid.
+//!
+//! ```sh
+//! cargo run --release -p psb-bench --bin diag -- <benchmark> [scale]
+//! ```
+
+use psb_sim::{run_paper_row, Table};
+use psb_workloads::Benchmark;
+
+fn main() {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "deltablue".into())
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let scale: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let rows = run_paper_row(bench, scale);
+    let base_ipc = rows[0].1.ipc();
+
+    let mut t = Table::new(
+        [
+            "config", "IPC", "speedup", "L1 MR", "ld-lat", "bus12", "bus2m", "lookups", "sbhit%",
+            "issued", "used", "acc%", "alloc", "rej", "supp", "bp-acc",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    for (kind, s) in &rows {
+        let p = s.prefetch;
+        t.row(vec![
+            kind.label().into(),
+            format!("{:.3}", s.ipc()),
+            format!("{:+.1}%", (s.ipc() / base_ipc - 1.0) * 100.0),
+            format!("{:.3}", s.l1d_miss_rate()),
+            format!("{:.1}", s.avg_load_latency()),
+            format!("{:.1}", s.l1_l2_bus_percent()),
+            format!("{:.1}", s.l2_mem_bus_percent()),
+            format!("{}", p.lookups),
+            format!("{:.1}", p.hit_rate() * 100.0),
+            format!("{}", p.issued),
+            format!("{}", p.used),
+            format!("{:.1}", p.accuracy() * 100.0),
+            format!("{}", p.allocations),
+            format!("{}", p.alloc_rejected),
+            format!("{}", p.suppressed),
+            format!("{:.3}", s.cpu.bpred.accuracy()),
+        ]);
+    }
+    println!("{bench} @ scale {scale}\n{t}");
+}

@@ -1,0 +1,40 @@
+//! Figure 5: percent speedup over the no-prefetch baseline for PC-stride
+//! and the four PSB configurations, per benchmark, plus the paper's
+//! pointer-based averages.
+
+use psb_bench::{machine_banner, scale_arg};
+use psb_sim::{average_speedup_percent, run_paper_row, PrefetcherKind, Table};
+use psb_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_arg();
+    println!("Figure 5 — percent speedup over base ({})\n", machine_banner(scale));
+
+    let configs = &PrefetcherKind::PAPER[1..];
+    let mut headers = vec!["program".into()];
+    headers.extend(configs.iter().map(|k| k.label().to_owned()));
+    let mut t = Table::new(headers);
+
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for bench in Benchmark::ALL {
+        eprintln!("running {bench} (6 configurations)...");
+        let row = run_paper_row(bench, scale);
+        let base = &row[0].1;
+        let mut cells = vec![bench.name().to_owned()];
+        for (i, (_, stats)) in row[1..].iter().enumerate() {
+            let sp = stats.speedup_percent_over(base);
+            cells.push(format!("{sp:+.1}%"));
+            if Benchmark::POINTER_BASED.contains(&bench) {
+                per_config[i].push(sp);
+            }
+        }
+        t.row(cells);
+    }
+    let mut avg = vec!["ptr-avg".to_owned()];
+    for sps in &per_config {
+        avg.push(format!("{:+.1}%", average_speedup_percent(sps)));
+    }
+    t.row(avg);
+    print!("\n{t}");
+    println!("\n(Paper: ~30% avg over base for PSB, ~10% over PC-stride, on pointer programs.)");
+}

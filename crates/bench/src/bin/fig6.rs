@@ -1,0 +1,28 @@
+//! Figure 6: prefetch accuracy — prefetches used by the processor
+//! divided by prefetches issued, per benchmark and configuration.
+
+use psb_bench::{machine_banner, scale_arg};
+use psb_sim::{run_paper_row, PrefetcherKind, Table};
+use psb_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_arg();
+    println!("Figure 6 — prefetch accuracy ({})\n", machine_banner(scale));
+
+    let configs = &PrefetcherKind::PAPER[1..];
+    let mut headers = vec!["program".into()];
+    headers.extend(configs.iter().map(|k| k.label().to_owned()));
+    let mut t = Table::new(headers);
+
+    for bench in Benchmark::ALL {
+        eprintln!("running {bench}...");
+        let row = run_paper_row(bench, scale);
+        let mut cells = vec![bench.name().to_owned()];
+        for (_, stats) in &row[1..] {
+            cells.push(format!("{:.1}%", stats.prefetch_accuracy() * 100.0));
+        }
+        t.row(cells);
+    }
+    print!("\n{t}");
+    println!("\n(Paper: confidence allocation roughly doubles deltablue's accuracy.)");
+}

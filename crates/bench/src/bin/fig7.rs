@@ -1,0 +1,26 @@
+//! Figure 7: L1 data-cache miss rates (accesses to in-flight blocks count
+//! as misses), per benchmark and configuration, including the baseline.
+
+use psb_bench::{machine_banner, scale_arg};
+use psb_sim::{run_paper_row, PrefetcherKind, Table};
+use psb_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_arg();
+    println!("Figure 7 — L1D miss rate, in-flight counted as miss ({})\n", machine_banner(scale));
+
+    let mut headers = vec!["program".into()];
+    headers.extend(PrefetcherKind::PAPER.iter().map(|k| k.label().to_owned()));
+    let mut t = Table::new(headers);
+
+    for bench in Benchmark::ALL {
+        eprintln!("running {bench}...");
+        let row = run_paper_row(bench, scale);
+        let mut cells = vec![bench.name().to_owned()];
+        for (_, stats) in &row {
+            cells.push(format!("{:.3}", stats.l1d_miss_rate()));
+        }
+        t.row(cells);
+    }
+    print!("\n{t}");
+}

@@ -1,0 +1,27 @@
+//! Figure 8: average load latency in cycles, per benchmark and
+//! configuration, including the baseline.
+
+use psb_bench::{machine_banner, scale_arg};
+use psb_sim::{run_paper_row, PrefetcherKind, Table};
+use psb_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_arg();
+    println!("Figure 8 — average load latency in cycles ({})\n", machine_banner(scale));
+
+    let mut headers = vec!["program".into()];
+    headers.extend(PrefetcherKind::PAPER.iter().map(|k| k.label().to_owned()));
+    let mut t = Table::new(headers);
+
+    for bench in Benchmark::ALL {
+        eprintln!("running {bench}...");
+        let row = run_paper_row(bench, scale);
+        let mut cells = vec![bench.name().to_owned()];
+        for (_, stats) in &row {
+            cells.push(format!("{:.2}", stats.avg_load_latency()));
+        }
+        t.row(cells);
+    }
+    print!("\n{t}");
+    println!("\n(Paper: PSB removes ~4 cycles for deltablue, ~3 for burg.)");
+}

@@ -1,0 +1,37 @@
+//! Full experiment matrix → CSV.
+//!
+//! Runs every (benchmark × prefetcher) point on the baseline machine and
+//! prints one CSV row per run, for downstream analysis in any
+//! spreadsheet/pandas pipeline.
+//!
+//! ```sh
+//! cargo run --release -p psb-bench --bin sweep [scale] > matrix.csv
+//! ```
+
+use psb_bench::scale_arg;
+use psb_sim::{run_point, PrefetcherKind, SimStats};
+use psb_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_arg();
+    let kinds = [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::DemandMarkov,
+        PrefetcherKind::FetchDirected,
+        PrefetcherKind::Sequential,
+        PrefetcherKind::PcStride,
+        PrefetcherKind::Psb2MissRr,
+        PrefetcherKind::Psb2MissPriority,
+        PrefetcherKind::PsbConfRr,
+        PrefetcherKind::PsbConfPriority,
+    ];
+    println!("benchmark,prefetcher,{}", SimStats::CSV_HEADER);
+    for bench in Benchmark::ALL {
+        for kind in kinds {
+            eprintln!("running {bench} / {}...", kind.label());
+            let stats = run_point(bench, kind, scale);
+            println!("{},{},{}", bench.name(), kind.label(), stats.csv_row());
+        }
+    }
+}

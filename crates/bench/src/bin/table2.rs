@@ -1,0 +1,38 @@
+//! Table 2: baseline (no-prefetch) characterization of every benchmark —
+//! instruction count, L1D miss rate, load/store fractions, IPC, and bus
+//! utilizations.
+
+use psb_bench::{machine_banner, scale_arg};
+use psb_sim::{f2, pct, run_point, PrefetcherKind, Table};
+use psb_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_arg();
+    println!("Table 2 — baseline results ({})\n", machine_banner(scale));
+
+    let mut t = Table::new(vec![
+        "program".into(),
+        "#inst (K)".into(),
+        "L1 MR".into(),
+        "%lds".into(),
+        "%sts".into(),
+        "IPC".into(),
+        "L1-L2 %bus".into(),
+        "L2-M %bus".into(),
+    ]);
+    for bench in Benchmark::ALL {
+        eprintln!("running {bench}...");
+        let s = run_point(bench, PrefetcherKind::None, scale);
+        t.row(vec![
+            bench.name().into(),
+            format!("{}", s.cpu.committed / 1000),
+            f2(s.l1d_miss_rate()),
+            pct(s.cpu.load_fraction() * 100.0),
+            pct(s.cpu.store_fraction() * 100.0),
+            f2(s.ipc()),
+            pct(s.l1_l2_bus_percent()),
+            pct(s.l2_mem_bus_percent()),
+        ]);
+    }
+    print!("\n{t}");
+}

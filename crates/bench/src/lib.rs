@@ -1,0 +1,76 @@
+//! Shared plumbing for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary (`table2`, `fig4` … `fig11`, `ablate_markov`,
+//! `ablate_sched`) prints the rows/series of one paper artifact. Run them
+//! with `cargo run --release -p psb-bench --bin <name> [scale]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use psb_common::{Addr, Cycle};
+use psb_cpu::DynInst;
+use psb_mem::{Cache, CacheConfig};
+use psb_sim::DEFAULT_SCALE;
+
+/// Parses the trace scale from `argv[1]`, defaulting to
+/// [`DEFAULT_SCALE`]. Pass a larger scale for longer, steadier runs.
+pub fn scale_arg() -> u32 {
+    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SCALE)
+}
+
+/// Functionally filters a trace through the baseline L1 data cache and
+/// returns the (pc, address) *load miss stream* — the stream every
+/// predictor in the paper trains on. Store-forwarded loads cannot be
+/// detected functionally, but they are rare in the modeled workloads.
+pub fn l1_load_miss_stream(trace: &[DynInst]) -> Vec<(Addr, Addr)> {
+    let mut l1 = Cache::new(CacheConfig::l1d_32k_4way());
+    let mut misses = Vec::new();
+    for inst in trace {
+        let Some(addr) = inst.mem_addr else { continue };
+        if !l1.access(addr) {
+            l1.insert(addr);
+            if inst.op.is_load() {
+                misses.push((inst.pc, addr));
+            }
+        }
+    }
+    misses
+}
+
+/// A tiny deterministic stand-in for wall-clock-free progress reporting.
+pub fn eta_note(done: usize, total: usize) -> String {
+    format!("[{done}/{total}]")
+}
+
+/// Re-exported so binaries can print a header with the machine summary.
+pub fn machine_banner(scale: u32) -> String {
+    format!(
+        "8-wide OoO, 128 ROB / 64 LSQ; L1D 32K/4w/32B, L2 1M/64B @12cy, \
+         DRAM 120cy; buses 8B & 4B per cycle; trace scale {scale}"
+    )
+}
+
+/// Convenience: the simulated cycle type for benches.
+pub type SimCycle = Cycle;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_workloads::Benchmark;
+
+    #[test]
+    fn miss_stream_is_a_subset_of_loads() {
+        let trace = Benchmark::Turb3d.trace(1);
+        let misses = l1_load_miss_stream(&trace);
+        let loads = trace.iter().filter(|i| i.op.is_load()).count();
+        assert!(!misses.is_empty());
+        assert!(misses.len() < loads);
+    }
+
+    #[test]
+    fn banner_mentions_scale() {
+        assert!(machine_banner(3).contains("scale 3"));
+        assert_eq!(eta_note(2, 5), "[2/5]");
+    }
+}

@@ -1,0 +1,123 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in processor clock cycles.
+///
+/// `Cycle` is ordered and supports the small amount of arithmetic a
+/// cycle-level simulator needs: advancing by a latency and measuring an
+/// elapsed duration.
+///
+/// # Example
+///
+/// ```
+/// use psb_common::Cycle;
+/// let start = Cycle::ZERO;
+/// let done = start + 12;
+/// assert_eq!(done.since(start), 12);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The beginning of time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the number of cycles elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        debug_assert!(self >= earlier, "time ran backwards: {self:?} < {earlier:?}");
+        self.0 - earlier.0
+    }
+
+    /// Returns whichever of the two cycles is later.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cy{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let mut c = Cycle::ZERO;
+        c += 5;
+        assert_eq!(c, Cycle::new(5));
+        assert_eq!(c + 7, Cycle::new(12));
+        assert_eq!((c + 7) - c, 7);
+        assert_eq!(c.since(Cycle::ZERO), 5);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Cycle::new(3) < Cycle::new(4));
+        assert_eq!(Cycle::new(3).max(Cycle::new(4)), Cycle::new(4));
+        assert_eq!(Cycle::new(9).max(Cycle::new(4)), Cycle::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    #[cfg(debug_assertions)]
+    fn since_panics_on_negative_duration() {
+        let _ = Cycle::new(1).since(Cycle::new(2));
+    }
+}

@@ -1,0 +1,366 @@
+//! Statistics primitives used by the experiment harness.
+//!
+//! Everything here is a plain accumulator: cheap to update every cycle and
+//! queried once at the end of a run.
+
+use std::fmt;
+
+/// Running mean of a stream of `u64` samples (e.g. per-load latency).
+///
+/// # Example
+///
+/// ```
+/// use psb_common::stats::RunningMean;
+/// let mut m = RunningMean::new();
+/// m.add(10);
+/// m.add(20);
+/// assert_eq!(m.mean(), 15.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunningMean {
+    sum: u128,
+    count: u64,
+    min: u64,
+    max: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        RunningMean {
+            sum: 0,
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Adds one sample.
+    #[inline]
+    pub fn add(&mut self, sample: u64) {
+        self.sum += sample as u128;
+        self.count += 1;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples seen.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[inline]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 if no samples were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningMean) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for RunningMean {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mean {:.2} (n={})", self.mean(), self.count)
+    }
+}
+
+/// A hit/total ratio counter (miss rates, prediction accuracy, ...).
+///
+/// # Example
+///
+/// ```
+/// use psb_common::stats::Ratio;
+/// let mut r = Ratio::new();
+/// r.record(true);
+/// r.record(false);
+/// r.record(false);
+/// assert!((r.fraction() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio.
+    pub const fn new() -> Self {
+        Ratio { hits: 0, total: 0 }
+    }
+
+    /// Records one event; `hit` selects the numerator.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        self.hits += hit as u64;
+    }
+
+    /// Adds to the numerator and denominator directly.
+    #[inline]
+    pub fn add(&mut self, hits: u64, total: u64) {
+        self.hits += hits;
+        self.total += total;
+    }
+
+    /// Numerator.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Denominator minus numerator.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.total - self.hits
+    }
+
+    /// `hits / total`, or 0.0 if nothing was recorded.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// `fraction()` expressed in percent.
+    pub fn percent(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.hits, self.total, self.percent())
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Bucket `i` counts samples equal to `i`; samples `>= len` fall into the
+/// overflow bucket. Used e.g. for Figure 4 (bits needed per Markov delta).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `len` exact-value buckets.
+    pub fn new(len: usize) -> Self {
+        Histogram {
+            buckets: vec![0; len],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: u64) {
+        self.total += 1;
+        match self.buckets.get_mut(sample as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Count in bucket `i` (0 if out of range).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Count of samples that exceeded the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of samples `<= i` (a CDF point). 0.0 when empty.
+    pub fn cdf(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.buckets.iter().take(i + 1).sum();
+        cum as f64 / self.total as f64
+    }
+
+    /// Number of exact buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True if no exact buckets were configured.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hist(n={}, overflow={})", self.total, self.overflow)
+    }
+}
+
+/// Tracks how many cycles a resource (e.g. a bus) was occupied.
+///
+/// # Example
+///
+/// ```
+/// use psb_common::stats::Utilization;
+/// let mut u = Utilization::new();
+/// u.busy(25);
+/// assert_eq!(u.percent(100), 25.0);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Utilization {
+    busy_cycles: u64,
+}
+
+impl Utilization {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        Utilization { busy_cycles: 0 }
+    }
+
+    /// Records `n` busy cycles.
+    #[inline]
+    pub fn busy(&mut self, n: u64) {
+        self.busy_cycles += n;
+    }
+
+    /// Total busy cycles recorded.
+    #[inline]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Busy percentage over a run of `elapsed` cycles (0.0 if `elapsed` is 0).
+    pub fn percent(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            100.0 * self.busy_cycles as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_basics() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.min(), None);
+        m.add(4);
+        m.add(8);
+        m.add(0);
+        assert_eq!(m.mean(), 4.0);
+        assert_eq!(m.min(), Some(0));
+        assert_eq!(m.max(), Some(8));
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 12);
+    }
+
+    #[test]
+    fn running_mean_merge() {
+        let mut a = RunningMean::new();
+        a.add(1);
+        a.add(3);
+        let mut b = RunningMean::new();
+        b.add(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.max(), Some(5));
+    }
+
+    #[test]
+    fn ratio_basics() {
+        let mut r = Ratio::new();
+        assert_eq!(r.fraction(), 0.0);
+        r.record(true);
+        r.record(true);
+        r.record(false);
+        r.record(false);
+        assert_eq!(r.fraction(), 0.5);
+        assert_eq!(r.percent(), 50.0);
+        assert_eq!(r.hits(), 2);
+        assert_eq!(r.misses(), 2);
+        r.add(2, 2);
+        assert_eq!(r.hits(), 4);
+        assert_eq!(r.total(), 6);
+    }
+
+    #[test]
+    fn histogram_cdf() {
+        let mut h = Histogram::new(4);
+        for s in [0, 1, 1, 2, 3, 9] {
+            h.add(s);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.overflow(), 1);
+        assert!((h.cdf(0) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((h.cdf(3) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new(0);
+        assert!(h.is_empty());
+        assert_eq!(h.cdf(3), 0.0);
+        assert_eq!(h.bucket(1), 0);
+    }
+
+    #[test]
+    fn utilization_percent() {
+        let mut u = Utilization::new();
+        u.busy(10);
+        u.busy(15);
+        assert_eq!(u.busy_cycles(), 25);
+        assert_eq!(u.percent(100), 25.0);
+        assert_eq!(u.percent(0), 0.0);
+    }
+}

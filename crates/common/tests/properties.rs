@@ -1,0 +1,106 @@
+//! Property-based tests for the shared primitives.
+
+use proptest::prelude::*;
+use psb_common::stats::{Histogram, Ratio, RunningMean};
+use psb_common::{Addr, BlockAddr, SatCounter, SplitMix64};
+
+proptest! {
+    #[test]
+    fn below_always_in_bounds(seed: u64, bound in 1u64..=u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn range_always_in_bounds(seed: u64, lo in 0u64..1 << 60, span in 1u64..1 << 30) {
+        let mut rng = SplitMix64::new(seed);
+        let hi = lo + span;
+        for _ in 0..16 {
+            let v = rng.range(lo, hi);
+            prop_assert!((lo..hi).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation(seed: u64, len in 0usize..200) {
+        let mut rng = SplitMix64::new(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sat_counter_always_in_range(max in 0u32..1000, ops in proptest::collection::vec(any::<(bool, u32)>(), 0..64)) {
+        let mut c = SatCounter::new(max);
+        for (up, n) in ops {
+            if up { c.inc_by(n % 50) } else { c.dec_by(n % 50) }
+            prop_assert!(c.get() <= max);
+        }
+    }
+
+    #[test]
+    fn addr_block_round_trip(raw in 0u64..1 << 48, shift in 4u32..12) {
+        let block_size = 1u64 << shift;
+        let a = Addr::new(raw);
+        let b = a.block(block_size);
+        let base = b.base(block_size);
+        prop_assert!(base.raw() <= raw);
+        prop_assert!(raw - base.raw() < block_size);
+        prop_assert_eq!(base.block(block_size), b);
+    }
+
+    #[test]
+    fn addr_delta_offset_inverse(a in 0u64..1 << 62, b in 0u64..1 << 62) {
+        let (x, y) = (Addr::new(a), Addr::new(b));
+        let d = y.delta(x);
+        prop_assert_eq!(x.offset(d), y);
+    }
+
+    #[test]
+    fn block_delta_offset_inverse(a in 0u64..1 << 50, b in 0u64..1 << 50) {
+        let (x, y) = (BlockAddr(a), BlockAddr(b));
+        prop_assert_eq!(x.offset(y.delta(x)), y);
+    }
+
+    #[test]
+    fn running_mean_bounded_by_min_max(samples in proptest::collection::vec(0u64..1 << 40, 1..64)) {
+        let mut m = RunningMean::new();
+        for &s in &samples {
+            m.add(s);
+        }
+        let mean = m.mean();
+        prop_assert!(mean >= m.min().unwrap() as f64 - 1e-9);
+        prop_assert!(mean <= m.max().unwrap() as f64 + 1e-9);
+        prop_assert_eq!(m.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn ratio_fraction_in_unit_interval(events in proptest::collection::vec(any::<bool>(), 0..128)) {
+        let mut r = Ratio::new();
+        for e in events {
+            r.record(e);
+        }
+        prop_assert!((0.0..=1.0).contains(&r.fraction()));
+        prop_assert_eq!(r.hits() + r.misses(), r.total());
+    }
+
+    #[test]
+    fn histogram_cdf_monotone(samples in proptest::collection::vec(0u64..40, 1..128)) {
+        let mut h = Histogram::new(32);
+        for &s in &samples {
+            h.add(s);
+        }
+        let mut prev = 0.0;
+        for i in 0..32 {
+            let c = h.cdf(i);
+            prop_assert!(c >= prev - 1e-12, "cdf must be monotone");
+            prop_assert!(c <= 1.0 + 1e-12);
+            prev = c;
+        }
+        prop_assert_eq!(h.total(), samples.len() as u64);
+    }
+}

@@ -1,0 +1,485 @@
+//! Demand-based prefetchers from the paper's Section 3 ("Hardware
+//! Prefetching Models") — implemented as comparison points beyond the
+//! paper's own figures.
+//!
+//! * [`NextLinePrefetcher`] — Smith's Next Line Prefetching: an access
+//!   that misses (or hits a prefetched line for the first time) triggers
+//!   a prefetch of the next sequential block.
+//! * [`DemandMarkovPrefetcher`] — the Markov prefetcher of Joseph &
+//!   Grunwald: a cache miss indexes a Markov table for the addresses
+//!   that followed it before, prefetching up to `ways` successors into a
+//!   prefetch buffer, then idling until the next miss ("They do not use
+//!   the predicted addresses to re-index into the table"). Two-bit
+//!   accuracy counters disable transitions that keep prefetching dead
+//!   data.
+//!
+//! Both engines share the same [`Prefetcher`] interface as the stream
+//! buffers, so the simulator can compare all models head-to-head.
+
+use crate::prefetcher::{PrefetchSink, PrefetchStats, Prefetcher, SbLookup};
+use psb_common::{Addr, BlockAddr, Cycle, SatCounter};
+use std::collections::VecDeque;
+
+/// One slot of a prefetch buffer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct PbEntry {
+    block: BlockAddr,
+    ready: Cycle,
+    lru: u64,
+}
+
+/// A small fully-associative prefetch buffer with LRU replacement, as
+/// used by the demand-based schemes (prefetched data is staged here, not
+/// in the cache, to avoid pollution).
+#[derive(Clone, Debug)]
+struct PrefetchBuffer {
+    entries: Vec<PbEntry>,
+    capacity: usize,
+    stamp: u64,
+}
+
+impl PrefetchBuffer {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch buffer needs at least one entry");
+        PrefetchBuffer { entries: Vec::with_capacity(capacity), capacity, stamp: 0 }
+    }
+
+    fn contains(&self, block: BlockAddr) -> bool {
+        self.entries.iter().any(|e| e.block == block)
+    }
+
+    /// Removes and returns the entry for `block`, if present (a hit moves
+    /// the block into the cache).
+    fn take(&mut self, block: BlockAddr) -> Option<PbEntry> {
+        let idx = self.entries.iter().position(|e| e.block == block)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Inserts a block; returns the evicted (unused) block, if any.
+    fn insert(&mut self, block: BlockAddr, ready: Cycle) -> Option<BlockAddr> {
+        self.stamp += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.block == block) {
+            e.lru = self.stamp;
+            return None;
+        }
+        let entry = PbEntry { block, ready, lru: self.stamp };
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+            None
+        } else {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            let evicted = std::mem::replace(&mut self.entries[victim], entry);
+            Some(evicted.block)
+        }
+    }
+}
+
+/// Smith's Next Line Prefetching, staged through a prefetch buffer.
+///
+/// A demand miss queues a prefetch of the next sequential block; using a
+/// prefetched block queues the block after it, so sequential walks chain.
+///
+/// # Example
+///
+/// ```
+/// use psb_common::{Addr, Cycle};
+/// use psb_core::{NextLinePrefetcher, Prefetcher, SbLookup, TestSink};
+///
+/// let mut nlp = NextLinePrefetcher::new(32, 16);
+/// let mut sink = TestSink::new(1);
+/// nlp.train(Cycle::ZERO, Addr::new(0x400), Addr::new(0x1000)); // miss
+/// nlp.tick(Cycle::new(1), &mut sink);
+/// // The next block was prefetched:
+/// assert!(matches!(nlp.lookup(Cycle::new(5), Addr::new(0x1020)), SbLookup::Hit { .. }));
+/// ```
+#[derive(Clone, Debug)]
+pub struct NextLinePrefetcher {
+    buffer: PrefetchBuffer,
+    pending: VecDeque<BlockAddr>,
+    block: u64,
+    stats: PrefetchStats,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a next-line prefetcher for `block`-byte lines with a
+    /// `capacity`-entry prefetch buffer.
+    pub fn new(block: u64, capacity: usize) -> Self {
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        NextLinePrefetcher {
+            buffer: PrefetchBuffer::new(capacity),
+            pending: VecDeque::new(),
+            block,
+            stats: PrefetchStats::default(),
+        }
+    }
+
+    fn queue_next(&mut self, block: BlockAddr) {
+        let next = block.offset(1);
+        if !self.buffer.contains(next) && !self.pending.contains(&next) {
+            self.pending.push_back(next);
+        }
+    }
+}
+
+impl Prefetcher for NextLinePrefetcher {
+    fn lookup(&mut self, now: Cycle, addr: Addr) -> SbLookup {
+        self.stats.lookups += 1;
+        let block = addr.block(self.block);
+        if let Some(e) = self.buffer.take(block) {
+            self.stats.hits += 1;
+            self.stats.used += 1;
+            // Using a prefetched line chains the next one (the tag bit
+            // flipping to zero in Smith's scheme).
+            self.queue_next(block);
+            SbLookup::Hit { ready: e.ready.max(now) }
+        } else {
+            SbLookup::Miss
+        }
+    }
+
+    fn train(&mut self, _now: Cycle, _pc: Addr, addr: Addr) {
+        // Every demand miss requests the next sequential block.
+        self.queue_next(addr.block(self.block));
+    }
+
+    fn allocate(&mut self, _now: Cycle, _pc: Addr, _addr: Addr) {}
+
+    fn tick(&mut self, now: Cycle, sink: &mut dyn PrefetchSink) {
+        if !sink.bus_free(now) {
+            return;
+        }
+        let Some(block) = self.pending.pop_front() else { return };
+        let ready = sink.fetch(now, block.base(self.block));
+        self.buffer.insert(block, ready);
+        self.stats.issued += 1;
+    }
+
+    fn stats(&self) -> PrefetchStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        "next-line"
+    }
+}
+
+/// One Markov-table entry: up to `W` successor blocks with accuracy
+/// counters.
+#[derive(Clone, Debug)]
+struct DmEntry {
+    tag: u64,
+    successors: Vec<(BlockAddr, SatCounter)>,
+    valid: bool,
+}
+
+/// The demand-based Markov prefetcher of Joseph & Grunwald.
+///
+/// On a cache miss, the miss address indexes a first-order Markov table
+/// whose entries record the addresses that followed it before; the
+/// enabled successors are prefetched into a buffer, and the engine idles
+/// until the next miss. Per-successor two-bit counters implement their
+/// "accuracy based adaptivity": a prefetch discarded unused increments
+/// its counter, a used one decrements it, and a set sign bit disables
+/// the transition (it keeps being trained so it can re-enable).
+#[derive(Clone, Debug)]
+pub struct DemandMarkovPrefetcher {
+    table: Vec<DmEntry>,
+    buffer: PrefetchBuffer,
+    /// Where each buffered block came from, to credit accuracy:
+    /// (prefetched block, table index, successor slot).
+    provenance: Vec<(BlockAddr, usize, usize)>,
+    pending: VecDeque<BlockAddr>,
+    last_miss: Option<BlockAddr>,
+    block: u64,
+    ways: usize,
+    stats: PrefetchStats,
+}
+
+impl DemandMarkovPrefetcher {
+    /// A contemporary configuration: 1K-entry table, 2 successors per
+    /// entry, 16-entry prefetch buffer, 32-byte blocks.
+    pub fn baseline() -> Self {
+        DemandMarkovPrefetcher::new(1024, 2, 16, 32)
+    }
+
+    /// Creates a prefetcher with `entries` table slots of `ways`
+    /// successors, a `capacity`-entry buffer, over `block`-byte lines.
+    pub fn new(entries: usize, ways: usize, capacity: usize, block: u64) -> Self {
+        assert!(entries > 0 && ways > 0, "zero-sized Markov prefetcher");
+        DemandMarkovPrefetcher {
+            table: vec![DmEntry { tag: 0, successors: Vec::new(), valid: false }; entries],
+            buffer: PrefetchBuffer::new(capacity),
+            provenance: Vec::new(),
+            pending: VecDeque::new(),
+            last_miss: None,
+            block,
+            ways,
+            stats: PrefetchStats::default(),
+        }
+    }
+
+    fn index(&self, block: BlockAddr) -> (usize, u64) {
+        let n = self.table.len() as u64;
+        (((block.0 ^ (block.0 >> 11)) % n) as usize, block.0 / n)
+    }
+
+    fn credit(&mut self, block: BlockAddr, used: bool) {
+        if let Some(pos) = self.provenance.iter().position(|(b, _, _)| *b == block) {
+            let (_, idx, slot) = self.provenance.swap_remove(pos);
+            if let Some((_, counter)) = self.table[idx].successors.get_mut(slot) {
+                if used {
+                    counter.dec();
+                } else {
+                    counter.inc();
+                }
+            }
+        }
+    }
+}
+
+impl Prefetcher for DemandMarkovPrefetcher {
+    fn lookup(&mut self, now: Cycle, addr: Addr) -> SbLookup {
+        self.stats.lookups += 1;
+        let block = addr.block(self.block);
+        if let Some(e) = self.buffer.take(block) {
+            self.stats.hits += 1;
+            self.stats.used += 1;
+            self.credit(block, true);
+            SbLookup::Hit { ready: e.ready.max(now) }
+        } else {
+            SbLookup::Miss
+        }
+    }
+
+    fn train(&mut self, _now: Cycle, _pc: Addr, addr: Addr) {
+        let block = addr.block(self.block);
+
+        // Record the transition last_miss -> block.
+        if let Some(prev) = self.last_miss {
+            let (idx, tag) = self.index(prev);
+            let e = &mut self.table[idx];
+            if !e.valid || e.tag != tag {
+                *e = DmEntry { tag, successors: Vec::new(), valid: true };
+            }
+            if let Some(pos) = e.successors.iter().position(|(b, _)| *b == block) {
+                // Move to front (most recent successor first).
+                let s = e.successors.remove(pos);
+                e.successors.insert(0, s);
+            } else {
+                e.successors.insert(0, (block, SatCounter::new(3)));
+                e.successors.truncate(self.ways);
+            }
+        }
+        self.last_miss = Some(block);
+
+        // Fan out prefetches for the enabled successors of this miss.
+        let (idx, tag) = self.index(block);
+        if self.table[idx].valid && self.table[idx].tag == tag {
+            let candidates: Vec<BlockAddr> = self.table[idx]
+                .successors
+                .iter()
+                .filter(|(_, c)| !c.is_high()) // sign bit clear = enabled
+                .map(|(b, _)| *b)
+                .collect();
+            for next in candidates {
+                if !self.buffer.contains(next) && !self.pending.contains(&next) {
+                    self.pending.push_back(next);
+                }
+            }
+        }
+    }
+
+    fn allocate(&mut self, _now: Cycle, _pc: Addr, _addr: Addr) {}
+
+    fn tick(&mut self, now: Cycle, sink: &mut dyn PrefetchSink) {
+        if !sink.bus_free(now) {
+            return;
+        }
+        let Some(block) = self.pending.pop_front() else { return };
+        // Remember which transition produced this prefetch for crediting.
+        let source = self.last_miss.and_then(|prev| {
+            let (idx, tag) = self.index(prev);
+            let e = &self.table[idx];
+            (e.valid && e.tag == tag)
+                .then(|| e.successors.iter().position(|(b, _)| *b == block).map(|s| (idx, s)))
+                .flatten()
+        });
+        let ready = sink.fetch(now, block.base(self.block));
+        if let Some(evicted) = self.buffer.insert(block, ready) {
+            self.credit(evicted, false); // discarded without use
+        }
+        if let Some((idx, slot)) = source {
+            self.provenance.push((block, idx, slot));
+            if self.provenance.len() > 64 {
+                self.provenance.remove(0);
+            }
+        }
+        self.stats.issued += 1;
+    }
+
+    fn stats(&self) -> PrefetchStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        "demand-markov"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetcher::TestSink;
+
+    fn drain(p: &mut dyn Prefetcher, sink: &mut TestSink, from: u64, cycles: u64) {
+        for c in from..from + cycles {
+            p.tick(Cycle::new(c), sink);
+        }
+    }
+
+    #[test]
+    fn nlp_chains_sequential_blocks() {
+        let mut nlp = NextLinePrefetcher::new(32, 16);
+        let mut sink = TestSink::new(1);
+        nlp.train(Cycle::ZERO, Addr::new(0), Addr::new(0x1000));
+        drain(&mut nlp, &mut sink, 1, 4);
+        assert_eq!(sink.fetched, vec![Addr::new(0x1020)]);
+        // Using the prefetched block chains the next one.
+        assert!(matches!(nlp.lookup(Cycle::new(10), Addr::new(0x1020)), SbLookup::Hit { .. }));
+        drain(&mut nlp, &mut sink, 11, 4);
+        assert_eq!(sink.fetched.last(), Some(&Addr::new(0x1040)));
+        assert_eq!(nlp.stats().used, 1);
+    }
+
+    #[test]
+    fn nlp_respects_bus_gating() {
+        let mut nlp = NextLinePrefetcher::new(32, 16);
+        let mut sink = TestSink::new(1);
+        sink.bus_is_free = false;
+        nlp.train(Cycle::ZERO, Addr::new(0), Addr::new(0x2000));
+        drain(&mut nlp, &mut sink, 1, 8);
+        assert!(sink.fetched.is_empty());
+        sink.bus_is_free = true;
+        drain(&mut nlp, &mut sink, 9, 2);
+        assert_eq!(nlp.stats().issued, 1);
+    }
+
+    #[test]
+    fn nlp_misses_nonsequential() {
+        let mut nlp = NextLinePrefetcher::new(32, 16);
+        let mut sink = TestSink::new(1);
+        nlp.train(Cycle::ZERO, Addr::new(0), Addr::new(0x1000));
+        drain(&mut nlp, &mut sink, 1, 4);
+        assert_eq!(nlp.lookup(Cycle::new(9), Addr::new(0x9000)), SbLookup::Miss);
+    }
+
+    #[test]
+    fn demand_markov_replays_transitions() {
+        let mut dm = DemandMarkovPrefetcher::baseline();
+        let mut sink = TestSink::new(1);
+        let (a, b) = (Addr::new(0x10_0000), Addr::new(0x25_0040));
+        // Teach A -> B.
+        dm.train(Cycle::ZERO, Addr::new(0), a);
+        dm.train(Cycle::ZERO, Addr::new(0), b);
+        // Next miss on A prefetches B.
+        dm.train(Cycle::new(10), Addr::new(0), a);
+        drain(&mut dm, &mut sink, 11, 4);
+        assert_eq!(sink.fetched, vec![b.block_base(32)]);
+        assert!(matches!(dm.lookup(Cycle::new(20), b), SbLookup::Hit { .. }));
+    }
+
+    #[test]
+    fn demand_markov_idles_between_misses() {
+        let mut dm = DemandMarkovPrefetcher::baseline();
+        let mut sink = TestSink::new(1);
+        // Blocks 128, 384 and 768: distinct table indices (no aliasing).
+        let (a, b, c) = (Addr::new(0x1000), Addr::new(0x3000), Addr::new(0x6000));
+        for _ in 0..2 {
+            for x in [a, b, c] {
+                dm.train(Cycle::ZERO, Addr::new(0), x);
+            }
+        }
+        // Flush any prefetches queued during training.
+        drain(&mut dm, &mut sink, 1, 20);
+        sink.fetched.clear();
+        // Miss on A: B (A's successor) is available — but there is no
+        // chaining to C without a further miss.
+        dm.train(Cycle::new(50), Addr::new(0), a);
+        drain(&mut dm, &mut sink, 51, 10);
+        assert!(matches!(dm.lookup(Cycle::new(70), b), SbLookup::Hit { .. }));
+        assert!(
+            !sink.fetched.contains(&c.block_base(32)),
+            "no chained prefetch of C: {:?}",
+            sink.fetched
+        );
+    }
+
+    #[test]
+    fn demand_markov_tracks_multiple_successors() {
+        let mut dm = DemandMarkovPrefetcher::baseline();
+        let mut sink = TestSink::new(1);
+        let a = Addr::new(0x1000);
+        // A is followed by B sometimes and C other times (non-aliasing
+        // table slots).
+        for succ in [0x3000u64, 0x6000, 0x3000, 0x6000] {
+            dm.train(Cycle::ZERO, Addr::new(0), a);
+            dm.train(Cycle::ZERO, Addr::new(0), Addr::new(succ));
+        }
+        drain(&mut dm, &mut sink, 1, 20);
+        dm.train(Cycle::new(90), Addr::new(0), a);
+        drain(&mut dm, &mut sink, 91, 10);
+        // Both recorded successors of A are now staged in the buffer.
+        assert!(matches!(dm.lookup(Cycle::new(110), Addr::new(0x3000)), SbLookup::Hit { .. }));
+        assert!(matches!(dm.lookup(Cycle::new(111), Addr::new(0x6000)), SbLookup::Hit { .. }));
+    }
+
+    #[test]
+    fn demand_markov_adaptivity_disables_dead_transitions() {
+        let mut dm = DemandMarkovPrefetcher::new(1024, 1, 2, 32);
+        let mut sink = TestSink::new(1);
+        let a = Addr::new(0x1000);
+        let dead = Addr::new(0x5000);
+        dm.train(Cycle::ZERO, Addr::new(0), a);
+        dm.train(Cycle::ZERO, Addr::new(0), dead);
+        // Repeatedly prefetch `dead` without using it; evictions from the
+        // tiny buffer increment its counter until it is disabled.
+        let mut now = 10;
+        for i in 0..6u64 {
+            dm.train(Cycle::new(now), Addr::new(0), a);
+            drain(&mut dm, &mut sink, now + 1, 3);
+            // Force eviction by filling the 2-entry buffer with other
+            // misses' prefetches.
+            dm.train(Cycle::new(now + 4), Addr::new(0), Addr::new(0x8000 + i * 0x40));
+            dm.train(Cycle::new(now + 5), Addr::new(0), Addr::new(0x9000 + i * 0x40));
+            drain(&mut dm, &mut sink, now + 6, 4);
+            now += 20;
+        }
+        let before = sink.fetched.len();
+        dm.train(Cycle::new(now), Addr::new(0), a);
+        drain(&mut dm, &mut sink, now + 1, 3);
+        let new: Vec<&Addr> = sink.fetched[before..].iter().collect();
+        assert!(
+            !new.contains(&&dead.block_base(32)),
+            "disabled transition must stop prefetching: {new:?}"
+        );
+    }
+
+    #[test]
+    fn prefetch_buffer_lru_eviction() {
+        let mut pb = PrefetchBuffer::new(2);
+        assert_eq!(pb.insert(BlockAddr(1), Cycle::ZERO), None);
+        assert_eq!(pb.insert(BlockAddr(2), Cycle::ZERO), None);
+        // Re-inserting 1 refreshes it; 2 becomes LRU.
+        assert_eq!(pb.insert(BlockAddr(1), Cycle::ZERO), None);
+        assert_eq!(pb.insert(BlockAddr(3), Cycle::ZERO), Some(BlockAddr(2)));
+        assert!(pb.contains(BlockAddr(1)));
+        assert!(pb.take(BlockAddr(3)).is_some());
+        assert!(!pb.contains(BlockAddr(3)));
+    }
+}

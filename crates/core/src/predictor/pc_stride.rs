@@ -1,0 +1,125 @@
+//! The PC-stride stream-buffer predictor of Farkas et al. — the paper's
+//! baseline comparison point ("PC-stride").
+
+use crate::predictor::{AllocInfo, StreamPredictor, StreamState, StrideTable};
+use psb_common::Addr;
+
+/// PC-indexed stride prediction for stream buffers.
+///
+/// "The PC-stride predictor determines the stride for a load instruction
+/// by using the PC to index into a stride address prediction table. ...
+/// the stride prediction for a stream buffer is based only on the past
+/// memory behavior of the load for which the stream buffer was
+/// allocated." The stream buffer is assigned a fixed stride at allocation
+/// and every prediction simply adds it.
+///
+/// # Example
+///
+/// ```
+/// use psb_common::Addr;
+/// use psb_core::{PcStridePredictor, StreamPredictor, StreamState};
+///
+/// let mut p = PcStridePredictor::paper_baseline();
+/// let pc = Addr::new(0x1000);
+/// for i in 0..4u64 {
+///     p.train(pc, Addr::new(0x8000 + 64 * i));
+/// }
+/// let mut s = StreamState::new(pc, Addr::new(0x80c0), 64);
+/// assert_eq!(p.predict(&mut s), Some(Addr::new(0x8100)));
+/// assert_eq!(s.last_addr, Addr::new(0x8100));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PcStridePredictor {
+    table: StrideTable,
+}
+
+impl PcStridePredictor {
+    /// The paper's configuration: a 256-entry 4-way stride table.
+    pub fn paper_baseline() -> Self {
+        PcStridePredictor { table: StrideTable::paper_baseline() }
+    }
+
+    /// Creates a predictor around a custom stride table.
+    pub fn new(table: StrideTable) -> Self {
+        PcStridePredictor { table }
+    }
+
+    /// Read-only access to the underlying table.
+    pub fn table(&self) -> &StrideTable {
+        &self.table
+    }
+}
+
+impl StreamPredictor for PcStridePredictor {
+    fn train(&mut self, pc: Addr, addr: Addr) {
+        let out = self.table.train(pc, addr);
+        if !out.cold {
+            self.table.confirm(pc, out.stride_correct);
+        }
+    }
+
+    fn alloc_info(&self, pc: Addr, addr: Addr) -> Option<AllocInfo> {
+        self.table.info(pc, addr).map(|i| AllocInfo {
+            stride: i.stride,
+            confidence: i.confidence,
+            // Farkas et al.'s two-miss filter: "misses 2 times in a row,
+            // and the last two strides are identical". `stride_streak`
+            // counts consecutive *repeats*, so one repeat means the last
+            // two observed strides matched.
+            two_miss_ok: i.stride_streak >= 1,
+            history: 0,
+        })
+    }
+
+    fn predict(&self, state: &mut StreamState) -> Option<Addr> {
+        let next = state.last_addr.offset(state.stride);
+        state.history = state.last_addr.raw();
+        state.last_addr = next;
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_miss_filter_requires_identical_strides() {
+        let mut p = PcStridePredictor::paper_baseline();
+        let pc = Addr::new(0x2000);
+        p.train(pc, Addr::new(0x100));
+        p.train(pc, Addr::new(0x140));
+        // One stride observed once: streak 1, filter closed.
+        assert!(!p.alloc_info(pc, Addr::new(0x140)).unwrap().two_miss_ok);
+        p.train(pc, Addr::new(0x180));
+        assert!(p.alloc_info(pc, Addr::new(0x180)).unwrap().two_miss_ok);
+    }
+
+    #[test]
+    fn cold_pc_has_no_info() {
+        let p = PcStridePredictor::paper_baseline();
+        assert_eq!(p.alloc_info(Addr::new(0x1234), Addr::new(0)), None);
+    }
+
+    #[test]
+    fn prediction_never_consults_tables() {
+        // The stream stride is fixed at allocation: even after the table
+        // learns a different stride, an existing stream keeps its own.
+        let mut p = PcStridePredictor::paper_baseline();
+        let pc = Addr::new(0x3000);
+        for i in 0..3 {
+            p.train(pc, Addr::new(0x1000 + 32 * i));
+        }
+        let mut s = StreamState::new(pc, Addr::new(0x1040), 999);
+        assert_eq!(p.predict(&mut s), Some(Addr::new(0x1040 + 999)));
+    }
+
+    #[test]
+    fn stream_walks_forward() {
+        let p = PcStridePredictor::paper_baseline();
+        let mut s = StreamState::new(Addr::new(0), Addr::new(0x1000), -64);
+        assert_eq!(p.predict(&mut s), Some(Addr::new(0xfc0)));
+        assert_eq!(p.predict(&mut s), Some(Addr::new(0xf80)));
+        assert_eq!(p.predict(&mut s), Some(Addr::new(0xf40)));
+    }
+}

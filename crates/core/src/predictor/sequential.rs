@@ -1,0 +1,88 @@
+//! Jouppi's original next-block sequential streams.
+
+use crate::predictor::{AllocInfo, StreamPredictor, StreamState};
+use psb_common::Addr;
+
+/// The sequential stream predictor: every prediction is the next cache
+/// block.
+///
+/// This reproduces the streams of Jouppi's original stream-buffer
+/// proposal (stream buffers "prefetch consecutive cache blocks, starting
+/// with the one that missed in the L1 cache"). It carries no tables, so
+/// every load is eligible for allocation and confidence is always
+/// maximal. Included as a historical baseline and for ablations.
+///
+/// # Example
+///
+/// ```
+/// use psb_common::Addr;
+/// use psb_core::{SequentialPredictor, StreamPredictor, StreamState};
+///
+/// let p = SequentialPredictor::new(32, 7);
+/// let mut s = StreamState::new(Addr::new(0), Addr::new(0x1000), 32);
+/// assert_eq!(p.predict(&mut s), Some(Addr::new(0x1020)));
+/// assert_eq!(p.predict(&mut s), Some(Addr::new(0x1040)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SequentialPredictor {
+    block: u64,
+    confidence: u32,
+}
+
+impl SequentialPredictor {
+    /// Creates a sequential predictor for `block`-byte cache blocks.
+    /// `confidence` is reported for every load (the allocation filters
+    /// are usually disabled for this design; Jouppi allocated on every
+    /// miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a power of two.
+    pub fn new(block: u64, confidence: u32) -> Self {
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        SequentialPredictor { block, confidence }
+    }
+}
+
+impl StreamPredictor for SequentialPredictor {
+    fn train(&mut self, _pc: Addr, _addr: Addr) {}
+
+    fn alloc_info(&self, _pc: Addr, _addr: Addr) -> Option<AllocInfo> {
+        Some(AllocInfo {
+            stride: self.block as i64,
+            confidence: self.confidence,
+            two_miss_ok: true,
+            history: 0,
+        })
+    }
+
+    fn predict(&self, state: &mut StreamState) -> Option<Addr> {
+        let next = state.last_addr.block_base(self.block).offset(self.block as i64);
+        state.history = state.last_addr.raw();
+        state.last_addr = next;
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_consecutive_blocks() {
+        let p = SequentialPredictor::new(64, 7);
+        let mut s = StreamState::new(Addr::new(0), Addr::new(0x1038), 64);
+        assert_eq!(p.predict(&mut s), Some(Addr::new(0x1040)));
+        assert_eq!(p.predict(&mut s), Some(Addr::new(0x1080)));
+        assert_eq!(p.predict(&mut s), Some(Addr::new(0x10c0)));
+    }
+
+    #[test]
+    fn every_load_is_eligible() {
+        let p = SequentialPredictor::new(32, 7);
+        let info = p.alloc_info(Addr::new(0x9999), Addr::new(0x1)).unwrap();
+        assert!(info.two_miss_ok);
+        assert_eq!(info.stride, 32);
+        assert_eq!(info.confidence, 7);
+    }
+}

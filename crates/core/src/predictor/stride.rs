@@ -1,0 +1,354 @@
+//! The two-delta stride address predictor.
+
+use psb_common::{Addr, SatCounter};
+
+/// Prediction state read out of the stride table for one load PC.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StrideInfo {
+    /// Last miss address recorded for the load.
+    pub last_addr: Addr,
+    /// The two-delta stride (only replaced when a new stride is seen
+    /// twice in a row).
+    pub stride: i64,
+    /// Accuracy confidence (saturating, 0..=max).
+    pub confidence: u32,
+    /// Number of consecutive training updates whose stride matched the
+    /// previous stride — the paper's two-miss filter condition is
+    /// `streak >= 2`.
+    pub stride_streak: u32,
+    /// Number of consecutive training updates that the predictor (stride
+    /// or, for SFM, Markov) got right.
+    pub predicted_streak: u32,
+}
+
+/// What a training update observed, fed back to hybrid predictors.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StrideTrainOutcome {
+    /// The address recorded for this PC before the update (the Markov
+    /// "from" state), if the entry existed.
+    pub prev_addr: Option<Addr>,
+    /// Whether the two-delta stride prediction matched the new address.
+    pub stride_correct: bool,
+    /// Whether the newly observed stride equals the previously observed
+    /// stride (the paper's other condition for skipping the Markov
+    /// update: the stride matches "the last stride or 2-delta stride").
+    pub repeat_stride: bool,
+    /// Whether this was the entry's first update (no prediction possible).
+    pub cold: bool,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Entry {
+    tag: u64,
+    last_addr: Addr,
+    last_stride: i64,
+    two_delta: i64,
+    confidence: SatCounter,
+    stride_streak: u32,
+    predicted_streak: u32,
+    lru: u64,
+    valid: bool,
+}
+
+/// A PC-indexed, set-associative two-delta stride table.
+///
+/// The paper keeps "data cache missed loads ... in a 256 entry 4-way
+/// associative stride address prediction table", updated only in the
+/// write-back stage of loads that miss in the L1. The two-delta rule
+/// "only replaces the predicted stride with a new stride if that new
+/// stride has been seen twice in a row" \[Eickemeyer & Vassiliadis;
+/// Sazeides & Smith\].
+///
+/// Per-entry accuracy confidence (saturating at 7 in the paper) counts how
+/// often the load's misses were predictable; Predictor-Directed Stream
+/// Buffers use it to gate allocation and to seed the stream buffer's
+/// priority counter.
+///
+/// # Example
+///
+/// ```
+/// use psb_common::Addr;
+/// use psb_core::StrideTable;
+///
+/// let mut t = StrideTable::paper_baseline();
+/// let pc = Addr::new(0x1000);
+/// for i in 0..4u64 {
+///     t.train(pc, Addr::new(0x8000 + 64 * i));
+/// }
+/// let info = t.info(pc, Addr::new(0x80c0)).unwrap();
+/// assert_eq!(info.stride, 64);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StrideTable {
+    sets: Vec<Entry>,
+    num_sets: usize,
+    assoc: usize,
+    confidence_max: u32,
+    stamp: u64,
+}
+
+impl StrideTable {
+    /// The paper's 256-entry, 4-way table with confidence saturating at 7.
+    pub fn paper_baseline() -> Self {
+        StrideTable::new(256, 4, 7)
+    }
+
+    /// Creates a table with `entries` total slots, associativity `assoc`,
+    /// and confidence ceiling `confidence_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible by `assoc`, or either is zero.
+    pub fn new(entries: usize, assoc: usize, confidence_max: u32) -> Self {
+        assert!(entries > 0 && assoc > 0, "zero-sized stride table");
+        assert!(entries.is_multiple_of(assoc), "entries {entries} not divisible by assoc {assoc}");
+        let num_sets = entries / assoc;
+        StrideTable {
+            sets: vec![
+                Entry {
+                    tag: 0,
+                    last_addr: Addr::new(0),
+                    last_stride: 0,
+                    two_delta: 0,
+                    confidence: SatCounter::new(confidence_max),
+                    stride_streak: 0,
+                    predicted_streak: 0,
+                    lru: 0,
+                    valid: false,
+                };
+                entries
+            ],
+            num_sets,
+            assoc,
+            confidence_max,
+            stamp: 0,
+        }
+    }
+
+    fn set_and_tag(&self, pc: Addr) -> (usize, u64) {
+        let idx = (pc.raw() >> 2) as usize;
+        (idx % self.num_sets, (idx / self.num_sets) as u64)
+    }
+
+    fn find(&self, pc: Addr) -> Option<usize> {
+        let (set, tag) = self.set_and_tag(pc);
+        let base = set * self.assoc;
+        (base..base + self.assoc).find(|&i| self.sets[i].valid && self.sets[i].tag == tag)
+    }
+
+    /// Trains the table on a missing load (`pc`, miss address `addr`).
+    ///
+    /// Returns what happened, so a hybrid predictor can decide whether to
+    /// update its Markov stage, and *confirm* the confidence update via
+    /// [`StrideTable::confirm`].
+    pub fn train(&mut self, pc: Addr, addr: Addr) -> StrideTrainOutcome {
+        self.stamp += 1;
+        let stamp = self.stamp;
+
+        if let Some(i) = self.find(pc) {
+            let e = &mut self.sets[i];
+            let prev = e.last_addr;
+            let new_stride = addr.delta(prev);
+            let stride_correct = prev.offset(e.two_delta) == addr;
+            let repeat_stride = new_stride == e.last_stride;
+
+            if new_stride == e.last_stride {
+                e.two_delta = new_stride;
+                e.stride_streak = e.stride_streak.saturating_add(1);
+            } else {
+                e.stride_streak = 0;
+            }
+            e.last_stride = new_stride;
+            e.last_addr = addr;
+            e.lru = stamp;
+            StrideTrainOutcome { prev_addr: Some(prev), stride_correct, repeat_stride, cold: false }
+        } else {
+            // Allocate: evict the LRU way of the set.
+            let (set, tag) = self.set_and_tag(pc);
+            let base = set * self.assoc;
+            let victim = (base..base + self.assoc)
+                .min_by_key(|&i| (self.sets[i].valid, self.sets[i].lru))
+                .expect("assoc >= 1");
+            self.sets[victim] = Entry {
+                tag,
+                last_addr: addr,
+                last_stride: 0,
+                two_delta: 0,
+                confidence: SatCounter::new(self.confidence_max),
+                stride_streak: 0,
+                predicted_streak: 0,
+                lru: stamp,
+                valid: true,
+            };
+            StrideTrainOutcome {
+                prev_addr: None,
+                stride_correct: false,
+                repeat_stride: false,
+                cold: true,
+            }
+        }
+    }
+
+    /// Records whether the *overall* predictor (stride alone, or
+    /// stride-filtered-Markov) predicted this training address correctly,
+    /// updating the accuracy confidence and prediction streak.
+    ///
+    /// Call immediately after [`StrideTable::train`] for the same `pc`.
+    pub fn confirm(&mut self, pc: Addr, predicted_correctly: bool) {
+        if let Some(i) = self.find(pc) {
+            let e = &mut self.sets[i];
+            if predicted_correctly {
+                e.confidence.inc();
+                e.predicted_streak = e.predicted_streak.saturating_add(1);
+            } else {
+                e.confidence.dec();
+                e.predicted_streak = 0;
+            }
+        }
+    }
+
+    /// Reads the allocation-time information for a load, if present.
+    ///
+    /// `addr` is the current miss address; the returned `last_addr` is the
+    /// table's recorded address (normally equal to `addr` right after
+    /// training).
+    pub fn info(&self, pc: Addr, addr: Addr) -> Option<StrideInfo> {
+        let _ = addr;
+        self.find(pc).map(|i| {
+            let e = &self.sets[i];
+            StrideInfo {
+                last_addr: e.last_addr,
+                stride: e.two_delta,
+                confidence: e.confidence.get(),
+                stride_streak: e.stride_streak,
+                predicted_streak: e.predicted_streak,
+            }
+        })
+    }
+
+    /// The confidence ceiling.
+    pub fn confidence_max(&self) -> u32 {
+        self.confidence_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_seq(t: &mut StrideTable, pc: u64, addrs: &[u64]) {
+        for &a in addrs {
+            let out = t.train(Addr::new(pc), Addr::new(a));
+            let correct = out.prev_addr.is_some() && out.stride_correct;
+            t.confirm(Addr::new(pc), correct);
+        }
+    }
+
+    #[test]
+    fn learns_constant_stride() {
+        let mut t = StrideTable::paper_baseline();
+        train_seq(&mut t, 0x1000, &[0x8000, 0x8040, 0x8080, 0x80c0, 0x8100]);
+        let info = t.info(Addr::new(0x1000), Addr::new(0x8100)).unwrap();
+        assert_eq!(info.stride, 0x40);
+        assert_eq!(info.last_addr, Addr::new(0x8100));
+        assert!(info.stride_streak >= 2);
+        // Two-delta confirmation lags by two updates: the first stride
+        // prediction that can be correct is the fourth address.
+        assert!(info.confidence >= 2, "confidence = {}", info.confidence);
+    }
+
+    #[test]
+    fn two_delta_resists_single_blip() {
+        let mut t = StrideTable::paper_baseline();
+        // Steady stride 64, one wild jump, then steady 64 again.
+        train_seq(&mut t, 0x1000, &[0x8000, 0x8040, 0x8080]);
+        let before = t.info(Addr::new(0x1000), Addr::new(0)).unwrap().stride;
+        assert_eq!(before, 64);
+        t.train(Addr::new(0x1000), Addr::new(0xff00));
+        // One deviant stride must NOT replace the two-delta stride.
+        let after = t.info(Addr::new(0x1000), Addr::new(0)).unwrap().stride;
+        assert_eq!(after, 64);
+    }
+
+    #[test]
+    fn two_delta_adopts_repeated_new_stride() {
+        let mut t = StrideTable::paper_baseline();
+        train_seq(&mut t, 0x1000, &[0x8000, 0x8040, 0x8080]); // stride 64
+        // New stride 128 seen twice in a row: adopted.
+        t.train(Addr::new(0x1000), Addr::new(0x8100));
+        t.train(Addr::new(0x1000), Addr::new(0x8180));
+        let info = t.info(Addr::new(0x1000), Addr::new(0)).unwrap();
+        assert_eq!(info.stride, 128);
+    }
+
+    #[test]
+    fn confidence_tracks_predictability() {
+        let mut t = StrideTable::paper_baseline();
+        train_seq(
+            &mut t,
+            0x2000,
+            &[0x100, 0x140, 0x180, 0x1c0, 0x200, 0x240, 0x280],
+        );
+        let steady = t.info(Addr::new(0x2000), Addr::new(0)).unwrap();
+        assert!(steady.confidence >= 3, "confidence = {}", steady.confidence);
+        assert!(steady.predicted_streak >= 3);
+
+        // A run of unpredictable addresses drives confidence back down.
+        let mut chaos = 0x9000u64;
+        for i in 0..8 {
+            chaos = chaos.wrapping_mul(2862933555777941757).wrapping_add(3037000493 + i);
+            let out = t.train(Addr::new(0x2000), Addr::new(chaos & 0xffff_fff8));
+            t.confirm(Addr::new(0x2000), out.stride_correct);
+        }
+        let after = t.info(Addr::new(0x2000), Addr::new(0)).unwrap();
+        assert_eq!(after.predicted_streak, 0);
+        assert!(after.confidence <= 1, "confidence {}", after.confidence);
+    }
+
+    #[test]
+    fn cold_entry_reports_cold() {
+        let mut t = StrideTable::paper_baseline();
+        let out = t.train(Addr::new(0x3000), Addr::new(0x100));
+        assert!(out.cold);
+        assert_eq!(out.prev_addr, None);
+        let out = t.train(Addr::new(0x3000), Addr::new(0x140));
+        assert!(!out.cold);
+        assert_eq!(out.prev_addr, Some(Addr::new(0x100)));
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere() {
+        let mut t = StrideTable::paper_baseline();
+        train_seq(&mut t, 0x1000, &[0x8000, 0x8040, 0x8080]);
+        train_seq(&mut t, 0x1004, &[0x20, 0x30, 0x40]);
+        assert_eq!(t.info(Addr::new(0x1000), Addr::new(0)).unwrap().stride, 0x40);
+        assert_eq!(t.info(Addr::new(0x1004), Addr::new(0)).unwrap().stride, 0x10);
+    }
+
+    #[test]
+    fn capacity_eviction_lru() {
+        // 1 set x 2 ways: third PC evicts the least recently used.
+        let mut t = StrideTable::new(2, 2, 7);
+        t.train(Addr::new(0x1000), Addr::new(0x1));
+        t.train(Addr::new(0x1004), Addr::new(0x2));
+        t.train(Addr::new(0x1000), Addr::new(0x3)); // touch first
+        t.train(Addr::new(0x1008), Addr::new(0x4)); // evicts 0x1004
+        assert!(t.info(Addr::new(0x1000), Addr::new(0)).is_some());
+        assert!(t.info(Addr::new(0x1004), Addr::new(0)).is_none());
+        assert!(t.info(Addr::new(0x1008), Addr::new(0)).is_some());
+    }
+
+    #[test]
+    fn negative_strides_work() {
+        let mut t = StrideTable::paper_baseline();
+        train_seq(&mut t, 0x1000, &[0x9000, 0x8fc0, 0x8f80, 0x8f40]);
+        let info = t.info(Addr::new(0x1000), Addr::new(0)).unwrap();
+        assert_eq!(info.stride, -64);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_geometry_panics() {
+        StrideTable::new(10, 4, 7);
+    }
+}

@@ -1,0 +1,312 @@
+//! A single stream buffer.
+
+use crate::predictor::StreamState;
+use psb_common::{Addr, BlockAddr, Cycle, SatCounter};
+
+/// The lifecycle of one stream-buffer entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SbEntry {
+    /// Free: the next prediction may fill it.
+    Empty,
+    /// Holds a predicted block, "marked as ready for prefetching" but not
+    /// yet sent to memory.
+    Allocated {
+        /// The predicted cache block.
+        block: BlockAddr,
+    },
+    /// Prefetch sent; data arrives at `ready`.
+    InFlight {
+        /// The prefetched cache block.
+        block: BlockAddr,
+        /// Fill completion cycle.
+        ready: Cycle,
+    },
+    /// Data resident in the buffer, waiting for a lookup.
+    Ready {
+        /// The resident cache block.
+        block: BlockAddr,
+    },
+}
+
+impl SbEntry {
+    /// The block this entry tracks, if any.
+    pub fn block(&self) -> Option<BlockAddr> {
+        match *self {
+            SbEntry::Empty => None,
+            SbEntry::Allocated { block }
+            | SbEntry::InFlight { block, .. }
+            | SbEntry::Ready { block } => Some(block),
+        }
+    }
+
+    /// True for [`SbEntry::Empty`].
+    pub fn is_empty(&self) -> bool {
+        matches!(self, SbEntry::Empty)
+    }
+}
+
+/// One stream buffer: a handful of entries plus the per-stream history
+/// that feeds the shared address predictor.
+///
+/// "Each stream buffer holds (1) the PC of the load that caused the
+/// stream buffer to be allocated, (2) the last predicted address for the
+/// load, and (3) any additional prediction information (e.g., history
+/// state or confidence) needed to perform the next address prediction."
+#[derive(Clone, Debug)]
+pub struct StreamBuffer {
+    /// Whether the buffer currently follows a stream.
+    active: bool,
+    /// The per-stream prediction state.
+    state: StreamState,
+    /// The priority counter used for scheduling and allocation decisions.
+    priority: SatCounter,
+    entries: Vec<SbEntry>,
+    /// Stamp of the last lookup hit or allocation (for LRU victim choice).
+    last_touch: u64,
+    /// Stamp of the last (re)allocation (for FIFO victim choice).
+    last_alloc: u64,
+    /// Stamp of the last time this buffer won a port (for LRU scheduling
+    /// tie-breaks).
+    last_service: u64,
+}
+
+impl StreamBuffer {
+    /// Creates an inactive buffer with `entries` slots and a priority
+    /// counter saturating at `priority_max`.
+    pub fn new(entries: usize, priority_max: u32) -> Self {
+        assert!(entries > 0, "a stream buffer needs at least one entry");
+        StreamBuffer {
+            active: false,
+            state: StreamState::new(Addr::new(0), Addr::new(0), 0),
+            priority: SatCounter::new(priority_max),
+            entries: vec![SbEntry::Empty; entries],
+            last_touch: 0,
+            last_alloc: 0,
+            last_service: 0,
+        }
+    }
+
+    /// (Re)allocates the buffer to a new stream: clears all entries, sets
+    /// the stream state and seeds the priority counter with the load's
+    /// accuracy confidence ("when a stream buffer is allocated, the
+    /// accuracy confidence is copied into the stream buffer's priority
+    /// counter").
+    pub fn reallocate(&mut self, pc: Addr, addr: Addr, stride: i64, confidence: u32, stamp: u64) {
+        self.active = true;
+        self.state = StreamState::new(pc, addr, stride);
+        self.priority.set(confidence);
+        self.entries.fill(SbEntry::Empty);
+        self.last_touch = stamp;
+        self.last_alloc = stamp;
+    }
+
+    /// Whether the buffer follows a stream.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The per-stream prediction state (mutable: the predictor advances
+    /// it).
+    pub fn state_mut(&mut self) -> &mut StreamState {
+        &mut self.state
+    }
+
+    /// The per-stream prediction state.
+    pub fn state(&self) -> &StreamState {
+        &self.state
+    }
+
+    /// Current priority counter value.
+    pub fn priority(&self) -> u32 {
+        self.priority.get()
+    }
+
+    /// Bumps priority by the per-hit bonus.
+    pub fn reward(&mut self, bonus: u32) {
+        self.priority.inc_by(bonus);
+    }
+
+    /// Ages the priority counter by one.
+    pub fn age(&mut self) {
+        self.priority.dec();
+    }
+
+    /// Stamp of the most recent hit/allocation.
+    pub fn last_touch(&self) -> u64 {
+        self.last_touch
+    }
+
+    /// Stamp of the most recent (re)allocation.
+    pub fn last_alloc(&self) -> u64 {
+        self.last_alloc
+    }
+
+    /// Records a touch (hit) at `stamp`.
+    pub fn touch(&mut self, stamp: u64) {
+        self.last_touch = stamp;
+    }
+
+    /// Stamp of the most recent port grant.
+    pub fn last_service(&self) -> u64 {
+        self.last_service
+    }
+
+    /// Records a port grant at `stamp`.
+    pub fn serviced(&mut self, stamp: u64) {
+        self.last_service = stamp;
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[SbEntry] {
+        &self.entries
+    }
+
+    /// Index of the first empty entry, if any.
+    pub fn first_empty(&self) -> Option<usize> {
+        self.entries.iter().position(SbEntry::is_empty)
+    }
+
+    /// Index of the first entry awaiting a prefetch, if any.
+    pub fn first_allocated(&self) -> Option<usize> {
+        self.entries.iter().position(|e| matches!(e, SbEntry::Allocated { .. }))
+    }
+
+    /// True if the buffer can accept a new prediction.
+    pub fn can_predict(&self) -> bool {
+        self.active && self.first_empty().is_some()
+    }
+
+    /// True if the buffer has a prediction waiting to be prefetched.
+    pub fn can_prefetch(&self) -> bool {
+        self.active && self.first_allocated().is_some()
+    }
+
+    /// Finds the entry holding `block`, if any.
+    pub fn find(&self, block: BlockAddr) -> Option<usize> {
+        self.entries.iter().position(|e| e.block() == Some(block))
+    }
+
+    /// Overwrites entry `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_entry(&mut self, idx: usize, entry: SbEntry) {
+        self.entries[idx] = entry;
+    }
+
+    /// Converts in-flight entries whose data has arrived by `now` into
+    /// ready entries.
+    pub fn promote_arrived(&mut self, now: Cycle) {
+        for e in &mut self.entries {
+            if let SbEntry::InFlight { block, ready } = *e {
+                if ready <= now {
+                    *e = SbEntry::Ready { block };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf() -> StreamBuffer {
+        StreamBuffer::new(4, 12)
+    }
+
+    #[test]
+    fn starts_inactive_and_empty() {
+        let b = buf();
+        assert!(!b.is_active());
+        assert!(!b.can_predict());
+        assert!(!b.can_prefetch());
+        assert_eq!(b.first_empty(), Some(0));
+    }
+
+    #[test]
+    fn reallocate_seeds_priority_from_confidence() {
+        let mut b = buf();
+        b.reallocate(Addr::new(0x100), Addr::new(0x8000), 64, 5, 7);
+        assert!(b.is_active());
+        assert_eq!(b.priority(), 5);
+        assert_eq!(b.state().pc, Addr::new(0x100));
+        assert_eq!(b.state().last_addr, Addr::new(0x8000));
+        assert_eq!(b.state().stride, 64);
+        assert_eq!(b.last_touch(), 7);
+        assert!(b.can_predict());
+    }
+
+    #[test]
+    fn entry_lifecycle() {
+        let mut b = buf();
+        b.reallocate(Addr::new(0), Addr::new(0), 32, 0, 0);
+        let blk = BlockAddr(0x40);
+        let idx = b.first_empty().unwrap();
+        b.set_entry(idx, SbEntry::Allocated { block: blk });
+        assert!(b.can_prefetch());
+        assert_eq!(b.find(blk), Some(idx));
+
+        b.set_entry(idx, SbEntry::InFlight { block: blk, ready: Cycle::new(100) });
+        assert!(!b.can_prefetch());
+        b.promote_arrived(Cycle::new(99));
+        assert!(matches!(b.entries()[idx], SbEntry::InFlight { .. }));
+        b.promote_arrived(Cycle::new(100));
+        assert_eq!(b.entries()[idx], SbEntry::Ready { block: blk });
+
+        b.set_entry(idx, SbEntry::Empty);
+        assert!(b.can_predict());
+    }
+
+    #[test]
+    fn full_buffer_stops_predicting() {
+        let mut b = buf();
+        b.reallocate(Addr::new(0), Addr::new(0), 32, 0, 0);
+        for i in 0..4 {
+            let idx = b.first_empty().unwrap();
+            b.set_entry(idx, SbEntry::Allocated { block: BlockAddr(i as u64) });
+        }
+        assert!(!b.can_predict(), "all entries predicted: no more until a hit or realloc");
+        assert!(b.can_prefetch());
+    }
+
+    #[test]
+    fn reward_and_age_saturate() {
+        let mut b = buf();
+        b.reallocate(Addr::new(0), Addr::new(0), 32, 11, 0);
+        b.reward(2);
+        assert_eq!(b.priority(), 12, "saturates at 12");
+        for _ in 0..20 {
+            b.age();
+        }
+        assert_eq!(b.priority(), 0);
+    }
+
+    #[test]
+    fn reallocate_clears_entries() {
+        let mut b = buf();
+        b.reallocate(Addr::new(0), Addr::new(0), 32, 0, 0);
+        b.set_entry(0, SbEntry::Ready { block: BlockAddr(9) });
+        b.reallocate(Addr::new(4), Addr::new(0x100), -32, 3, 1);
+        assert!(b.entries().iter().all(SbEntry::is_empty));
+        assert_eq!(b.find(BlockAddr(9)), None);
+    }
+
+    #[test]
+    fn entry_block_accessor() {
+        assert_eq!(SbEntry::Empty.block(), None);
+        assert_eq!(SbEntry::Allocated { block: BlockAddr(3) }.block(), Some(BlockAddr(3)));
+        assert_eq!(
+            SbEntry::InFlight { block: BlockAddr(4), ready: Cycle::ZERO }.block(),
+            Some(BlockAddr(4))
+        );
+        assert_eq!(SbEntry::Ready { block: BlockAddr(5) }.block(), Some(BlockAddr(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        StreamBuffer::new(0, 12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Stream-buffer configuration.
+
+/// Stream-buffer allocation filtering policy (Section 4.3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AllocFilter {
+    /// Allocate on every miss (Jouppi's original design).
+    None,
+    /// The two-miss filter: allocate only when the load "has two cache
+    /// misses in a row" that the predictor handled — identical strides
+    /// for PC-stride, correct predictions for SFM.
+    TwoMiss,
+    /// Confidence allocation: the load's accuracy confidence must reach
+    /// the threshold *and* beat some buffer's priority counter.
+    Confidence {
+        /// Minimum accuracy confidence to contend for a buffer
+        /// (the paper found 1 appropriate).
+        threshold: u32,
+    },
+}
+
+/// How buffers contend for the shared predictor port and the L1↔L2 bus
+/// (Section 4.4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// "giving each buffer an equal chance at performing a prediction or
+    /// prefetch" via rotating pointers.
+    RoundRobin,
+    /// Priority counters: highest counter first, LRU among ties.
+    Priority,
+}
+
+/// Full configuration of a stream-buffer file.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SbConfig {
+    /// Number of stream buffers (8 in the paper).
+    pub buffers: usize,
+    /// Entries (cache blocks) per buffer (4 in the paper).
+    pub entries_per_buffer: usize,
+    /// Cache block size in bytes.
+    pub block: u64,
+    /// Allocation filter.
+    pub filter: AllocFilter,
+    /// Port/bus scheduling policy.
+    pub scheduler: Scheduler,
+    /// Saturation ceiling of the per-buffer priority counter (12).
+    pub priority_max: u32,
+    /// Priority increment per stream-buffer hit (2).
+    pub hit_bonus: u32,
+    /// Decrement every buffer's priority by 1 after this many allocation
+    /// requests, i.e. L1 misses that also missed the stream buffers (10).
+    pub aging_period: u64,
+}
+
+impl SbConfig {
+    fn paper_base(filter: AllocFilter, scheduler: Scheduler) -> Self {
+        SbConfig {
+            buffers: 8,
+            entries_per_buffer: 4,
+            block: 32,
+            filter,
+            scheduler,
+            priority_max: 12,
+            hit_bonus: 2,
+            aging_period: 10,
+        }
+    }
+
+    /// PSB with the two-miss filter and round-robin scheduling
+    /// ("2Miss-RR").
+    pub fn psb_two_miss_rr() -> Self {
+        Self::paper_base(AllocFilter::TwoMiss, Scheduler::RoundRobin)
+    }
+
+    /// PSB with the two-miss filter and priority scheduling
+    /// ("2Miss-Priority").
+    pub fn psb_two_miss_priority() -> Self {
+        Self::paper_base(AllocFilter::TwoMiss, Scheduler::Priority)
+    }
+
+    /// PSB with confidence allocation and round-robin scheduling
+    /// ("ConfAlloc-RR").
+    pub fn psb_conf_rr() -> Self {
+        Self::paper_base(AllocFilter::Confidence { threshold: 1 }, Scheduler::RoundRobin)
+    }
+
+    /// PSB with confidence allocation and priority scheduling
+    /// ("ConfAlloc-Priority") — the paper's best configuration.
+    pub fn psb_conf_priority() -> Self {
+        Self::paper_base(AllocFilter::Confidence { threshold: 1 }, Scheduler::Priority)
+    }
+
+    /// The PC-stride baseline of Farkas et al.: two-miss filtering,
+    /// round-robin service.
+    pub fn stride_baseline() -> Self {
+        Self::paper_base(AllocFilter::TwoMiss, Scheduler::RoundRobin)
+    }
+
+    /// Jouppi-style sequential stream buffers: no filter, round-robin.
+    pub fn sequential_baseline() -> Self {
+        Self::paper_base(AllocFilter::None, Scheduler::RoundRobin)
+    }
+
+    /// Replaces the allocation filter.
+    pub fn with_filter(mut self, filter: AllocFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Replaces the scheduler.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        let c = SbConfig::psb_conf_priority();
+        assert_eq!(c.buffers, 8);
+        assert_eq!(c.entries_per_buffer, 4);
+        assert_eq!(c.block, 32);
+        assert_eq!(c.priority_max, 12);
+        assert_eq!(c.hit_bonus, 2);
+        assert_eq!(c.aging_period, 10);
+        assert_eq!(c.filter, AllocFilter::Confidence { threshold: 1 });
+        assert_eq!(c.scheduler, Scheduler::Priority);
+    }
+
+    #[test]
+    fn four_paper_variants_differ_only_in_policy() {
+        let a = SbConfig::psb_two_miss_rr();
+        let b = SbConfig::psb_two_miss_priority();
+        let c = SbConfig::psb_conf_rr();
+        let d = SbConfig::psb_conf_priority();
+        assert_eq!(a.filter, AllocFilter::TwoMiss);
+        assert_eq!(a.scheduler, Scheduler::RoundRobin);
+        assert_eq!(b.scheduler, Scheduler::Priority);
+        assert_eq!(c.filter, AllocFilter::Confidence { threshold: 1 });
+        assert_eq!(d.buffers, a.buffers);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SbConfig::stride_baseline()
+            .with_filter(AllocFilter::None)
+            .with_scheduler(Scheduler::Priority);
+        assert_eq!(c.filter, AllocFilter::None);
+        assert_eq!(c.scheduler, Scheduler::Priority);
+    }
+}

@@ -1,0 +1,11 @@
+//! Stream buffers and the predictor-directed prefetch engine.
+
+mod buffer;
+mod config;
+mod engine;
+
+pub use buffer::{SbEntry, StreamBuffer};
+pub use config::{AllocFilter, SbConfig, Scheduler};
+pub use engine::{
+    PsbPrefetcher, SequentialStreamBuffers, StreamEngine, StrideStreamBuffers,
+};

@@ -1,0 +1,187 @@
+//! Property-based tests for the predictors and the stream-buffer engine.
+
+use proptest::prelude::*;
+use psb_common::{Addr, BlockAddr, Cycle};
+use psb_core::{
+    AllocFilter, MarkovTable, PcStridePredictor, Prefetcher, PsbPrefetcher, SbConfig, SbLookup,
+    SfmPredictor, StreamPredictor, StreamState, StrideTable, TestSink,
+};
+
+proptest! {
+    /// A constant-stride training sequence of any base/stride is learned
+    /// exactly by the two-delta table.
+    #[test]
+    fn stride_table_learns_any_constant_stride(
+        pc in (0u64..1 << 30).prop_map(|x| x << 2),
+        base in 0u64..1 << 40,
+        stride in -4096i64..4096,
+        n in 4usize..16,
+    ) {
+        let mut t = StrideTable::paper_baseline();
+        for i in 0..n {
+            t.train(Addr::new(pc), Addr::new(base).offset(stride * i as i64));
+        }
+        let info = t.info(Addr::new(pc), Addr::new(0)).unwrap();
+        prop_assert_eq!(info.stride, stride);
+        prop_assert!(info.stride_streak as usize >= n - 2);
+    }
+
+    /// The Markov table never invents transitions: a prediction implies a
+    /// previous update whose source shares the index and partial tag, and
+    /// the predicted delta is bounded by the configured width.
+    #[test]
+    fn markov_predictions_are_bounded(
+        updates in proptest::collection::vec((0u64..1 << 20, 0u64..1 << 20), 0..128),
+        probe in 0u64..1 << 20,
+    ) {
+        let mut m = MarkovTable::paper_baseline();
+        for (a, b) in &updates {
+            m.update(BlockAddr(*a), BlockAddr(*b));
+        }
+        if let Some(next) = m.predict(BlockAddr(probe)) {
+            let delta = next.delta(BlockAddr(probe));
+            prop_assert!((-32768..=32767).contains(&delta), "delta {} exceeds 16 bits", delta);
+            prop_assert!(!updates.is_empty(), "prediction from an empty table");
+        }
+        prop_assert_eq!(m.updates(), updates.len() as u64);
+    }
+
+    /// Whatever the training history, SFM stream predictions always
+    /// advance the stream state to the address they return.
+    #[test]
+    fn sfm_prediction_advances_state(
+        trains in proptest::collection::vec((0u64..64, 0u64..1 << 24), 0..64),
+        start in 0u64..1 << 24,
+        stride in 32i64..256,
+    ) {
+        let mut p = SfmPredictor::paper_baseline();
+        for (pc, addr) in trains {
+            p.train(Addr::new(pc << 2), Addr::new(addr * 8));
+        }
+        let mut s = StreamState::new(Addr::new(4), Addr::new(start * 8), stride);
+        for _ in 0..8 {
+            let before = s.last_addr;
+            let predicted = p.predict(&mut s).unwrap();
+            prop_assert_eq!(s.last_addr, predicted);
+            prop_assert_ne!(predicted, before, "stride >= 32 never predicts in place");
+        }
+    }
+
+    /// Engine invariants under arbitrary interleavings of training,
+    /// allocation, lookups and ticks: used <= issued, hits <= lookups,
+    /// and no block is ever tracked by two buffers.
+    #[test]
+    fn engine_invariants(
+        events in proptest::collection::vec((0u8..4, 0u64..64, 0u64..1 << 16), 1..256),
+    ) {
+        let mut e = PsbPrefetcher::psb(SbConfig::psb_conf_priority());
+        let mut sink = TestSink::new(20);
+        let mut now = Cycle::ZERO;
+        for (kind, pc, slot) in events {
+            now += 1;
+            let pc = Addr::new(0x1000 + pc * 4);
+            let addr = Addr::new(0x10_0000 + slot * 32);
+            match kind {
+                0 => e.train(now, pc, addr),
+                1 => e.allocate(now, pc, addr),
+                2 => { e.lookup(now, addr); }
+                _ => e.tick(now, &mut sink),
+            }
+            let s = e.stats();
+            prop_assert!(s.used <= s.issued);
+            prop_assert!(s.hits <= s.lookups);
+            prop_assert!(s.predictions >= s.suppressed);
+
+            // Non-overlap: each block tracked at most once.
+            let mut blocks: Vec<u64> = e
+                .buffers()
+                .iter()
+                .flat_map(|b| b.entries().iter().filter_map(|en| en.block()).map(|b| b.0))
+                .collect();
+            let n = blocks.len();
+            blocks.sort_unstable();
+            blocks.dedup();
+            prop_assert_eq!(blocks.len(), n, "duplicate tracked block");
+        }
+    }
+
+    /// A lookup hit always frees the entry: probing the same block again
+    /// without new predictions misses.
+    #[test]
+    fn lookup_hits_consume_entries(laps in 2usize..6, nodes in 8u64..64) {
+        let mut e = PsbPrefetcher::psb(SbConfig::psb_conf_priority());
+        let pc = Addr::new(0x1000);
+        let mut now = Cycle::ZERO;
+        // Strided misses train + allocate.
+        for lap in 0..laps {
+            for i in 0..nodes {
+                now += 3;
+                let addr = Addr::new(0x10_0000 + i * 64 + lap as u64 * nodes * 64);
+                e.train(now, pc, addr);
+                if matches!(e.lookup(now, addr), SbLookup::Miss) {
+                    e.allocate(now, pc, addr);
+                }
+                let mut sink = TestSink::new(1);
+                e.tick(now, &mut sink);
+            }
+        }
+        // Any block currently Ready: hit once, then miss.
+        let ready_block = e.buffers().iter().flat_map(|b| b.entries()).find_map(|en| match en {
+            psb_core::SbEntry::Ready { block } => Some(*block),
+            _ => None,
+        });
+        if let Some(block) = ready_block {
+            let addr = block.base(32);
+            let first = matches!(e.lookup(now + 10, addr), SbLookup::Hit { .. });
+            let second = matches!(e.lookup(now + 11, addr), SbLookup::Miss);
+            prop_assert!(first, "ready block must hit");
+            prop_assert!(second, "hit must free the entry");
+        }
+    }
+
+    /// The PC-stride engine's prefetch addresses, when following an
+    /// established strided load, are exactly the arithmetic sequence.
+    #[test]
+    fn pc_stride_streams_are_arithmetic(
+        base in (0u64..1 << 30).prop_map(|x| x * 64),
+        stride_blocks in 1i64..8,
+    ) {
+        let stride = stride_blocks * 32;
+        let mut e = psb_core::StreamEngine::new(
+            SbConfig::stride_baseline(),
+            PcStridePredictor::paper_baseline(),
+            "prop".to_owned(),
+        );
+        let pc = Addr::new(0x4000);
+        for i in 0..5i64 {
+            e.train(Cycle::ZERO, pc, Addr::new(base).offset(stride * i));
+        }
+        let last = Addr::new(base).offset(stride * 4);
+        e.allocate(Cycle::ZERO, pc, last);
+        let mut sink = TestSink::new(1);
+        for c in 0..12 {
+            e.tick(Cycle::new(c), &mut sink);
+        }
+        prop_assert!(sink.fetched.len() >= 4);
+        for (k, f) in sink.fetched.iter().take(4).enumerate() {
+            let expect = last.offset(stride * (k as i64 + 1)).block_base(32);
+            prop_assert_eq!(*f, expect);
+        }
+    }
+
+    /// Allocation filters: an engine with `AllocFilter::None` allocates on
+    /// every request; the others never allocate more than requested.
+    #[test]
+    fn allocation_counts_are_sane(requests in 1u64..64) {
+        let mut open = psb_core::StreamEngine::new(
+            SbConfig::sequential_baseline().with_filter(AllocFilter::None),
+            PcStridePredictor::paper_baseline(),
+            "open".to_owned(),
+        );
+        for i in 0..requests {
+            open.allocate(Cycle::new(i), Addr::new(0x100 + i * 4), Addr::new(i * 4096));
+        }
+        prop_assert_eq!(open.stats().allocations, requests);
+        prop_assert_eq!(open.stats().alloc_rejected, 0);
+    }
+}

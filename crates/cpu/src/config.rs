@@ -1,0 +1,109 @@
+//! CPU configuration.
+
+use crate::bpred::BpredConfig;
+
+/// Load/store disambiguation policy (Section 6.1 / Figure 11).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Disambiguation {
+    /// Perfect store sets: "loads ... only ... dependent on stores which
+    /// write to the same memory". A load waits only for (and forwards
+    /// from) the youngest older store to the same address.
+    Perfect,
+    /// No disambiguation ("NoDis"): "a load waits to issue until all
+    /// prior stores have issued".
+    WaitForStores,
+}
+
+/// Parameters of the out-of-order core (Section 5.1 of the paper).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions dispatched (renamed + inserted into the ROB) per cycle.
+    pub dispatch_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Load/store queue entries.
+    pub lsq_size: usize,
+    /// Fetch-to-dispatch queue depth.
+    pub fetch_queue_size: usize,
+    /// Branch predictions available per fetch cycle.
+    pub branches_per_fetch: usize,
+    /// Minimum branch misprediction penalty in cycles.
+    pub min_mispredict_penalty: u64,
+    /// Cycles between branch resolution and the first corrected fetch.
+    pub redirect_latency: u64,
+    /// Store-to-load forwarding latency in cycles.
+    pub store_forward_latency: u64,
+    /// Memory disambiguation policy.
+    pub disambiguation: Disambiguation,
+    /// Branch predictor geometry.
+    pub bpred: BpredConfig,
+    /// Instruction-cache block size in bytes (for fetch-stage block
+    /// boundary checks; must match the memory system's L1I geometry).
+    pub icache_block: u64,
+}
+
+impl CpuConfig {
+    /// The paper's baseline 8-wide core: 128-entry ROB, 64-entry LSQ,
+    /// 2 predictions/cycle, 8-cycle minimum misprediction penalty,
+    /// 2-cycle store forwarding, perfect store sets.
+    pub fn baseline() -> Self {
+        CpuConfig {
+            fetch_width: 8,
+            dispatch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            rob_size: 128,
+            lsq_size: 64,
+            fetch_queue_size: 32,
+            branches_per_fetch: 2,
+            min_mispredict_penalty: 8,
+            redirect_latency: 2,
+            store_forward_latency: 2,
+            disambiguation: Disambiguation::Perfect,
+            bpred: BpredConfig::default(),
+            icache_block: 32,
+        }
+    }
+
+    /// Baseline with the disambiguation policy replaced.
+    pub fn with_disambiguation(mut self, d: Disambiguation) -> Self {
+        self.disambiguation = d;
+        self
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let c = CpuConfig::baseline();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.lsq_size, 64);
+        assert_eq!(c.branches_per_fetch, 2);
+        assert_eq!(c.min_mispredict_penalty, 8);
+        assert_eq!(c.store_forward_latency, 2);
+        assert_eq!(c.disambiguation, Disambiguation::Perfect);
+    }
+
+    #[test]
+    fn with_disambiguation_swaps_policy() {
+        let c = CpuConfig::baseline().with_disambiguation(Disambiguation::WaitForStores);
+        assert_eq!(c.disambiguation, Disambiguation::WaitForStores);
+        assert_eq!(c.rob_size, 128);
+    }
+}

@@ -1,0 +1,324 @@
+//! The dynamic instruction record consumed by the timing pipeline.
+//!
+//! The workload generators (crate `psb-workloads`) execute models of the
+//! benchmark programs and emit a stream of [`DynInst`]s — the correct-path
+//! dynamic instruction trace, with true register dependences, effective
+//! addresses for loads/stores, and outcomes for branches. The pipeline in
+//! [`crate::Pipeline`] replays this stream under resource and dependence
+//! constraints.
+
+use psb_common::Addr;
+
+/// An architectural register name.
+///
+/// The trace uses a flat namespace of 64 registers (enough to express the
+/// dependence patterns of the modeled benchmarks; the actual ISA does not
+/// matter to the timing model).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 64;
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= Reg::COUNT`.
+    pub fn new(n: u8) -> Self {
+        assert!((n as usize) < Self::COUNT, "register {n} out of range");
+        Reg(n)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Operation classes, following the paper's functional-unit mix.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Integer ALU operation (also used for address arithmetic and
+    /// compares). 1-cycle latency.
+    IntAlu,
+    /// Integer multiply. 3-cycle latency, pipelined.
+    IntMult,
+    /// Integer divide. 12-cycle latency, unpipelined.
+    IntDiv,
+    /// Floating-point add/sub/convert. 2-cycle latency, pipelined.
+    FpAdd,
+    /// Floating-point multiply. 4-cycle latency, pipelined.
+    FpMult,
+    /// Floating-point divide. 12-cycle latency, unpipelined.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Control transfer (conditional or unconditional; see
+    /// [`BranchKind`]). Executes on an integer ALU.
+    Branch,
+}
+
+/// Functional-unit classes (Section 5.1 of the paper).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// 8 integer ALUs.
+    IntAlu,
+    /// 4 load/store units.
+    LoadStore,
+    /// 2 FP adders.
+    FpAdd,
+    /// 2 integer multiply/divide units.
+    IntMultDiv,
+    /// 2 FP multiply/divide units.
+    FpMultDiv,
+}
+
+impl FuClass {
+    /// All classes, for iteration.
+    pub const ALL: [FuClass; 5] = [
+        FuClass::IntAlu,
+        FuClass::LoadStore,
+        FuClass::FpAdd,
+        FuClass::IntMultDiv,
+        FuClass::FpMultDiv,
+    ];
+}
+
+impl Op {
+    /// The functional-unit class this operation issues to.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            Op::IntAlu | Op::Branch => FuClass::IntAlu,
+            Op::Load | Op::Store => FuClass::LoadStore,
+            Op::FpAdd => FuClass::FpAdd,
+            Op::IntMult | Op::IntDiv => FuClass::IntMultDiv,
+            Op::FpMult | Op::FpDiv => FuClass::FpMultDiv,
+        }
+    }
+
+    /// Execution latency in cycles (for loads, the address-generation part
+    /// only — the memory system adds the rest).
+    pub fn latency(self) -> u64 {
+        match self {
+            Op::IntAlu | Op::Branch | Op::Load | Op::Store => 1,
+            Op::IntMult => 3,
+            Op::FpAdd => 2,
+            Op::FpMult => 4,
+            Op::IntDiv | Op::FpDiv => 12,
+        }
+    }
+
+    /// Whether the functional unit accepts a new operation every cycle
+    /// while this one executes. Divide units are not pipelined.
+    pub fn pipelined(self) -> bool {
+        !matches!(self, Op::IntDiv | Op::FpDiv)
+    }
+
+    /// True for [`Op::Load`].
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::Load)
+    }
+
+    /// True for [`Op::Store`].
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::Store)
+    }
+
+    /// True for memory operations.
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+}
+
+/// Control-transfer subtypes, used by the branch predictor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch.
+    Conditional,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call (pushes the return address on the RAS).
+    Call,
+    /// Return (predicted via the RAS).
+    Return,
+    /// Indirect jump through a register (predicted via the BTB).
+    Indirect,
+}
+
+/// Resolved outcome of a control transfer, known from the trace.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// The subtype.
+    pub kind: BranchKind,
+    /// Whether the branch was taken (always true for non-conditionals).
+    pub taken: bool,
+    /// The target when taken.
+    pub target: Addr,
+}
+
+/// One dynamic (committed-path) instruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DynInst {
+    /// The instruction's address. Consecutive trace records must satisfy
+    /// the program-order invariant: `next.pc == pc + 4` for non-branches
+    /// and not-taken branches, `next.pc == target` for taken branches.
+    pub pc: Addr,
+    /// Operation class.
+    pub op: Op,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// First source register, if any.
+    pub src1: Option<Reg>,
+    /// Second source register, if any.
+    pub src2: Option<Reg>,
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<Addr>,
+    /// Access size in bytes for loads/stores.
+    pub mem_size: u8,
+    /// Outcome for branches.
+    pub branch: Option<BranchInfo>,
+}
+
+impl DynInst {
+    /// A plain integer ALU op `dst <- src1 op src2`.
+    pub fn alu(pc: Addr, dst: Reg, src1: Option<Reg>, src2: Option<Reg>) -> Self {
+        DynInst {
+            pc,
+            op: Op::IntAlu,
+            dst: Some(dst),
+            src1,
+            src2,
+            mem_addr: None,
+            mem_size: 0,
+            branch: None,
+        }
+    }
+
+    /// A load `dst <- mem[addr]`, address formed from `base`.
+    pub fn load(pc: Addr, dst: Reg, base: Option<Reg>, addr: Addr, size: u8) -> Self {
+        DynInst {
+            pc,
+            op: Op::Load,
+            dst: Some(dst),
+            src1: base,
+            src2: None,
+            mem_addr: Some(addr),
+            mem_size: size,
+            branch: None,
+        }
+    }
+
+    /// A store `mem[addr] <- data`, address formed from `base`.
+    pub fn store(pc: Addr, data: Option<Reg>, base: Option<Reg>, addr: Addr, size: u8) -> Self {
+        DynInst {
+            pc,
+            op: Op::Store,
+            dst: None,
+            src1: base,
+            src2: data,
+            mem_addr: Some(addr),
+            mem_size: size,
+            branch: None,
+        }
+    }
+
+    /// A control transfer with a resolved outcome.
+    pub fn branch(pc: Addr, src: Option<Reg>, info: BranchInfo) -> Self {
+        DynInst {
+            pc,
+            op: Op::Branch,
+            dst: None,
+            src1: src,
+            src2: None,
+            mem_addr: None,
+            mem_size: 0,
+            branch: Some(info),
+        }
+    }
+
+    /// The address of the instruction that must follow this one on the
+    /// correct path.
+    pub fn next_pc(&self) -> Addr {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.pc.offset(4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_mapping_matches_paper() {
+        assert_eq!(Op::IntAlu.fu_class(), FuClass::IntAlu);
+        assert_eq!(Op::Branch.fu_class(), FuClass::IntAlu);
+        assert_eq!(Op::Load.fu_class(), FuClass::LoadStore);
+        assert_eq!(Op::Store.fu_class(), FuClass::LoadStore);
+        assert_eq!(Op::IntDiv.fu_class(), FuClass::IntMultDiv);
+        assert_eq!(Op::FpDiv.fu_class(), FuClass::FpMultDiv);
+    }
+
+    #[test]
+    fn latencies_match_paper() {
+        assert_eq!(Op::IntAlu.latency(), 1);
+        assert_eq!(Op::IntMult.latency(), 3);
+        assert_eq!(Op::IntDiv.latency(), 12);
+        assert_eq!(Op::FpAdd.latency(), 2);
+        assert_eq!(Op::FpMult.latency(), 4);
+        assert_eq!(Op::FpDiv.latency(), 12);
+    }
+
+    #[test]
+    fn divides_are_unpipelined() {
+        assert!(!Op::IntDiv.pipelined());
+        assert!(!Op::FpDiv.pipelined());
+        assert!(Op::IntMult.pipelined());
+        assert!(Op::FpMult.pipelined());
+        assert!(Op::IntAlu.pipelined());
+    }
+
+    #[test]
+    fn next_pc_follows_control_flow() {
+        let fall = DynInst::alu(Addr::new(0x100), Reg::new(1), None, None);
+        assert_eq!(fall.next_pc(), Addr::new(0x104));
+
+        let nt = DynInst::branch(
+            Addr::new(0x100),
+            None,
+            BranchInfo { kind: BranchKind::Conditional, taken: false, target: Addr::new(0x200) },
+        );
+        assert_eq!(nt.next_pc(), Addr::new(0x104));
+
+        let t = DynInst::branch(
+            Addr::new(0x100),
+            None,
+            BranchInfo { kind: BranchKind::Conditional, taken: true, target: Addr::new(0x200) },
+        );
+        assert_eq!(t.next_pc(), Addr::new(0x200));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_bounds_checked() {
+        Reg::new(64);
+    }
+
+    #[test]
+    fn constructors_set_mem_fields() {
+        let ld = DynInst::load(Addr::new(0), Reg::new(2), Some(Reg::new(1)), Addr::new(0x80), 8);
+        assert!(ld.op.is_load());
+        assert!(ld.op.is_mem());
+        assert_eq!(ld.mem_addr, Some(Addr::new(0x80)));
+        assert_eq!(ld.mem_size, 8);
+
+        let st = DynInst::store(Addr::new(4), Some(Reg::new(2)), Some(Reg::new(1)), Addr::new(0x88), 8);
+        assert!(st.op.is_store());
+        assert_eq!(st.dst, None);
+    }
+}

@@ -1,0 +1,45 @@
+//! Out-of-order superscalar CPU timing model for the PSB simulator.
+//!
+//! This crate stands in for SimpleScalar's `sim-outorder`: an 8-way
+//! dynamically scheduled core with a gshare-driven fetch unit, a 128-entry
+//! reorder buffer, a 64-entry load/store queue, the paper's functional
+//! unit mix and latencies, a minimum 8-cycle branch misprediction penalty,
+//! 2-cycle store forwarding and selectable memory disambiguation (perfect
+//! store sets or wait-for-all-stores).
+//!
+//! The pipeline is *trace-driven*: it replays the correct-path dynamic
+//! instruction stream produced by a workload generator (crate
+//! `psb-workloads`) while modeling all timing interactions — dependences,
+//! structural hazards, branch mispredictions and the memory system, which
+//! it reaches through the [`MemSystem`] trait.
+//!
+//! # Example
+//!
+//! ```
+//! use psb_common::Addr;
+//! use psb_cpu::{CpuConfig, DynInst, FixedLatencyMemory, Pipeline, Reg};
+//!
+//! let trace = (0..64).map(|i| {
+//!     DynInst::alu(Addr::new(0x1000 + 4 * i), Reg::new((i % 8) as u8), None, None)
+//! });
+//! let mut mem = FixedLatencyMemory::new(1);
+//! let stats = Pipeline::new(CpuConfig::baseline()).run(trace, &mut mem, u64::MAX);
+//! assert_eq!(stats.committed, 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bpred;
+mod config;
+mod fu;
+mod inst;
+mod mem_iface;
+mod pipeline;
+
+pub use bpred::{BpredConfig, BpredStats, BranchPredictor, Prediction};
+pub use config::{CpuConfig, Disambiguation};
+pub use fu::FuPool;
+pub use inst::{BranchInfo, BranchKind, DynInst, FuClass, Op, Reg};
+pub use mem_iface::{FixedLatencyMemory, MemSystem};
+pub use pipeline::{CpuStats, Pipeline};

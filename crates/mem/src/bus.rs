@@ -1,0 +1,154 @@
+//! Single-occupancy, bandwidth-limited buses.
+
+use psb_common::Cycle;
+
+/// A bus that carries one transaction at a time at a fixed bandwidth.
+///
+/// This matches the paper's model: "only one request (miss or prefetch)
+/// can be processed by the bus from the L1 to the L2 cache at a time", and
+/// the stream buffers "only allow prefetches to occur if the L1-L2 bus is
+/// free at the start of any given cycle".
+///
+/// A transaction occupies the bus for `ceil(bytes / bytes_per_cycle)`
+/// cycles starting no earlier than the current cycle and no earlier than
+/// the end of the previous transaction. The accumulated busy time is the
+/// numerator for the utilization figures (Figure 9, Table 2).
+///
+/// # Example
+///
+/// ```
+/// use psb_common::Cycle;
+/// use psb_mem::Bus;
+///
+/// let mut bus = Bus::new(8); // 8 bytes/cycle, like the paper's L1<->L2 bus
+/// let (start, end) = bus.acquire(Cycle::ZERO, 32);
+/// assert_eq!((start, end), (Cycle::new(0), Cycle::new(4)));
+/// assert!(!bus.is_free(Cycle::new(3)));
+/// assert!(bus.is_free(Cycle::new(4)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bus {
+    bytes_per_cycle: u64,
+    free_at: Cycle,
+    busy_cycles: u64,
+    transactions: u64,
+}
+
+impl Bus {
+    /// Creates a bus with the given bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    pub fn new(bytes_per_cycle: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "a bus must move at least one byte per cycle");
+        Bus {
+            bytes_per_cycle,
+            free_at: Cycle::ZERO,
+            busy_cycles: 0,
+            transactions: 0,
+        }
+    }
+
+    /// True if a new transaction could start exactly at `now`.
+    pub fn is_free(&self, now: Cycle) -> bool {
+        self.free_at <= now
+    }
+
+    /// The earliest cycle a new transaction could start.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Cycles needed to move `bytes` over this bus.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes_per_cycle)
+    }
+
+    /// Queues a transaction of `bytes` submitted at `now`. Returns
+    /// `(start, end)`: the transaction occupies `[start, end)` and its data
+    /// is fully transferred at `end`.
+    pub fn acquire(&mut self, now: Cycle, bytes: u64) -> (Cycle, Cycle) {
+        let start = now.max(self.free_at);
+        let end = start + self.transfer_cycles(bytes);
+        self.free_at = end;
+        self.busy_cycles += end - start;
+        self.transactions += 1;
+        (start, end)
+    }
+
+    /// Total cycles the bus has been occupied.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Number of transactions carried.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Utilization in percent over a run of `elapsed` cycles.
+    pub fn utilization_percent(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            100.0 * self.busy_cycles as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_transactions_serialize() {
+        let mut bus = Bus::new(8);
+        let (s1, e1) = bus.acquire(Cycle::ZERO, 32);
+        let (s2, e2) = bus.acquire(Cycle::new(1), 32);
+        assert_eq!((s1, e1), (Cycle::new(0), Cycle::new(4)));
+        assert_eq!((s2, e2), (Cycle::new(4), Cycle::new(8)));
+        assert_eq!(bus.busy_cycles(), 8);
+        assert_eq!(bus.transactions(), 2);
+    }
+
+    #[test]
+    fn idle_gap_not_counted_busy() {
+        let mut bus = Bus::new(4);
+        bus.acquire(Cycle::ZERO, 64); // 16 cycles
+        bus.acquire(Cycle::new(100), 64); // idle 84 cycles in between
+        assert_eq!(bus.busy_cycles(), 32);
+        assert_eq!(bus.utilization_percent(200), 16.0);
+    }
+
+    #[test]
+    fn partial_beat_rounds_up() {
+        let bus = Bus::new(8);
+        assert_eq!(bus.transfer_cycles(1), 1);
+        assert_eq!(bus.transfer_cycles(8), 1);
+        assert_eq!(bus.transfer_cycles(9), 2);
+        assert_eq!(bus.transfer_cycles(64), 8);
+    }
+
+    #[test]
+    fn is_free_boundary() {
+        let mut bus = Bus::new(8);
+        bus.acquire(Cycle::ZERO, 32);
+        assert!(!bus.is_free(Cycle::ZERO));
+        assert!(!bus.is_free(Cycle::new(3)));
+        assert!(bus.is_free(Cycle::new(4)));
+        assert_eq!(bus.free_at(), Cycle::new(4));
+    }
+
+    #[test]
+    fn zero_elapsed_utilization_is_zero() {
+        let bus = Bus::new(8);
+        assert_eq!(bus.utilization_percent(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn zero_bandwidth_panics() {
+        Bus::new(0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Geometry and latency configuration for the memory hierarchy.
+
+/// Geometry of one cache: total size, associativity, block size.
+///
+/// # Example
+///
+/// ```
+/// use psb_mem::CacheConfig;
+/// let l1d = CacheConfig::l1d_32k_4way();
+/// assert_eq!(l1d.num_sets(), 32 * 1024 / (4 * 32));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Number of ways per set.
+    pub assoc: usize,
+    /// Block (line) size in bytes; must be a power of two.
+    pub block: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, non-power-of-two
+    /// block, or size not divisible by `assoc * block`).
+    pub fn new(size: u64, assoc: usize, block: u64) -> Self {
+        assert!(size > 0 && assoc > 0 && block > 0, "zero-sized cache geometry");
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            size.is_multiple_of(assoc as u64 * block),
+            "cache size {size} not divisible by assoc {assoc} x block {block}"
+        );
+        let sets = size / (assoc as u64 * block);
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        CacheConfig { size, assoc, block }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u64 {
+        self.size / (self.assoc as u64 * self.block)
+    }
+
+    /// The paper's baseline L1 data cache: 32 KB, 4-way, 32 B lines.
+    pub fn l1d_32k_4way() -> Self {
+        CacheConfig::new(32 * 1024, 4, 32)
+    }
+
+    /// Figure 10 variant: 32 KB, 2-way, 32 B lines.
+    pub fn l1d_32k_2way() -> Self {
+        CacheConfig::new(32 * 1024, 2, 32)
+    }
+
+    /// Figure 10 variant: 16 KB, 4-way, 32 B lines.
+    pub fn l1d_16k_4way() -> Self {
+        CacheConfig::new(16 * 1024, 4, 32)
+    }
+
+    /// The paper's L1 instruction cache: 32 KB, 2-way, 32 B lines.
+    pub fn l1i_32k_2way() -> Self {
+        CacheConfig::new(32 * 1024, 2, 32)
+    }
+
+    /// The paper's unified L2: 1 MB, 4-way, 64 B lines (associativity is
+    /// not stated in the paper; 4-way is the contemporary convention).
+    pub fn l2_1m() -> Self {
+        CacheConfig::new(1024 * 1024, 4, 64)
+    }
+}
+
+/// Latencies, bandwidths and structural parameters of the full hierarchy.
+///
+/// Defaults ([`MemConfig::baseline`]) reproduce Section 5.1 of the paper.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles (also the stream-buffer lookup latency).
+    pub l1_latency: u64,
+    /// L2 access latency in cycles.
+    pub l2_latency: u64,
+    /// Number of accesses the L2 pipeline can overlap.
+    pub l2_pipeline_depth: u64,
+    /// Main-memory access latency in cycles.
+    pub mem_latency: u64,
+    /// L1↔L2 bus bandwidth in bytes per processor cycle.
+    pub l1_l2_bytes_per_cycle: u64,
+    /// L2↔memory bus bandwidth in bytes per processor cycle.
+    pub l2_mem_bytes_per_cycle: u64,
+    /// Number of L1 data-cache MSHRs.
+    pub l1d_mshrs: usize,
+    /// Data TLB entries.
+    pub dtlb_entries: usize,
+    /// Data TLB associativity.
+    pub dtlb_assoc: usize,
+    /// Data TLB miss penalty in cycles.
+    pub dtlb_miss_latency: u64,
+    /// Page size in bytes.
+    pub page_size: u64,
+}
+
+impl MemConfig {
+    /// The paper's baseline memory system (Section 5.1).
+    pub fn baseline() -> Self {
+        MemConfig {
+            l1d: CacheConfig::l1d_32k_4way(),
+            l1i: CacheConfig::l1i_32k_2way(),
+            l2: CacheConfig::l2_1m(),
+            l1_latency: 1,
+            l2_latency: 12,
+            l2_pipeline_depth: 3,
+            mem_latency: 120,
+            l1_l2_bytes_per_cycle: 8,
+            l2_mem_bytes_per_cycle: 4,
+            l1d_mshrs: 16,
+            dtlb_entries: 128,
+            dtlb_assoc: 4,
+            dtlb_miss_latency: 30,
+            page_size: 8192,
+        }
+    }
+
+    /// Baseline with a different L1D geometry (for the Figure 10 sweep).
+    pub fn with_l1d(mut self, l1d: CacheConfig) -> Self {
+        self.l1d = l1d;
+        self
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::l1d_32k_4way().num_sets(), 256);
+        assert_eq!(CacheConfig::l1d_32k_2way().num_sets(), 512);
+        assert_eq!(CacheConfig::l1d_16k_4way().num_sets(), 128);
+        assert_eq!(CacheConfig::l1i_32k_2way().num_sets(), 512);
+        assert_eq!(CacheConfig::l2_1m().num_sets(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_block() {
+        CacheConfig::new(32 * 1024, 4, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_inconsistent_geometry() {
+        CacheConfig::new(1000, 3, 32);
+    }
+
+    #[test]
+    fn baseline_matches_paper() {
+        let m = MemConfig::baseline();
+        assert_eq!(m.l2_latency, 12);
+        assert_eq!(m.mem_latency, 120);
+        assert_eq!(m.l1_l2_bytes_per_cycle, 8);
+        assert_eq!(m.l2_mem_bytes_per_cycle, 4);
+        assert_eq!(m.l2_pipeline_depth, 3);
+    }
+
+    #[test]
+    fn with_l1d_swaps_geometry() {
+        let m = MemConfig::baseline().with_l1d(CacheConfig::l1d_16k_4way());
+        assert_eq!(m.l1d.size, 16 * 1024);
+        assert_eq!(m.l2, CacheConfig::l2_1m());
+    }
+}

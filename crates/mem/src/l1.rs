@@ -1,0 +1,253 @@
+//! First-level cache with miss tracking.
+
+use crate::{Cache, CacheConfig, CacheStats, Mshr, MshrError};
+use psb_common::{Addr, BlockAddr, Cycle};
+
+/// Outcome of an L1 lookup.
+///
+/// The paper defines a cache miss as "an access to a cache block which is
+/// not currently resident in the cache, i.e. accesses to in-flight data
+/// count as cache misses" — hence the three-way split.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum L1Access {
+    /// The block is resident; data available at `ready`.
+    Hit {
+        /// Completion cycle (lookup latency after the access).
+        ready: Cycle,
+    },
+    /// The block is being filled by an earlier miss; counted as a miss,
+    /// but no new request is needed.
+    InFlight {
+        /// Cycle the outstanding fill completes.
+        ready: Cycle,
+    },
+    /// The block is neither resident nor in flight; the caller must fetch
+    /// it (from a stream buffer or the lower memory system).
+    Miss,
+}
+
+/// An L1 cache: tag array + MSHRs + the paper's miss accounting.
+///
+/// The L1 does not know where fills come from — the simulator routes a
+/// miss to the stream buffers and/or [`LowerMemory`](crate::LowerMemory)
+/// and then calls [`L1Cache::start_fill`] (asynchronous fill through the
+/// MSHRs) or [`L1Cache::install`] (immediate move, used when a stream
+/// buffer already holds the block).
+///
+/// # Example
+///
+/// ```
+/// use psb_common::{Addr, Cycle};
+/// use psb_mem::{CacheConfig, L1Access, L1Cache};
+///
+/// let mut l1 = L1Cache::new(CacheConfig::l1d_32k_4way(), 1, 16);
+/// assert_eq!(l1.lookup(Cycle::ZERO, Addr::new(0x40)), L1Access::Miss);
+/// l1.start_fill(l1.block_of(Addr::new(0x40)), Cycle::new(152)).unwrap();
+/// // While in flight, later accesses are "in-flight misses":
+/// match l1.lookup(Cycle::new(10), Addr::new(0x44)) {
+///     L1Access::InFlight { ready } => assert_eq!(ready, Cycle::new(152)),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// // After completion the fill drains into the tag array:
+/// assert!(matches!(l1.lookup(Cycle::new(200), Addr::new(0x40)), L1Access::Hit { .. }));
+/// ```
+#[derive(Clone, Debug)]
+pub struct L1Cache {
+    cache: Cache,
+    mshr: Mshr,
+    latency: u64,
+    stats: CacheStats,
+    evicted: Vec<BlockAddr>,
+}
+
+impl L1Cache {
+    /// Creates an L1 with the given geometry, hit `latency`, and number of
+    /// MSHRs.
+    pub fn new(config: CacheConfig, latency: u64, mshrs: usize) -> Self {
+        L1Cache {
+            cache: Cache::new(config),
+            mshr: Mshr::new(mshrs),
+            latency,
+            stats: CacheStats::default(),
+            evicted: Vec::new(),
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u64 {
+        self.cache.block_size()
+    }
+
+    /// The block containing `addr`.
+    pub fn block_of(&self, addr: Addr) -> BlockAddr {
+        self.cache.block_of(addr)
+    }
+
+    /// Moves fills that completed by `now` from the MSHRs into the tag
+    /// array. Called implicitly by [`L1Cache::lookup`]; exposed for the
+    /// simulator's per-cycle housekeeping.
+    pub fn drain(&mut self, now: Cycle) {
+        for block in self.mshr.drain_ready(now) {
+            if let Some(victim) = self.cache.insert_block(block) {
+                self.record_eviction(victim);
+            }
+        }
+    }
+
+    /// Queues an eviction for [`L1Cache::take_evicted`], bounded so the
+    /// queue stays small when nobody consumes it (no victim cache).
+    fn record_eviction(&mut self, victim: BlockAddr) {
+        if self.evicted.len() >= 64 {
+            self.evicted.remove(0);
+        }
+        self.evicted.push(victim);
+    }
+
+    /// Performs a demand access at `now`, updating LRU state and the
+    /// hit/miss statistics.
+    pub fn lookup(&mut self, now: Cycle, addr: Addr) -> L1Access {
+        self.drain(now);
+        let block = self.block_of(addr);
+        if self.cache.access_block(block) {
+            self.stats.hits += 1;
+            L1Access::Hit { ready: now + self.latency }
+        } else if let Some(ready) = self.mshr.lookup(block) {
+            self.stats.misses += 1;
+            L1Access::InFlight { ready }
+        } else {
+            self.stats.misses += 1;
+            L1Access::Miss
+        }
+    }
+
+    /// Checks residency without touching LRU or statistics.
+    pub fn probe(&self, addr: Addr) -> bool {
+        self.cache.probe(addr)
+    }
+
+    /// True if `block` is resident or in flight (used to suppress
+    /// redundant prefetches).
+    pub fn covers_block(&self, block: BlockAddr) -> bool {
+        self.cache.probe_block(block) || self.mshr.contains(block)
+    }
+
+    /// Starts an asynchronous fill of `block` completing at `ready`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrError::Full`] if no MSHR is free; the caller must
+    /// retry (a structural stall).
+    pub fn start_fill(&mut self, block: BlockAddr, ready: Cycle) -> Result<(), MshrError> {
+        self.mshr.allocate(block, ready)
+    }
+
+    /// Immediately installs the block containing `addr` (a move from a
+    /// stream buffer). Returns the evicted block, if any (also queued
+    /// for [`L1Cache::take_evicted`]).
+    pub fn install(&mut self, addr: Addr) -> Option<BlockAddr> {
+        let victim = self.cache.insert(addr);
+        if let Some(v) = victim {
+            self.record_eviction(v);
+        }
+        victim
+    }
+
+    /// Drains the queue of blocks this cache has evicted since the last
+    /// call — the feed for a victim cache.
+    pub fn take_evicted(&mut self) -> Vec<BlockAddr> {
+        std::mem::take(&mut self.evicted)
+    }
+
+    /// True if every MSHR is occupied.
+    pub fn mshrs_full(&self) -> bool {
+        self.mshr.is_full()
+    }
+
+    /// Number of fills currently outstanding.
+    pub fn fills_in_flight(&self) -> usize {
+        self.mshr.in_flight()
+    }
+
+    /// Hit/miss statistics (in-flight accesses counted as misses).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The L1 hit latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> L1Cache {
+        L1Cache::new(CacheConfig::new(1024, 2, 32), 1, 4)
+    }
+
+    #[test]
+    fn miss_fill_hit_lifecycle() {
+        let mut c = l1();
+        let a = Addr::new(0x200);
+        assert_eq!(c.lookup(Cycle::ZERO, a), L1Access::Miss);
+        c.start_fill(c.block_of(a), Cycle::new(50)).unwrap();
+        assert_eq!(
+            c.lookup(Cycle::new(10), a),
+            L1Access::InFlight { ready: Cycle::new(50) }
+        );
+        assert_eq!(
+            c.lookup(Cycle::new(50), a),
+            L1Access::Hit { ready: Cycle::new(51) }
+        );
+        // Two misses (cold + in-flight), one hit.
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn install_is_immediate() {
+        let mut c = l1();
+        let a = Addr::new(0x400);
+        c.install(a);
+        assert!(matches!(c.lookup(Cycle::ZERO, a), L1Access::Hit { .. }));
+    }
+
+    #[test]
+    fn covers_block_sees_inflight_and_resident() {
+        let mut c = l1();
+        let a = Addr::new(0x600);
+        let b = c.block_of(a);
+        assert!(!c.covers_block(b));
+        c.start_fill(b, Cycle::new(100)).unwrap();
+        assert!(c.covers_block(b));
+        c.drain(Cycle::new(100));
+        assert!(c.covers_block(b));
+        assert_eq!(c.fills_in_flight(), 0);
+    }
+
+    #[test]
+    fn mshr_capacity_limits_fills() {
+        let mut c = l1();
+        for i in 0..4u64 {
+            c.start_fill(BlockAddr(100 + i), Cycle::new(1000)).unwrap();
+        }
+        assert!(c.mshrs_full());
+        assert_eq!(
+            c.start_fill(BlockAddr(999), Cycle::new(1000)),
+            Err(MshrError::Full)
+        );
+    }
+
+    #[test]
+    fn probe_neutral() {
+        let mut c = l1();
+        let a = Addr::new(0x40);
+        c.install(a);
+        let before = c.stats();
+        assert!(c.probe(a));
+        assert!(!c.probe(Addr::new(0x4000)));
+        assert_eq!(c.stats(), before);
+    }
+}

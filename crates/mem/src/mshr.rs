@@ -1,0 +1,183 @@
+//! Miss status holding registers.
+
+use psb_common::{BlockAddr, Cycle};
+use std::collections::HashMap;
+
+/// Why an MSHR allocation failed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MshrError {
+    /// All registers are occupied; the miss must retry later.
+    Full,
+}
+
+impl std::fmt::Display for MshrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MshrError::Full => write!(f, "all miss status holding registers are occupied"),
+        }
+    }
+}
+
+impl std::error::Error for MshrError {}
+
+/// A file of miss status holding registers.
+///
+/// Each entry records one in-flight cache block and the cycle at which its
+/// fill completes. Secondary misses to the same block merge into the
+/// existing entry ([`Mshr::lookup`] returns the pending completion time).
+/// The owner drains completed entries with [`Mshr::drain_ready`], inserting
+/// the returned blocks into its cache.
+///
+/// # Example
+///
+/// ```
+/// use psb_common::{BlockAddr, Cycle};
+/// use psb_mem::Mshr;
+///
+/// let mut m = Mshr::new(4);
+/// m.allocate(BlockAddr(7), Cycle::new(100)).unwrap();
+/// assert_eq!(m.lookup(BlockAddr(7)), Some(Cycle::new(100)));
+/// let done = m.drain_ready(Cycle::new(100));
+/// assert_eq!(done, vec![BlockAddr(7)]);
+/// assert_eq!(m.lookup(BlockAddr(7)), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mshr {
+    capacity: usize,
+    pending: HashMap<BlockAddr, Cycle>,
+}
+
+impl Mshr {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one register");
+        Mshr {
+            capacity,
+            pending: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Returns the completion time of an in-flight block, if any.
+    pub fn lookup(&self, block: BlockAddr) -> Option<Cycle> {
+        self.pending.get(&block).copied()
+    }
+
+    /// True if `block` is currently in flight.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.pending.contains_key(&block)
+    }
+
+    /// Allocates a register for `block`, completing at `ready`.
+    ///
+    /// If the block is already in flight this merges (keeping the earlier
+    /// completion time) and costs no new register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrError::Full`] when no register is free.
+    pub fn allocate(&mut self, block: BlockAddr, ready: Cycle) -> Result<(), MshrError> {
+        if let Some(existing) = self.pending.get_mut(&block) {
+            if ready < *existing {
+                *existing = ready;
+            }
+            return Ok(());
+        }
+        if self.pending.len() >= self.capacity {
+            return Err(MshrError::Full);
+        }
+        self.pending.insert(block, ready);
+        Ok(())
+    }
+
+    /// Removes and returns every block whose fill has completed by `now`,
+    /// in deterministic (completion time, block) order.
+    pub fn drain_ready(&mut self, now: Cycle) -> Vec<BlockAddr> {
+        let mut done: Vec<(Cycle, BlockAddr)> = self
+            .pending
+            .iter()
+            .filter(|(_, &ready)| ready <= now)
+            .map(|(&b, &ready)| (ready, b))
+            .collect();
+        done.sort_unstable();
+        for (_, b) in &done {
+            self.pending.remove(b);
+        }
+        done.into_iter().map(|(_, b)| b).collect()
+    }
+
+    /// Number of occupied registers.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no register is free.
+    pub fn is_full(&self) -> bool {
+        self.pending.len() >= self.capacity
+    }
+
+    /// Total number of registers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_lookup_drain() {
+        let mut m = Mshr::new(2);
+        m.allocate(BlockAddr(1), Cycle::new(10)).unwrap();
+        m.allocate(BlockAddr(2), Cycle::new(20)).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.lookup(BlockAddr(1)), Some(Cycle::new(10)));
+        assert_eq!(m.drain_ready(Cycle::new(5)), vec![]);
+        assert_eq!(m.drain_ready(Cycle::new(15)), vec![BlockAddr(1)]);
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.drain_ready(Cycle::new(25)), vec![BlockAddr(2)]);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn full_rejects() {
+        let mut m = Mshr::new(1);
+        m.allocate(BlockAddr(1), Cycle::new(10)).unwrap();
+        assert_eq!(m.allocate(BlockAddr(2), Cycle::new(10)), Err(MshrError::Full));
+        // Same block merges even when full.
+        assert_eq!(m.allocate(BlockAddr(1), Cycle::new(30)), Ok(()));
+    }
+
+    #[test]
+    fn merge_keeps_earlier_completion() {
+        let mut m = Mshr::new(4);
+        m.allocate(BlockAddr(9), Cycle::new(50)).unwrap();
+        m.allocate(BlockAddr(9), Cycle::new(40)).unwrap();
+        assert_eq!(m.lookup(BlockAddr(9)), Some(Cycle::new(40)));
+        m.allocate(BlockAddr(9), Cycle::new(60)).unwrap();
+        assert_eq!(m.lookup(BlockAddr(9)), Some(Cycle::new(40)));
+        assert_eq!(m.in_flight(), 1);
+    }
+
+    #[test]
+    fn drain_order_is_deterministic() {
+        let mut m = Mshr::new(8);
+        m.allocate(BlockAddr(5), Cycle::new(10)).unwrap();
+        m.allocate(BlockAddr(3), Cycle::new(10)).unwrap();
+        m.allocate(BlockAddr(4), Cycle::new(9)).unwrap();
+        assert_eq!(
+            m.drain_ready(Cycle::new(10)),
+            vec![BlockAddr(4), BlockAddr(3), BlockAddr(5)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_capacity_panics() {
+        Mshr::new(0);
+    }
+}

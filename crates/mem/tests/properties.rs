@@ -1,0 +1,185 @@
+//! Property-based tests for the memory-hierarchy components, checked
+//! against simple reference models.
+
+use proptest::prelude::*;
+use psb_common::{Addr, BlockAddr, Cycle};
+use psb_mem::{Bus, Cache, CacheConfig, Mshr, ThroughputPipe};
+
+/// A reference model of a set-associative LRU cache: per-set vectors in
+/// recency order.
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    num_sets: u64,
+}
+
+impl RefCache {
+    fn new(num_sets: u64, assoc: usize) -> Self {
+        RefCache { sets: vec![Vec::new(); num_sets as usize], assoc, num_sets }
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.num_sets) as usize
+    }
+
+    fn probe(&self, block: u64) -> bool {
+        self.sets[self.set_of(block)].contains(&block)
+    }
+
+    fn access(&mut self, block: u64) -> bool {
+        let s = self.set_of(block);
+        if let Some(pos) = self.sets[s].iter().position(|&b| b == block) {
+            let b = self.sets[s].remove(pos);
+            self.sets[s].push(b);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, block: u64) -> Option<u64> {
+        let s = self.set_of(block);
+        if self.access(block) {
+            return None;
+        }
+        let evicted = if self.sets[s].len() == self.assoc {
+            Some(self.sets[s].remove(0))
+        } else {
+            None
+        };
+        self.sets[s].push(block);
+        evicted
+    }
+}
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Access(u64),
+    Insert(u64),
+    Probe(u64),
+    Invalidate(u64),
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..64).prop_map(CacheOp::Access),
+            (0u64..64).prop_map(CacheOp::Insert),
+            (0u64..64).prop_map(CacheOp::Probe),
+            (0u64..64).prop_map(CacheOp::Invalidate),
+        ],
+        0..256,
+    )
+}
+
+proptest! {
+    /// The tag array agrees with a straightforward LRU reference model on
+    /// arbitrary operation sequences.
+    #[test]
+    fn cache_matches_reference(ops in cache_ops()) {
+        // 4 sets x 2 ways x 32B blocks.
+        let mut cache = Cache::new(CacheConfig::new(256, 2, 32));
+        let mut reference = RefCache::new(4, 2);
+        for op in ops {
+            match op {
+                CacheOp::Access(b) => {
+                    prop_assert_eq!(
+                        cache.access_block(BlockAddr(b)),
+                        reference.access(b),
+                        "access {}", b
+                    );
+                }
+                CacheOp::Insert(b) => {
+                    let got = cache.insert_block(BlockAddr(b));
+                    let want = reference.insert(b);
+                    prop_assert_eq!(got.map(|x| x.0), want, "insert {}", b);
+                }
+                CacheOp::Probe(b) => {
+                    prop_assert_eq!(cache.probe_block(BlockAddr(b)), reference.probe(b));
+                }
+                CacheOp::Invalidate(b) => {
+                    let addr = Addr::new(b * 32);
+                    let was = reference.probe(b);
+                    prop_assert_eq!(cache.invalidate(addr), was);
+                    if was {
+                        let s = reference.set_of(b);
+                        reference.sets[s].retain(|&x| x != b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Occupancy never exceeds capacity and matches insert/invalidate
+    /// history at the reference level.
+    #[test]
+    fn cache_occupancy_bounded(blocks in proptest::collection::vec(0u64..1024, 0..512)) {
+        let mut cache = Cache::new(CacheConfig::new(1024, 4, 32));
+        for b in blocks {
+            cache.insert_block(BlockAddr(b));
+            prop_assert!(cache.occupancy() <= cache.capacity_lines());
+        }
+    }
+
+    /// MSHR: in-flight count is conserved; drained blocks were allocated
+    /// and are gone afterwards.
+    #[test]
+    fn mshr_conservation(
+        allocs in proptest::collection::vec((0u64..32, 1u64..1000), 0..64),
+        drain_at in 0u64..1200,
+    ) {
+        let mut m = Mshr::new(64);
+        let mut expected = std::collections::HashMap::new();
+        for (b, ready) in allocs {
+            m.allocate(BlockAddr(b), Cycle::new(ready)).unwrap();
+            let e = expected.entry(b).or_insert(ready);
+            *e = (*e).min(ready);
+        }
+        prop_assert_eq!(m.in_flight(), expected.len());
+        let drained = m.drain_ready(Cycle::new(drain_at));
+        for b in &drained {
+            prop_assert!(expected[&b.0] <= drain_at);
+        }
+        let remaining: Vec<_> = expected.values().filter(|&&r| r > drain_at).collect();
+        prop_assert_eq!(m.in_flight(), remaining.len());
+    }
+
+    /// Bus: transactions never overlap, start no earlier than requested,
+    /// and busy time equals the sum of transfer times.
+    #[test]
+    fn bus_no_overlap(reqs in proptest::collection::vec((0u64..1000, 1u64..256), 1..64)) {
+        let mut bus = Bus::new(8);
+        let mut reqs = reqs;
+        reqs.sort_by_key(|&(t, _)| t);
+        let mut last_end = Cycle::ZERO;
+        let mut total = 0;
+        for (t, bytes) in reqs {
+            let (start, end) = bus.acquire(Cycle::new(t), bytes);
+            prop_assert!(start >= Cycle::new(t));
+            prop_assert!(start >= last_end, "transactions must not overlap");
+            prop_assert_eq!(end.since(start), bytes.div_ceil(8));
+            total += end.since(start);
+            last_end = end;
+        }
+        prop_assert_eq!(bus.busy_cycles(), total);
+    }
+
+    /// Pipelined port: completions are monotone in submission order and
+    /// respect both latency and initiation interval.
+    #[test]
+    fn pipe_ordering(times in proptest::collection::vec(0u64..500, 1..64)) {
+        let mut pipe = ThroughputPipe::new(12, 3);
+        let mut times = times;
+        times.sort_unstable();
+        let mut prev_done = Cycle::ZERO;
+        for t in times {
+            let done = pipe.access(Cycle::new(t));
+            prop_assert!(done.since(Cycle::new(t)) >= 12, "full latency always paid");
+            prop_assert!(done >= prev_done, "in-order completion");
+            if prev_done > Cycle::ZERO {
+                prop_assert!(done.since(Cycle::ZERO) >= prev_done.since(Cycle::ZERO));
+            }
+            prev_done = done;
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Whole-machine configuration.
+
+use psb_core::{
+    DemandMarkovPrefetcher, FetchDirectedPrefetcher, NextLinePrefetcher, NoPrefetch,
+    Prefetcher, PsbPrefetcher, SbConfig, SequentialStreamBuffers, StrideStreamBuffers,
+};
+use psb_cpu::{CpuConfig, Disambiguation};
+use psb_mem::{CacheConfig, MemConfig};
+
+/// Which prefetcher sits beside the L1 data cache.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PrefetcherKind {
+    /// No prefetching (the paper's `Base`).
+    None,
+    /// Jouppi-style sequential stream buffers (historical baseline).
+    Sequential,
+    /// Smith's next-line prefetching (demand-based baseline, Section 3.2).
+    NextLine,
+    /// Joseph & Grunwald's demand Markov prefetcher (Section 3.2).
+    DemandMarkov,
+    /// Chen & Baer-style fetch-stream stride prefetching (Section 3.1).
+    FetchDirected,
+    /// PC-stride stream buffers of Farkas et al. (the paper's
+    /// "PC-stride" comparison point).
+    PcStride,
+    /// PSB, two-miss filter, round-robin scheduling ("2Miss-RR").
+    Psb2MissRr,
+    /// PSB, two-miss filter, priority scheduling ("2Miss-Priority").
+    Psb2MissPriority,
+    /// PSB, confidence allocation, round-robin ("ConfAlloc-RR").
+    PsbConfRr,
+    /// PSB, confidence allocation, priority scheduling
+    /// ("ConfAlloc-Priority") — the paper's best configuration.
+    PsbConfPriority,
+}
+
+impl PrefetcherKind {
+    /// The six configurations of Figures 5–9, in reporting order.
+    pub const PAPER: [PrefetcherKind; 6] = [
+        PrefetcherKind::None,
+        PrefetcherKind::PcStride,
+        PrefetcherKind::Psb2MissRr,
+        PrefetcherKind::Psb2MissPriority,
+        PrefetcherKind::PsbConfRr,
+        PrefetcherKind::PsbConfPriority,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "Base",
+            PrefetcherKind::Sequential => "Sequential",
+            PrefetcherKind::NextLine => "Next-Line",
+            PrefetcherKind::DemandMarkov => "Demand-Markov",
+            PrefetcherKind::FetchDirected => "Fetch-Directed",
+            PrefetcherKind::PcStride => "PC-stride",
+            PrefetcherKind::Psb2MissRr => "2Miss-RR",
+            PrefetcherKind::Psb2MissPriority => "2Miss-Priority",
+            PrefetcherKind::PsbConfRr => "ConfAlloc-RR",
+            PrefetcherKind::PsbConfPriority => "ConfAlloc-Priority",
+        }
+    }
+
+    /// Instantiates the prefetch engine.
+    pub fn build(self) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherKind::None => Box::new(NoPrefetch::new()),
+            PrefetcherKind::Sequential => Box::new(SequentialStreamBuffers::sequential()),
+            PrefetcherKind::NextLine => Box::new(NextLinePrefetcher::new(32, 16)),
+            PrefetcherKind::DemandMarkov => Box::new(DemandMarkovPrefetcher::baseline()),
+            PrefetcherKind::FetchDirected => Box::new(FetchDirectedPrefetcher::baseline()),
+            PrefetcherKind::PcStride => Box::new(StrideStreamBuffers::pc_stride()),
+            PrefetcherKind::Psb2MissRr => {
+                Box::new(PsbPrefetcher::psb(SbConfig::psb_two_miss_rr()))
+            }
+            PrefetcherKind::Psb2MissPriority => {
+                Box::new(PsbPrefetcher::psb(SbConfig::psb_two_miss_priority()))
+            }
+            PrefetcherKind::PsbConfRr => Box::new(PsbPrefetcher::psb(SbConfig::psb_conf_rr())),
+            PrefetcherKind::PsbConfPriority => {
+                Box::new(PsbPrefetcher::psb(SbConfig::psb_conf_priority()))
+            }
+        }
+    }
+}
+
+/// Full machine configuration: core, memory hierarchy, prefetcher.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Out-of-order core parameters.
+    pub cpu: CpuConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// Prefetcher selection.
+    pub prefetcher: PrefetcherKind,
+    /// Victim-cache entries beside the L1D (0 disables it, the paper's
+    /// configuration; nonzero enables the `ablate_victim` comparison).
+    pub victim_entries: usize,
+}
+
+impl MachineConfig {
+    /// The paper's baseline machine (Section 5.1) with no prefetching.
+    pub fn baseline() -> Self {
+        MachineConfig {
+            cpu: CpuConfig::baseline(),
+            mem: MemConfig::baseline(),
+            prefetcher: PrefetcherKind::None,
+            victim_entries: 0,
+        }
+    }
+
+    /// Adds an N-entry victim cache beside the L1D.
+    pub fn with_victim_cache(mut self, entries: usize) -> Self {
+        self.victim_entries = entries;
+        self
+    }
+
+    /// Swaps the prefetcher.
+    pub fn with_prefetcher(mut self, kind: PrefetcherKind) -> Self {
+        self.prefetcher = kind;
+        self
+    }
+
+    /// Swaps the L1 data-cache geometry (Figure 10 sweep).
+    pub fn with_l1d(mut self, l1d: CacheConfig) -> Self {
+        self.mem.l1d = l1d;
+        self
+    }
+
+    /// Swaps the disambiguation policy (Figure 11).
+    pub fn with_disambiguation(mut self, d: Disambiguation) -> Self {
+        self.cpu.disambiguation = d;
+        self
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_cover_figure_five() {
+        let labels: Vec<&str> = PrefetcherKind::PAPER.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Base",
+                "PC-stride",
+                "2Miss-RR",
+                "2Miss-Priority",
+                "ConfAlloc-RR",
+                "ConfAlloc-Priority"
+            ]
+        );
+    }
+
+    #[test]
+    fn build_produces_matching_engines() {
+        assert_eq!(PrefetcherKind::None.build().name(), "none");
+        assert_eq!(PrefetcherKind::PcStride.build().name(), "pc-stride");
+        assert_eq!(PrefetcherKind::Psb2MissRr.build().name(), "psb-2miss-rr");
+        assert_eq!(
+            PrefetcherKind::PsbConfPriority.build().name(),
+            "psb-confalloc-priority"
+        );
+        assert_eq!(PrefetcherKind::Sequential.build().name(), "sequential");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let m = MachineConfig::baseline()
+            .with_prefetcher(PrefetcherKind::PsbConfPriority)
+            .with_l1d(CacheConfig::l1d_16k_4way())
+            .with_disambiguation(Disambiguation::WaitForStores);
+        assert_eq!(m.prefetcher, PrefetcherKind::PsbConfPriority);
+        assert_eq!(m.mem.l1d.size, 16 * 1024);
+        assert_eq!(m.cpu.disambiguation, Disambiguation::WaitForStores);
+    }
+}

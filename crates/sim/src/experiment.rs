@@ -1,0 +1,60 @@
+//! Helpers for running benchmark × configuration matrices.
+
+use crate::{MachineConfig, PrefetcherKind, SimStats, Simulation};
+use psb_workloads::Benchmark;
+
+/// Default trace scale used by the experiment binaries (≈600k
+/// instructions per run — enough for predictor warm-up plus several
+/// steady-state laps of every benchmark's data structures).
+pub const DEFAULT_SCALE: u32 = 2;
+
+/// Runs one (benchmark, machine) point over a freshly generated trace.
+pub fn run_config(bench: Benchmark, config: MachineConfig, scale: u32) -> SimStats {
+    Simulation::new(config, bench.trace(scale), u64::MAX).run()
+}
+
+/// Runs one (benchmark, prefetcher) point on the baseline machine.
+pub fn run_point(bench: Benchmark, kind: PrefetcherKind, scale: u32) -> SimStats {
+    run_config(bench, MachineConfig::baseline().with_prefetcher(kind), scale)
+}
+
+/// Runs every paper configuration (Base, PC-stride, four PSB variants)
+/// for one benchmark, in Figure 5 order.
+pub fn run_paper_row(bench: Benchmark, scale: u32) -> Vec<(PrefetcherKind, SimStats)> {
+    PrefetcherKind::PAPER
+        .into_iter()
+        .map(|k| (k, run_point(bench, k, scale)))
+        .collect()
+}
+
+/// Geometric-mean percent speedup across a set of per-benchmark speedups
+/// (how the paper aggregates "average speedup").
+pub fn average_speedup_percent(speedups: &[f64]) -> f64 {
+    if speedups.is_empty() {
+        return 0.0;
+    }
+    let product: f64 = speedups.iter().map(|s| 1.0 + s / 100.0).product();
+    (product.powf(1.0 / speedups.len() as f64) - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_speedup_geomean() {
+        assert_eq!(average_speedup_percent(&[]), 0.0);
+        // 21% and 0%: geomean = sqrt(1.21) - 1 = 10%.
+        let avg = average_speedup_percent(&[21.0, 0.0]);
+        assert!((avg - 10.0).abs() < 1e-9, "{avg}");
+    }
+
+    #[test]
+    fn run_point_produces_stats() {
+        // Small smoke: cap the cost by using the cheapest benchmark at
+        // scale 1 with the null prefetcher.
+        let s = run_point(Benchmark::Turb3d, PrefetcherKind::None, 1);
+        assert!(s.cpu.committed >= 300_000);
+        assert!(s.ipc() > 0.0);
+    }
+}

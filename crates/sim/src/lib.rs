@@ -1,0 +1,42 @@
+//! Full-system cycle-level simulator for the PSB reproduction.
+//!
+//! Wires the out-of-order core (`psb-cpu`), the memory hierarchy
+//! (`psb-mem`) and the stream-buffer prefetchers (`psb-core`) into one
+//! machine, runs workload traces (`psb-workloads`) through it, and
+//! collects every statistic the paper reports.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use psb_sim::{MachineConfig, PrefetcherKind, Simulation};
+//! use psb_workloads::Benchmark;
+//!
+//! let base = MachineConfig::baseline();
+//! let psb = base.with_prefetcher(PrefetcherKind::PsbConfPriority);
+//! let trace = Benchmark::DeltaBlue.trace(1);
+//!
+//! let s0 = Simulation::new(base, trace.clone(), u64::MAX).run();
+//! let s1 = Simulation::new(psb, trace, u64::MAX).run();
+//! println!("speedup: {:.1}%", s1.speedup_percent_over(&s0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod eventlog;
+mod experiment;
+mod memsys;
+mod report;
+mod simulator;
+mod stats;
+
+pub use config::{MachineConfig, PrefetcherKind};
+pub use eventlog::{MemEvent, MemEventKind, MemLog, SharedMemLog};
+pub use experiment::{
+    average_speedup_percent, run_config, run_paper_row, run_point, DEFAULT_SCALE,
+};
+pub use memsys::SimMemory;
+pub use report::{f2, pct, Table};
+pub use simulator::Simulation;
+pub use stats::SimStats;

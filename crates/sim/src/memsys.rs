@@ -1,0 +1,350 @@
+//! The composed memory system presented to the pipeline.
+
+use crate::eventlog::{MemEvent, MemEventKind, SharedMemLog};
+use crate::MachineConfig;
+use psb_common::{Addr, Cycle};
+use psb_core::{PrefetchSink, Prefetcher, SbLookup};
+use psb_cpu::MemSystem;
+use psb_mem::{L1Access, L1Cache, LowerMemory, Tlb, VictimCache};
+
+/// The lower world shared by demand misses and prefetches: the L2 +
+/// memory system and the data TLB. Split out so the prefetcher can borrow
+/// it as its [`PrefetchSink`] while remaining a sibling field.
+#[derive(Debug)]
+struct Lower {
+    lower: LowerMemory,
+    dtlb: Tlb,
+    l1_block: u64,
+    log: Option<SharedMemLog>,
+}
+
+impl PrefetchSink for Lower {
+    fn bus_free(&self, now: Cycle) -> bool {
+        self.lower.l1_bus_free(now)
+    }
+
+    fn fetch(&mut self, now: Cycle, addr: Addr) -> Cycle {
+        // Prefetches carry virtual addresses: translate first. A TLB miss
+        // delays the prefetch and warms the TLB (TLB prefetching,
+        // Section 4.5).
+        let (ready, _) = self.dtlb.translate(now, addr, true);
+        let done = self.lower.fetch_block(ready, addr, self.l1_block).ready;
+        if let Some(log) = &self.log {
+            log.borrow_mut().record(MemEvent {
+                cycle: now,
+                pc: None,
+                addr,
+                ready: done,
+                kind: MemEventKind::Prefetch,
+            });
+        }
+        done
+    }
+}
+
+/// The full memory system: L1 caches, stream-buffer prefetcher, unified
+/// L2, buses, DRAM and D-TLB.
+///
+/// Implements [`MemSystem`] for the pipeline. The per-access protocol for
+/// a demand load mirrors Section 4.1 of the paper:
+///
+/// 1. The L1 and the stream buffers are probed in parallel (we model the
+///    stream-buffer lookup latency as equal to the L1 latency).
+/// 2. An L1 miss that hits a stream buffer moves the block into the L1
+///    (resident) or hands the tag to an MSHR (in flight).
+/// 3. An L1 miss trains the address predictor (the "write-back stage"
+///    update; only *primary* misses train, keeping the miss stream
+///    clean), and a miss in both structures requests a stream allocation
+///    and fetches the block from the lower memory system.
+pub struct SimMemory {
+    l1d: L1Cache,
+    l1i: L1Cache,
+    inner: Lower,
+    prefetcher: Box<dyn Prefetcher>,
+    victim: Option<VictimCache>,
+    log: Option<SharedMemLog>,
+}
+
+impl SimMemory {
+    /// Builds the memory system described by `config`.
+    pub fn new(config: &MachineConfig) -> Self {
+        Self::with_engine(config, config.prefetcher.build())
+    }
+
+    /// Builds the memory system with a custom prefetch engine (used by
+    /// the ablation harness to sweep predictor/scheduler parameters that
+    /// [`crate::PrefetcherKind`] does not enumerate).
+    pub fn with_engine(config: &MachineConfig, prefetcher: Box<dyn Prefetcher>) -> Self {
+        let mem = &config.mem;
+        SimMemory {
+            l1d: L1Cache::new(mem.l1d, mem.l1_latency, mem.l1d_mshrs),
+            l1i: L1Cache::new(mem.l1i, mem.l1_latency, mem.l1d_mshrs),
+            inner: Lower {
+                lower: LowerMemory::new(mem),
+                dtlb: Tlb::new(
+                    mem.dtlb_entries,
+                    mem.dtlb_assoc,
+                    mem.page_size,
+                    mem.dtlb_miss_latency,
+                ),
+                l1_block: mem.l1d.block,
+                log: None,
+            },
+            prefetcher,
+            victim: (config.victim_entries > 0)
+                .then(|| VictimCache::new(config.victim_entries, mem.l1d.block, 1)),
+            log: None,
+        }
+    }
+
+    /// Attaches a shared event log; demand accesses, prefetches and
+    /// I-fetch misses are recorded until it fills.
+    pub fn attach_log(&mut self, log: SharedMemLog) {
+        self.inner.log = Some(log.clone());
+        self.log = Some(log);
+    }
+
+    fn record(&self, cycle: Cycle, pc: Option<Addr>, addr: Addr, ready: Cycle, kind: MemEventKind) {
+        if let Some(log) = &self.log {
+            log.borrow_mut().record(MemEvent { cycle, pc, addr, ready, kind });
+        }
+    }
+
+    /// The victim cache, if configured.
+    pub fn victim(&self) -> Option<&VictimCache> {
+        self.victim.as_ref()
+    }
+
+    /// The L1 data cache (for statistics).
+    pub fn l1d(&self) -> &L1Cache {
+        &self.l1d
+    }
+
+    /// The L1 instruction cache (for statistics).
+    pub fn l1i(&self) -> &L1Cache {
+        &self.l1i
+    }
+
+    /// The lower memory system (for statistics).
+    pub fn lower(&self) -> &LowerMemory {
+        &self.inner.lower
+    }
+
+    /// The data TLB (for statistics).
+    pub fn dtlb(&self) -> &Tlb {
+        &self.inner.dtlb
+    }
+
+    /// The prefetch engine (for statistics).
+    pub fn prefetcher(&self) -> &dyn Prefetcher {
+        self.prefetcher.as_ref()
+    }
+
+    /// Handles an L1D miss shared by loads and stores: probe the stream
+    /// buffers, then fall back to the lower memory system. Returns the
+    /// data-ready cycle. `is_load` gates predictor training/allocation.
+    fn miss(&mut self, now: Cycle, pc: Addr, addr: Addr, is_load: bool) -> Cycle {
+        if is_load {
+            // Write-back-stage predictor update: primary load misses only.
+            self.prefetcher.train(now, pc, addr);
+        }
+        // Victim cache (when configured): rescue recent conflict evictions
+        // before consulting the prefetcher or the lower hierarchy.
+        if let Some(victim) = &mut self.victim {
+            for b in self.l1d.take_evicted() {
+                victim.fill(b);
+            }
+            if victim.probe(addr) {
+                self.l1d.install(addr);
+                let ready = now + self.l1d.latency() + victim.latency();
+                self.record(now, Some(pc), addr, ready, MemEventKind::VictimHit);
+                return ready;
+            }
+        }
+        let block = self.l1d.block_of(addr);
+        match self.prefetcher.lookup(now, addr) {
+            SbLookup::Hit { ready } => {
+                if ready <= now {
+                    // Resident in a stream buffer: move into the L1.
+                    self.l1d.install(addr);
+                    let ready = now + self.l1d.latency();
+                    self.record(now, Some(pc), addr, ready, MemEventKind::SbHitReady);
+                    ready
+                } else {
+                    // In flight: the tag moves to an MSHR and the data
+                    // cache handles the fill when it arrives.
+                    let _ = self.l1d.start_fill(block, ready);
+                    self.record(now, Some(pc), addr, ready, MemEventKind::SbHitInFlight);
+                    ready
+                }
+            }
+            SbLookup::Miss => {
+                if is_load {
+                    self.prefetcher.allocate(now, pc, addr);
+                }
+                let completion = self.inner.lower.fetch_block(now, addr, self.inner.l1_block);
+                let _ = self.l1d.start_fill(block, completion.ready);
+                let kind = if is_load {
+                    if completion.l2_hit {
+                        MemEventKind::DemandL2
+                    } else {
+                        MemEventKind::DemandMemory
+                    }
+                } else {
+                    MemEventKind::StoreMiss
+                };
+                self.record(now, Some(pc), addr, completion.ready, kind);
+                completion.ready
+            }
+        }
+    }
+}
+
+impl MemSystem for SimMemory {
+    fn load(&mut self, now: Cycle, pc: Addr, addr: Addr) -> Cycle {
+        let (start, _) = self.inner.dtlb.translate(now, addr, false);
+        match self.l1d.lookup(start, addr) {
+            L1Access::Hit { ready } => {
+                self.record(start, Some(pc), addr, ready, MemEventKind::L1Hit);
+                ready
+            }
+            L1Access::InFlight { ready } => {
+                let ready = ready.max(start + self.l1d.latency());
+                self.record(start, Some(pc), addr, ready, MemEventKind::L1InFlight);
+                ready
+            }
+            L1Access::Miss => self.miss(start, pc, addr, true),
+        }
+    }
+
+    fn store(&mut self, now: Cycle, pc: Addr, addr: Addr) {
+        let (start, _) = self.inner.dtlb.translate(now, addr, false);
+        match self.l1d.lookup(start, addr) {
+            L1Access::Hit { .. } | L1Access::InFlight { .. } => {}
+            // Write-allocate: the store fetches the block, but commit
+            // never waits on it.
+            L1Access::Miss => {
+                self.miss(start, pc, addr, false);
+            }
+        }
+    }
+
+    fn ifetch(&mut self, now: Cycle, pc: Addr) -> Cycle {
+        match self.l1i.lookup(now, pc) {
+            L1Access::Hit { .. } => now,
+            L1Access::InFlight { ready } => ready,
+            L1Access::Miss => {
+                let block = self.l1i.block_of(pc);
+                let completion = self.inner.lower.fetch_block(now, pc, self.inner.l1_block);
+                let _ = self.l1i.start_fill(block, completion.ready);
+                self.record(now, None, pc, completion.ready, MemEventKind::IFetchMiss);
+                completion.ready
+            }
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        self.prefetcher.tick(now, &mut self.inner);
+    }
+
+    fn fetched_load(&mut self, now: Cycle, pc: Addr) {
+        self.prefetcher.observe_fetch(now, pc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrefetcherKind;
+
+    fn memsys(kind: PrefetcherKind) -> SimMemory {
+        SimMemory::new(&MachineConfig::baseline().with_prefetcher(kind))
+    }
+
+    #[test]
+    fn cold_load_pays_full_miss_then_hits() {
+        let mut m = memsys(PrefetcherKind::None);
+        let a = Addr::new(0x1000_0000);
+        let r1 = m.load(Cycle::ZERO, Addr::new(0x400), a);
+        // TLB miss (30) + L1 bus (4) + L2 (12) + mem bus (16) + DRAM (120).
+        assert!(r1 > Cycle::new(150), "{r1:?}");
+        let r2 = m.load(r1, Addr::new(0x400), a);
+        assert_eq!(r2, r1 + 1, "warm load is an L1 hit");
+        assert_eq!(m.l1d().stats().misses, 1);
+        assert_eq!(m.l1d().stats().hits, 1);
+    }
+
+    #[test]
+    fn inflight_load_merges() {
+        let mut m = memsys(PrefetcherKind::None);
+        let a = Addr::new(0x1000_0000);
+        let r1 = m.load(Cycle::ZERO, Addr::new(0x400), a);
+        let r2 = m.load(Cycle::new(40), Addr::new(0x404), Addr::new(0x1000_0008));
+        assert_eq!(r2, r1, "same block in flight");
+        assert_eq!(m.l1d().stats().misses, 2, "in-flight access counts as a miss");
+    }
+
+    #[test]
+    fn strided_loads_get_prefetched() {
+        let mut m = memsys(PrefetcherKind::PcStride);
+        let pc = Addr::new(0x400);
+        let mut now = Cycle::ZERO;
+        let mut miss_latencies = Vec::new();
+        // March through 64 blocks with one load PC; the stream buffer
+        // should start covering misses after the filter opens.
+        for i in 0..64u64 {
+            let a = Addr::new(0x1000_0000 + 64 * i);
+            let done = m.load(now, pc, a);
+            miss_latencies.push(done.since(now));
+            now = done + 20; // give the prefetcher bus slack
+            for c in 0..20 {
+                m.tick(done + c);
+            }
+        }
+        let early: u64 = miss_latencies[..8].iter().sum();
+        let late: u64 = miss_latencies[56..].iter().sum();
+        assert!(
+            late * 3 < early,
+            "prefetching must slash late miss latency: early {early}, late {late}"
+        );
+        assert!(m.prefetcher().stats().used > 20);
+    }
+
+    #[test]
+    fn stores_allocate_but_do_not_train() {
+        let mut m = memsys(PrefetcherKind::PcStride);
+        for i in 0..10u64 {
+            m.store(Cycle::new(i * 200), Addr::new(0x500), Addr::new(0x2000_0000 + 64 * i));
+        }
+        // Stores never train or allocate the predictor-side tables.
+        assert_eq!(m.prefetcher().stats().allocations, 0);
+        assert_eq!(m.prefetcher().stats().alloc_rejected, 0);
+    }
+
+    #[test]
+    fn ifetch_misses_use_the_shared_bus() {
+        let mut m = memsys(PrefetcherKind::None);
+        let r = m.ifetch(Cycle::ZERO, Addr::new(0x40_0000));
+        assert!(r > Cycle::ZERO, "cold I-miss stalls fetch");
+        let r2 = m.ifetch(r, Addr::new(0x40_0000));
+        assert_eq!(r2, r, "warm I-fetch is free");
+        assert!(m.lower().l1_l2_bus().transactions() >= 1);
+    }
+
+    #[test]
+    fn tlb_prefetching_warms_translations() {
+        let mut m = memsys(PrefetcherKind::PcStride);
+        // Train a big stride that crosses pages.
+        let pc = Addr::new(0x600);
+        let mut now = Cycle::ZERO;
+        for i in 0..16u64 {
+            let a = Addr::new(0x4000_0000 + 8192 * i);
+            let done = m.load(now, pc, a);
+            for c in 0..40 {
+                m.tick(done + c);
+            }
+            now = done + 40;
+        }
+        assert!(m.dtlb().stats().prefetch_misses > 0, "prefetches must walk the TLB");
+    }
+}

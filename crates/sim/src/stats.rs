@@ -1,0 +1,169 @@
+//! Aggregated run statistics.
+
+use psb_core::PrefetchStats;
+use psb_cpu::CpuStats;
+use psb_mem::{CacheStats, LowerStats, TlbStats};
+
+/// Everything measured by one simulation run — the union of the
+/// quantities reported across Table 2 and Figures 5–11.
+#[derive(Clone, Debug)]
+pub struct SimStats {
+    /// Core statistics (IPC, committed mix, load latency, branches).
+    pub cpu: CpuStats,
+    /// L1 data-cache hit/miss counters (in-flight counts as miss).
+    pub l1d: CacheStats,
+    /// L1 instruction-cache counters.
+    pub l1i: CacheStats,
+    /// L2 counters.
+    pub lower: LowerStats,
+    /// Prefetch engine counters.
+    pub prefetch: PrefetchStats,
+    /// Data TLB counters.
+    pub dtlb: TlbStats,
+    /// Busy cycles on the L1↔L2 bus.
+    pub l1_l2_busy: u64,
+    /// Busy cycles on the L2↔memory bus.
+    pub l2_mem_busy: u64,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.cpu.ipc()
+    }
+
+    /// L1 data-cache miss rate (accesses to in-flight blocks count as
+    /// misses, per the paper's definition).
+    pub fn l1d_miss_rate(&self) -> f64 {
+        self.l1d.miss_rate()
+    }
+
+    /// Average load latency in cycles (Figure 8).
+    pub fn avg_load_latency(&self) -> f64 {
+        self.cpu.load_latency.mean()
+    }
+
+    /// Prefetch accuracy (Figure 6).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        self.prefetch.accuracy()
+    }
+
+    /// L1↔L2 bus utilization in percent (Figure 9, left axis).
+    pub fn l1_l2_bus_percent(&self) -> f64 {
+        percent(self.l1_l2_busy, self.cpu.cycles)
+    }
+
+    /// L2↔memory bus utilization in percent (Figure 9, right axis).
+    pub fn l2_mem_bus_percent(&self) -> f64 {
+        percent(self.l2_mem_busy, self.cpu.cycles)
+    }
+
+    /// Percent speedup of `self` over `base`, by IPC (Figures 5 and 10).
+    pub fn speedup_percent_over(&self, base: &SimStats) -> f64 {
+        if base.ipc() == 0.0 {
+            0.0
+        } else {
+            (self.ipc() / base.ipc() - 1.0) * 100.0
+        }
+    }
+
+    /// Column names matching [`SimStats::csv_row`], for scripting over
+    /// many runs.
+    pub const CSV_HEADER: &'static str = "cycles,committed,ipc,loads,stores,branches,\
+        forwarded_loads,avg_load_latency,l1d_accesses,l1d_miss_rate,l2_miss_rate,\
+        bpred_accuracy,pf_lookups,pf_hits,pf_issued,pf_used,pf_accuracy,\
+        pf_allocations,l1_l2_bus_pct,l2_mem_bus_pct,dtlb_misses";
+
+    /// One comma-separated row of every headline statistic.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{:.4},{},{},{},{},{:.2},{},{:.4},{:.4},{:.4},{},{},{},{},{:.4},{},{:.2},{:.2},{}",
+            self.cpu.cycles,
+            self.cpu.committed,
+            self.ipc(),
+            self.cpu.loads,
+            self.cpu.stores,
+            self.cpu.branches,
+            self.cpu.forwarded_loads,
+            self.avg_load_latency(),
+            self.l1d.accesses(),
+            self.l1d_miss_rate(),
+            self.lower.l2_miss_rate(),
+            self.cpu.bpred.accuracy(),
+            self.prefetch.lookups,
+            self.prefetch.hits,
+            self.prefetch.issued,
+            self.prefetch.used,
+            self.prefetch_accuracy(),
+            self.prefetch.allocations,
+            self.l1_l2_bus_percent(),
+            self.l2_mem_bus_percent(),
+            self.dtlb.misses,
+        )
+    }
+}
+
+fn percent(busy: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        0.0
+    } else {
+        100.0 * busy as f64 / cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_ipc(committed: u64, cycles: u64) -> SimStats {
+        SimStats {
+            cpu: CpuStats { committed, cycles, ..Default::default() },
+            l1d: CacheStats::default(),
+            l1i: CacheStats::default(),
+            lower: LowerStats::default(),
+            prefetch: PrefetchStats::default(),
+            dtlb: TlbStats::default(),
+            l1_l2_busy: 0,
+            l2_mem_busy: 0,
+        }
+    }
+
+    #[test]
+    fn speedup_is_ipc_ratio() {
+        let base = stats_with_ipc(1000, 1000); // IPC 1.0
+        let fast = stats_with_ipc(1000, 800); // IPC 1.25
+        assert!((fast.speedup_percent_over(&base) - 25.0).abs() < 1e-9);
+        assert!((base.speedup_percent_over(&base)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bus_percent_normalizes_by_cycles() {
+        let mut s = stats_with_ipc(100, 200);
+        s.l1_l2_busy = 50;
+        s.l2_mem_busy = 10;
+        assert_eq!(s.l1_l2_bus_percent(), 25.0);
+        assert_eq!(s.l2_mem_bus_percent(), 5.0);
+    }
+
+    #[test]
+    fn zero_cycle_guards() {
+        let s = stats_with_ipc(0, 0);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.l1_l2_bus_percent(), 0.0);
+        assert_eq!(s.speedup_percent_over(&s), 0.0);
+    }
+
+    #[test]
+    fn csv_row_matches_header_width() {
+        let s = stats_with_ipc(100, 200);
+        let header_cols = SimStats::CSV_HEADER.split(',').count();
+        let row_cols = s.csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert_eq!(header_cols, 21);
+        // Sane values in place.
+        let cells: Vec<&str> = s.csv_row().leak().split(',').collect();
+        assert_eq!(cells[0], "200");
+        assert_eq!(cells[1], "100");
+        assert_eq!(cells[2], "0.5000");
+    }
+}

@@ -1,0 +1,153 @@
+//! Extend the library: plug your own address predictor into the
+//! predictor-directed stream buffers.
+//!
+//! The paper's key observation is that "any address predictor can be used
+//! to guide the predicted prefetch stream". This example demonstrates
+//! exactly that extension point: a toy *region-rounding* predictor —
+//! strides within an aligned 8 KB region, wrapping to the region start —
+//! implemented outside the library, dropped into the same
+//! [`StreamEngine`] the paper's SFM uses, and simulated against a
+//! matching workload.
+//!
+//! ```sh
+//! cargo run --release --example custom_predictor
+//! ```
+
+use psb::common::Addr;
+use psb::core::{
+    AllocInfo, PsbPrefetcher, SbConfig, StreamEngine, StreamPredictor, StreamState,
+    StrideTable,
+};
+use psb::sim::{f2, MachineConfig, PrefetcherKind, Simulation, Table};
+use psb::workloads::TraceBuilder;
+
+/// A predictor for ring-buffer access patterns: loads stride through an
+/// aligned region and wrap to its base — think circular queues or
+/// blocked DSP buffers. A plain stride predictor derails at every wrap;
+/// this one predicts it.
+struct RingPredictor {
+    table: StrideTable,
+    region: u64,
+}
+
+impl RingPredictor {
+    fn new(region: u64) -> Self {
+        assert!(region.is_power_of_two());
+        RingPredictor { table: StrideTable::paper_baseline(), region }
+    }
+}
+
+impl StreamPredictor for RingPredictor {
+    fn train(&mut self, pc: Addr, addr: Addr) {
+        let out = self.table.train(pc, addr);
+        if !out.cold {
+            // Count a wrap-adjusted prediction as correct too.
+            let correct = out.stride_correct
+                || out.prev_addr.is_some_and(|p| {
+                    self.table
+                        .info(pc, addr)
+                        .is_some_and(|i| wrap_next(p, i.stride, self.region) == addr)
+                });
+            self.table.confirm(pc, correct);
+        }
+    }
+
+    fn alloc_info(&self, pc: Addr, addr: Addr) -> Option<AllocInfo> {
+        self.table.info(pc, addr).map(|i| AllocInfo {
+            stride: i.stride,
+            confidence: i.confidence,
+            two_miss_ok: i.predicted_streak >= 2,
+            history: 0,
+        })
+    }
+
+    fn predict(&self, state: &mut StreamState) -> Option<Addr> {
+        let next = wrap_next(state.last_addr, state.stride, self.region);
+        state.history = state.last_addr.raw();
+        state.last_addr = next;
+        Some(next)
+    }
+}
+
+/// Advances by `stride` but wraps within the aligned `region`.
+fn wrap_next(addr: Addr, stride: i64, region: u64) -> Addr {
+    let base = addr.raw() & !(region - 1);
+    Addr::new(base + (addr.raw().wrapping_add(stride as u64)) % region)
+}
+
+/// A workload of eight 8 KB ring buffers (64 KB total, 2x the L1),
+/// each drained by its own load site with a 1088-byte step that wraps
+/// every ~7 visits (one stream buffer per ring). A plain stride predictor derails at every wrap; the
+/// ring predictor never does.
+fn ring_workload(iters: usize) -> Vec<psb::cpu::DynInst> {
+    const LOOP: Addr = Addr::new(0x40_0000);
+    const RING: u64 = 8192;
+    const STEP: u64 = 1088;
+    const RINGS: usize = 8;
+    let mut b = TraceBuilder::new(LOOP);
+    let mut offsets = [0u64; RINGS];
+    for it in 0..iters {
+        b.expect_pc(LOOP);
+        for (r, off) in offsets.iter_mut().enumerate() {
+            // One load site per ring; dependence-chained per ring.
+            let base = 0x1000_0000 + (r as u64) * 0x10_0000;
+            b.load(1, Some(1), Addr::new(base + *off));
+            b.alu(2, Some(1), Some(2));
+            *off = (*off + STEP) % RING;
+        }
+        b.alu(3, Some(2), None);
+        b.cond(Some(3), it + 1 < iters, LOOP);
+    }
+    b.finish()
+}
+
+fn main() {
+    let trace = ring_workload(2000);
+    println!("ring-buffer workload: {} instructions\n", trace.len());
+
+    let base = Simulation::new(MachineConfig::baseline(), trace.clone(), u64::MAX).run();
+    let stride = Simulation::new(
+        MachineConfig::baseline().with_prefetcher(PrefetcherKind::PcStride),
+        trace.clone(),
+        u64::MAX,
+    )
+    .run();
+    let sfm = Simulation::new(MachineConfig::baseline(), trace.clone(), u64::MAX)
+        .with_engine(Box::new(PsbPrefetcher::psb(SbConfig::psb_conf_priority())))
+        .run();
+    let ring = Simulation::new(MachineConfig::baseline(), trace, u64::MAX)
+        .with_engine(Box::new(StreamEngine::new(
+            SbConfig::psb_conf_priority(),
+            RingPredictor::new(8192),
+            "ring-psb".to_owned(),
+        )))
+        .run();
+
+    let mut t = Table::new(vec![
+        "engine".into(),
+        "IPC".into(),
+        "speedup".into(),
+        "accuracy".into(),
+        "issued".into(),
+        "alloc".into(),
+    ]);
+    for (name, s) in [
+        ("base", &base),
+        ("pc-stride", &stride),
+        ("psb (sfm)", &sfm),
+        ("psb (custom ring)", &ring),
+    ] {
+        t.row(vec![
+            name.into(),
+            f2(s.ipc()),
+            format!("{:+.1}%", s.speedup_percent_over(&base)),
+            format!("{:.1}%", s.prefetch_accuracy() * 100.0),
+            format!("{}", s.prefetch.issued),
+            format!("{}", s.prefetch.allocations),
+        ]);
+    }
+    print!("{t}");
+    println!("\nThe custom predictor implements one trait (StreamPredictor) and");
+    println!("reuses every other mechanism of the paper: buffers, confidence");
+    println!("allocation, priority scheduling, bus gating.");
+}

@@ -1,0 +1,83 @@
+//! Build a custom workload with `TraceBuilder` and watch the PSB follow a
+//! linked list that defeats stride prefetching.
+//!
+//! This is the paper's motivating scenario in miniature: a recursive data
+//! structure whose traversal order is fixed but whose address deltas are
+//! irregular. The two-delta stride predictor can't follow it; the
+//! Stride-Filtered Markov predictor learns the chain after one lap and
+//! the stream buffers then run ahead of the program.
+//!
+//! ```sh
+//! cargo run --release --example pointer_chase
+//! ```
+
+use psb::common::{Addr, SplitMix64};
+use psb::sim::{f2, MachineConfig, PrefetcherKind, Simulation, Table};
+use psb::workloads::TraceBuilder;
+
+/// One loop iteration visits a node: `data = node.payload; node =
+/// node.next; work(data)` — the chase load serializes the iterations.
+fn linked_list_walk(nodes: usize, laps: usize) -> Vec<psb::cpu::DynInst> {
+    const LOOP: Addr = Addr::new(0x40_0000);
+    // Nodes are 64 B, placed in shuffled order inside a 128 KB arena —
+    // bigger than the 32 KB L1, far smaller than the 1 MB L2.
+    let mut order: Vec<u64> = (0..nodes as u64).collect();
+    SplitMix64::new(7).shuffle(&mut order);
+
+    let mut b = TraceBuilder::new(LOOP);
+    for _ in 0..laps {
+        for (i, &n) in order.iter().enumerate() {
+            b.expect_pc(LOOP);
+            let node = Addr::new(0x1000_0000 + n * 64);
+            b.load(2, Some(1), node.offset(8)); // payload
+            b.load(1, Some(1), node); //          next pointer (serializes)
+            b.alu(3, Some(2), Some(3)); //        work
+            b.alu(4, Some(3), None);
+            b.cond(Some(4), i + 1 < order.len(), LOOP);
+        }
+        b.jump(LOOP);
+    }
+    b.finish()
+}
+
+fn main() {
+    let trace = linked_list_walk(1500, 8);
+    println!("linked-list walk: 1500 nodes x 8 laps, {} instructions\n", trace.len());
+
+    let mut table = Table::new(vec![
+        "prefetcher".into(),
+        "IPC".into(),
+        "speedup".into(),
+        "SB hit rate".into(),
+        "accuracy".into(),
+        "L1-L2 bus".into(),
+        "prefetches".into(),
+    ]);
+    let mut base_ipc = None;
+    for kind in [
+        PrefetcherKind::None,
+        PrefetcherKind::Sequential,
+        PrefetcherKind::PcStride,
+        PrefetcherKind::PsbConfPriority,
+    ] {
+        let cfg = MachineConfig::baseline().with_prefetcher(kind);
+        let s = Simulation::new(cfg, trace.clone(), u64::MAX).run();
+        let ipc = s.ipc();
+        let base = *base_ipc.get_or_insert(ipc);
+        table.row(vec![
+            kind.label().into(),
+            f2(ipc),
+            format!("{:+.1}%", (ipc / base - 1.0) * 100.0),
+            format!("{:.1}%", s.prefetch.hit_rate() * 100.0),
+            format!("{:.1}%", s.prefetch_accuracy() * 100.0),
+            format!("{:.1}%", s.l1_l2_bus_percent()),
+            format!("{}", s.prefetch.issued),
+        ]);
+    }
+    print!("{table}");
+    println!("\nOnly the Markov-directed stream buffer actually follows the");
+    println!("pointer chain (high SB hit rate and accuracy). The sequential");
+    println!("buffer sometimes gains too — but by blindly warming the L2 at");
+    println!("a huge cost in useless prefetch traffic, which evaporates as");
+    println!("soon as other streams compete for the bus.");
+}

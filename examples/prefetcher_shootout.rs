@@ -1,0 +1,33 @@
+//! Run the paper's six machine configurations across the whole benchmark
+//! suite and print a Figure-5-style comparison.
+//!
+//! ```sh
+//! cargo run --release --example prefetcher_shootout [scale]
+//! ```
+//!
+//! `scale` multiplies trace length (default 1 ≈ 300k instructions per
+//! benchmark; the bench harness uses 2).
+
+use psb::sim::{run_paper_row, PrefetcherKind, Table};
+use psb::workloads::Benchmark;
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let mut headers = vec!["benchmark".into()];
+    headers.extend(PrefetcherKind::PAPER.iter().skip(1).map(|k| k.label().to_owned()));
+    let mut table = Table::new(headers);
+
+    for bench in Benchmark::ALL {
+        eprintln!("running {bench} (6 configurations)...");
+        let row = run_paper_row(bench, scale);
+        let base = &row[0].1;
+        let mut cells = vec![bench.name().to_owned()];
+        for (_, stats) in &row[1..] {
+            cells.push(format!("{:+.1}%", stats.speedup_percent_over(base)));
+        }
+        table.row(cells);
+    }
+    println!("\npercent speedup over the no-prefetch baseline (Figure 5):\n");
+    print!("{table}");
+}

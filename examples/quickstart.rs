@@ -1,0 +1,65 @@
+//! Quickstart: simulate one benchmark with and without
+//! Predictor-Directed Stream Buffers and report the speedup.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark]
+//! ```
+//!
+//! `benchmark` is one of `health`, `burg`, `deltablue`, `gs`, `sis`,
+//! `turb3d` (default `deltablue`).
+
+use psb::sim::{f2, pct, MachineConfig, PrefetcherKind, Simulation, Table};
+use psb::workloads::Benchmark;
+
+fn main() {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "deltablue".to_owned())
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+
+    println!("benchmark: {bench} — {}", bench.description());
+    println!("generating trace...");
+    let trace = bench.trace(1);
+    println!("{} dynamic instructions\n", trace.len());
+
+    let base_cfg = MachineConfig::baseline();
+    let psb_cfg = base_cfg.with_prefetcher(PrefetcherKind::PsbConfPriority);
+
+    println!("simulating baseline (no prefetching)...");
+    let base = Simulation::new(base_cfg, trace.clone(), u64::MAX).run();
+    println!("simulating PSB (ConfAlloc-Priority)...\n");
+    let psb = Simulation::new(psb_cfg, trace, u64::MAX).run();
+
+    let mut t = Table::new(vec![
+        "metric".into(),
+        "base".into(),
+        "psb".into(),
+    ]);
+    t.row(vec!["IPC".into(), f2(base.ipc()), f2(psb.ipc())]);
+    t.row(vec![
+        "L1D miss rate".into(),
+        pct(base.l1d_miss_rate() * 100.0),
+        pct(psb.l1d_miss_rate() * 100.0),
+    ]);
+    t.row(vec![
+        "avg load latency (cy)".into(),
+        f2(base.avg_load_latency()),
+        f2(psb.avg_load_latency()),
+    ]);
+    t.row(vec![
+        "L1-L2 bus busy".into(),
+        pct(base.l1_l2_bus_percent()),
+        pct(psb.l1_l2_bus_percent()),
+    ]);
+    t.row(vec![
+        "prefetch accuracy".into(),
+        "-".into(),
+        pct(psb.prefetch_accuracy() * 100.0),
+    ]);
+    print!("{t}");
+    println!("\nspeedup over base: {}", pct(psb.speedup_percent_over(&base)));
+}

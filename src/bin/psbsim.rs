@@ -1,0 +1,193 @@
+//! `psbsim` — the command-line front end to the simulator.
+//!
+//! ```text
+//! psbsim [OPTIONS] <benchmark>
+//!
+//! ARGS:
+//!   <benchmark>      health | burg | deltablue | gs | sis | turb3d
+//!
+//! OPTIONS:
+//!   --prefetcher X   none | sequential | next-line | demand-markov |
+//!                    pc-stride | 2miss-rr | 2miss-priority | conf-rr |
+//!                    conf-priority            [default: conf-priority]
+//!   --l1d X          32k4 | 32k2 | 16k4       [default: 32k4]
+//!   --no-dis         disable perfect store-set disambiguation
+//!   --scale N        trace scale              [default: 1]
+//!   --max N          commit at most N instructions
+//!   --compare        also run the no-prefetch baseline and report speedup
+//!   --dump FILE      write the generated trace (PSBT format) and exit
+//!   --load FILE      simulate a previously dumped trace instead of
+//!                    generating one (benchmark argument not needed)
+//!   --victim N       add an N-entry victim cache beside the L1D
+//!   --csv            emit machine-readable CSV instead of a table
+//!   --log N          print the first N memory events (debug/teaching)
+//! ```
+
+use psb::cpu::Disambiguation;
+use psb::mem::CacheConfig;
+use psb::sim::{f2, pct, MachineConfig, PrefetcherKind, SimStats, Simulation, Table};
+use psb::workloads::Benchmark;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: psbsim [--prefetcher KIND] [--l1d GEOM] [--no-dis] \
+         [--scale N] [--max N] [--compare] <benchmark>\n\
+         kinds: none sequential next-line demand-markov fetch-directed pc-stride \
+         2miss-rr 2miss-priority conf-rr conf-priority\n\
+         benchmarks: health burg deltablue gs sis turb3d"
+    );
+    std::process::exit(2);
+}
+
+fn parse_kind(s: &str) -> Option<PrefetcherKind> {
+    Some(match s {
+        "none" => PrefetcherKind::None,
+        "sequential" => PrefetcherKind::Sequential,
+        "next-line" => PrefetcherKind::NextLine,
+        "fetch-directed" => PrefetcherKind::FetchDirected,
+        "demand-markov" => PrefetcherKind::DemandMarkov,
+        "pc-stride" => PrefetcherKind::PcStride,
+        "2miss-rr" => PrefetcherKind::Psb2MissRr,
+        "2miss-priority" => PrefetcherKind::Psb2MissPriority,
+        "conf-rr" => PrefetcherKind::PsbConfRr,
+        "conf-priority" => PrefetcherKind::PsbConfPriority,
+        _ => return None,
+    })
+}
+
+fn report(label: &str, s: &SimStats) -> Vec<String> {
+    vec![
+        label.to_owned(),
+        f2(s.ipc()),
+        f2(s.l1d_miss_rate()),
+        f2(s.avg_load_latency()),
+        pct(s.l1_l2_bus_percent()),
+        pct(s.prefetch_accuracy() * 100.0),
+        format!("{}", s.prefetch.issued),
+    ]
+}
+
+fn main() {
+    let mut bench: Option<Benchmark> = None;
+    let mut kind = PrefetcherKind::PsbConfPriority;
+    let mut l1d = CacheConfig::l1d_32k_4way();
+    let mut dis = Disambiguation::Perfect;
+    let mut scale = 1u32;
+    let mut max = u64::MAX;
+    let mut compare = false;
+    let mut dump: Option<String> = None;
+    let mut load: Option<String> = None;
+    let mut victim = 0usize;
+    let mut csv = false;
+    let mut log_events = 0usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--prefetcher" => {
+                kind = args.next().as_deref().and_then(parse_kind).unwrap_or_else(|| usage())
+            }
+            "--l1d" => {
+                l1d = match args.next().as_deref() {
+                    Some("32k4") => CacheConfig::l1d_32k_4way(),
+                    Some("32k2") => CacheConfig::l1d_32k_2way(),
+                    Some("16k4") => CacheConfig::l1d_16k_4way(),
+                    _ => usage(),
+                }
+            }
+            "--no-dis" => dis = Disambiguation::WaitForStores,
+            "--scale" => scale = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--max" => max = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--compare" => compare = true,
+            "--dump" => dump = Some(args.next().unwrap_or_else(|| usage())),
+            "--load" => load = Some(args.next().unwrap_or_else(|| usage())),
+            "--victim" => {
+                victim = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--csv" => csv = true,
+            "--log" => {
+                log_events =
+                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => match other.parse() {
+                Ok(b) if bench.is_none() => bench = Some(b),
+                _ => usage(),
+            },
+        }
+    }
+    let trace = if let Some(path) = load {
+        eprintln!("loading trace from {path}...");
+        let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        });
+        psb::workloads::read_trace(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let Some(bench) = bench else { usage() };
+        eprintln!("generating {bench} trace (scale {scale})...");
+        bench.trace(scale)
+    };
+    if let Some(path) = dump {
+        let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        });
+        psb::workloads::write_trace(std::io::BufWriter::new(file), &trace)
+            .unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote {} instructions to {path}", trace.len());
+        return;
+    }
+    eprintln!("{} instructions; simulating...", trace.len());
+
+    let config = MachineConfig::baseline()
+        .with_prefetcher(kind)
+        .with_l1d(l1d)
+        .with_disambiguation(dis)
+        .with_victim_cache(victim);
+
+    if csv {
+        let stats = Simulation::new(config, trace, max).run();
+        println!("{}", psb::sim::SimStats::CSV_HEADER);
+        println!("{}", stats.csv_row());
+        return;
+    }
+
+    if log_events > 0 {
+        let log = psb::sim::MemLog::shared(log_events);
+        let _ = Simulation::new(config, trace, max).with_event_log(log.clone()).run();
+        for e in log.borrow().events() {
+            println!("{e}");
+        }
+        return;
+    }
+
+    let mut t = Table::new(
+        ["config", "IPC", "L1D MR", "ld-lat", "L1-L2 bus", "pf acc", "issued"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let main_stats = Simulation::new(config, trace.clone(), max).run();
+    if compare {
+        let base = Simulation::new(
+            config.with_prefetcher(PrefetcherKind::None),
+            trace,
+            max,
+        )
+        .run();
+        t.row(report("base", &base));
+        t.row(report(kind.label(), &main_stats));
+        print!("{t}");
+        println!("\nspeedup over base: {}", pct(main_stats.speedup_percent_over(&base)));
+    } else {
+        t.row(report(kind.label(), &main_stats));
+        print!("{t}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: full traces through the full machine.
+//!
+//! These use short commit windows so the whole file stays fast in debug
+//! builds; the paper-scale runs live in the `psb-bench` binaries.
+
+use psb::sim::{MachineConfig, PrefetcherKind, Simulation};
+use psb::workloads::Benchmark;
+
+const WINDOW: u64 = 40_000;
+
+fn run(bench: Benchmark, kind: PrefetcherKind) -> psb::sim::SimStats {
+    let cfg = MachineConfig::baseline().with_prefetcher(kind);
+    Simulation::new(cfg, bench.trace(1), WINDOW).run()
+}
+
+#[test]
+fn every_benchmark_completes_on_every_prefetcher() {
+    for bench in Benchmark::ALL {
+        for kind in [PrefetcherKind::None, PrefetcherKind::PsbConfPriority] {
+            let s = run(bench, kind);
+            assert!(s.cpu.committed >= WINDOW, "{bench}/{kind:?}: {}", s.cpu.committed);
+            assert!(s.ipc() > 0.0 && s.ipc() <= 8.0, "{bench}/{kind:?}: ipc {}", s.ipc());
+            assert!(s.l1d.accesses() > 0, "{bench}: no memory traffic?");
+            assert!(s.cpu.bpred.accuracy() > 0.5, "{bench}: branch accuracy collapsed");
+        }
+    }
+}
+
+#[test]
+fn full_simulation_is_deterministic() {
+    let a = run(Benchmark::DeltaBlue, PrefetcherKind::PsbConfPriority);
+    let b = run(Benchmark::DeltaBlue, PrefetcherKind::PsbConfPriority);
+    assert_eq!(a.cpu.cycles, b.cpu.cycles);
+    assert_eq!(a.cpu.committed, b.cpu.committed);
+    assert_eq!(a.prefetch, b.prefetch);
+    assert_eq!(a.l1d, b.l1d);
+    assert_eq!(a.l1_l2_busy, b.l1_l2_busy);
+}
+
+#[test]
+fn psb_beats_base_on_the_flagship_pointer_benchmark() {
+    // A longer window than the other tests: the Markov predictor needs a
+    // full lap over health's patient lists before the streams pay off.
+    let window = 130_000;
+    let trace = Benchmark::Health.trace(1);
+    let base =
+        Simulation::new(MachineConfig::baseline(), trace.clone(), window).run();
+    let psb = Simulation::new(
+        MachineConfig::baseline().with_prefetcher(PrefetcherKind::PsbConfPriority),
+        trace,
+        window,
+    )
+    .run();
+    assert!(
+        psb.ipc() > base.ipc() * 1.15,
+        "PSB {:.3} should clearly beat base {:.3} on health",
+        psb.ipc(),
+        base.ipc()
+    );
+    assert!(psb.prefetch.used > 0);
+    assert!(psb.prefetch_accuracy() > 0.3);
+}
+
+#[test]
+fn psb_matches_stride_on_the_fortran_benchmark() {
+    let stride = run(Benchmark::Turb3d, PrefetcherKind::PcStride);
+    let psb = run(Benchmark::Turb3d, PrefetcherKind::PsbConfPriority);
+    let ratio = psb.ipc() / stride.ipc();
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "PSB/PC-stride on turb3d should be near 1.0, got {ratio:.3}"
+    );
+}
+
+#[test]
+fn prefetching_reduces_average_load_latency() {
+    let base = run(Benchmark::Gs, PrefetcherKind::None);
+    let psb = run(Benchmark::Gs, PrefetcherKind::PsbConfPriority);
+    assert!(
+        psb.avg_load_latency() < base.avg_load_latency(),
+        "psb {:.1} vs base {:.1}",
+        psb.avg_load_latency(),
+        base.avg_load_latency()
+    );
+    assert!(psb.l1d_miss_rate() <= base.l1d_miss_rate() + 1e-9);
+}
+
+#[test]
+fn prefetching_consumes_more_bus_bandwidth() {
+    let base = run(Benchmark::Burg, PrefetcherKind::None);
+    let psb = run(Benchmark::Burg, PrefetcherKind::PsbConfPriority);
+    assert!(
+        psb.l1_l2_bus_percent() > base.l1_l2_bus_percent(),
+        "prefetch traffic must show up on the bus"
+    );
+}
+
+#[test]
+fn disambiguation_policies_order_correctly() {
+    use psb::cpu::Disambiguation;
+    let trace = Benchmark::DeltaBlue.trace(1);
+    let perfect = Simulation::new(MachineConfig::baseline(), trace.clone(), WINDOW).run();
+    let nodis = Simulation::new(
+        MachineConfig::baseline().with_disambiguation(Disambiguation::WaitForStores),
+        trace,
+        WINDOW,
+    )
+    .run();
+    assert!(
+        perfect.ipc() >= nodis.ipc() * 0.999,
+        "perfect store sets must not lose: {} vs {}",
+        perfect.ipc(),
+        nodis.ipc()
+    );
+}
+
+#[test]
+fn smaller_cache_misses_more() {
+    use psb::mem::CacheConfig;
+    let trace = Benchmark::Health.trace(1);
+    let big = Simulation::new(MachineConfig::baseline(), trace.clone(), WINDOW).run();
+    let small = Simulation::new(
+        MachineConfig::baseline().with_l1d(CacheConfig::l1d_16k_4way()),
+        trace,
+        WINDOW,
+    )
+    .run();
+    assert!(
+        small.l1d_miss_rate() >= big.l1d_miss_rate(),
+        "16K cache should miss at least as often as 32K"
+    );
+}
+
+#[test]
+fn custom_engine_injection_works() {
+    use psb::core::{PsbPrefetcher, SbConfig};
+    let cfg = MachineConfig::baseline();
+    let s = Simulation::new(cfg, Benchmark::DeltaBlue.trace(1), WINDOW)
+        .with_engine(Box::new(PsbPrefetcher::psb(SbConfig::psb_conf_priority())))
+        .run();
+    assert!(s.prefetch.issued > 0);
+}
+
+#[test]
+fn event_log_records_the_access_mix() {
+    use psb::sim::{MemEventKind, MemLog};
+    let log = MemLog::shared(500);
+    let cfg = MachineConfig::baseline().with_prefetcher(PrefetcherKind::PsbConfPriority);
+    let _ = Simulation::new(cfg, Benchmark::Health.trace(1), 60_000)
+        .with_event_log(log.clone())
+        .run();
+    let l = log.borrow();
+    assert!(l.is_full(), "a 60k-instruction run must produce 500 events");
+    let kinds: std::collections::HashSet<_> = l.events().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&MemEventKind::L1Hit));
+    assert!(kinds.contains(&MemEventKind::DemandMemory));
+    assert!(kinds.contains(&MemEventKind::Prefetch));
+    // Events are in nondecreasing demand order per source, and every
+    // ready time is at/after its request.
+    for e in l.events() {
+        assert!(e.ready >= e.cycle, "{e}");
+    }
+}
+
+#[test]
+fn trace_serialization_round_trips_through_the_simulator() {
+    let trace = Benchmark::Gs.trace(1);
+    let mut buf = Vec::new();
+    psb::workloads::write_trace(&mut buf, &trace).unwrap();
+    let back = psb::workloads::read_trace(&buf[..]).unwrap();
+    let a = Simulation::new(MachineConfig::baseline(), trace, 30_000).run();
+    let b = Simulation::new(MachineConfig::baseline(), back, 30_000).run();
+    assert_eq!(a.cpu.cycles, b.cpu.cycles, "serialized trace must simulate identically");
+}
+
+#[test]
+fn fetch_directed_prefetcher_runs_end_to_end() {
+    let s = run(Benchmark::Turb3d, PrefetcherKind::FetchDirected);
+    assert!(s.prefetch.issued > 0, "fetch sightings must trigger prefetches");
+    let base = run(Benchmark::Turb3d, PrefetcherKind::None);
+    assert!(s.ipc() > base.ipc(), "fetch-directed must help the strided benchmark");
+}
