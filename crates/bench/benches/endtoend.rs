@@ -1,36 +1,23 @@
-//! Criterion end-to-end benchmark: full-system simulated instructions per
-//! second under each prefetcher configuration.
+//! End-to-end benchmark: full-system simulated instructions per second
+//! under each prefetcher configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use psb_bench::micro::{bench, group};
 use psb_sim::{MachineConfig, PrefetcherKind, Simulation};
 use psb_workloads::Benchmark;
 use std::hint::black_box;
 
-fn bench_endtoend(c: &mut Criterion) {
+fn main() {
+    group("sim_throughput");
     // One modest trace, reused across configurations.
     let trace = Benchmark::DeltaBlue.trace(1);
     let window = 60_000u64;
 
-    let mut group = c.benchmark_group("sim_throughput");
-    group.throughput(Throughput::Elements(window));
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(5));
-
-    for kind in [
-        PrefetcherKind::None,
-        PrefetcherKind::PcStride,
-        PrefetcherKind::PsbConfPriority,
-    ] {
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                let cfg = MachineConfig::baseline().with_prefetcher(kind);
-                let stats = Simulation::new(cfg, black_box(trace.clone()), window).run();
-                black_box(stats.ipc())
-            });
+    for kind in [PrefetcherKind::None, PrefetcherKind::PcStride, PrefetcherKind::PsbConfPriority] {
+        bench(kind.label(), || {
+            let cfg = MachineConfig::baseline().with_prefetcher(kind);
+            let stats = Simulation::new(cfg, black_box(trace.clone()), window).run();
+            black_box(stats.ipc());
         });
     }
-    group.finish();
+    println!("(throughput basis: {window} committed instructions per iter)");
 }
-
-criterion_group!(benches, bench_endtoend);
-criterion_main!(benches);

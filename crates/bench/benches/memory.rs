@@ -1,91 +1,72 @@
-//! Criterion microbenchmarks: memory-hierarchy component throughput.
+//! Microbenchmarks: memory-hierarchy component throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use psb_bench::micro::{bench, group};
 use psb_common::{Addr, Cycle, SplitMix64};
 use psb_mem::{Bus, Cache, CacheConfig, L1Cache, LowerMemory, MemConfig, Tlb};
 use std::hint::black_box;
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("l1d_access_hit", |b| {
-        let mut cache = Cache::new(CacheConfig::l1d_32k_4way());
-        for i in 0..1024u64 {
-            cache.insert(Addr::new(i * 32));
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 1024;
-            black_box(cache.access(black_box(Addr::new(i * 32))));
-        });
+fn bench_cache() {
+    let mut cache = Cache::new(CacheConfig::l1d_32k_4way());
+    for i in 0..1024u64 {
+        cache.insert(Addr::new(i * 32));
+    }
+    let mut i = 0u64;
+    bench("l1d_access_hit", || {
+        i = (i + 1) % 1024;
+        black_box(cache.access(black_box(Addr::new(i * 32))));
     });
 
-    c.bench_function("l1d_insert_evict", |b| {
-        let mut cache = Cache::new(CacheConfig::l1d_32k_4way());
-        let mut rng = SplitMix64::new(3);
-        b.iter(|| {
-            black_box(cache.insert(Addr::new(rng.below(1 << 24) * 32)));
-        });
+    let mut cache = Cache::new(CacheConfig::l1d_32k_4way());
+    let mut rng = SplitMix64::new(3);
+    bench("l1d_insert_evict", || {
+        black_box(cache.insert(Addr::new(rng.below(1 << 24) * 32)));
     });
 }
 
-fn bench_bus_and_lower(c: &mut Criterion) {
-    c.bench_function("bus_acquire", |b| {
-        let mut bus = Bus::new(8);
-        let mut now = Cycle::ZERO;
-        b.iter(|| {
-            now += 1;
-            black_box(bus.acquire(now, 32));
-        });
+fn bench_bus_and_lower() {
+    let mut bus = Bus::new(8);
+    let mut now = Cycle::ZERO;
+    bench("bus_acquire", || {
+        now += 1;
+        black_box(bus.acquire(now, 32));
     });
 
-    c.bench_function("lower_fetch_block", |b| {
-        let mut lower = LowerMemory::new(&MemConfig::baseline());
-        let mut rng = SplitMix64::new(4);
-        let mut now = Cycle::ZERO;
-        b.iter(|| {
-            now += 8;
-            let addr = Addr::new(rng.below(1 << 22) * 32);
-            black_box(lower.fetch_block(now, addr, 32));
-        });
+    let mut lower = LowerMemory::new(&MemConfig::baseline());
+    let mut rng = SplitMix64::new(4);
+    let mut now = Cycle::ZERO;
+    bench("lower_fetch_block", || {
+        now += 8;
+        let addr = Addr::new(rng.below(1 << 22) * 32);
+        black_box(lower.fetch_block(now, addr, 32));
     });
 }
 
-fn bench_l1_and_tlb(c: &mut Criterion) {
-    c.bench_function("l1cache_lookup", |b| {
-        let mut l1 = L1Cache::new(CacheConfig::l1d_32k_4way(), 1, 16);
-        for i in 0..512u64 {
-            l1.install(Addr::new(i * 32));
-        }
-        let mut now = Cycle::ZERO;
-        let mut i = 0u64;
-        b.iter(|| {
-            now += 1;
-            i = (i + 1) % 1024; // half hits, half misses
-            black_box(l1.lookup(now, Addr::new(i * 32)));
-        });
+fn bench_l1_and_tlb() {
+    let mut l1 = L1Cache::new(CacheConfig::l1d_32k_4way(), 1, 16);
+    for i in 0..512u64 {
+        l1.install(Addr::new(i * 32));
+    }
+    let mut now = Cycle::ZERO;
+    let mut i = 0u64;
+    bench("l1cache_lookup", || {
+        now += 1;
+        i = (i + 1) % 1024; // half hits, half misses
+        black_box(l1.lookup(now, Addr::new(i * 32)));
     });
 
-    c.bench_function("tlb_translate", |b| {
-        let mut tlb = Tlb::new(128, 4, 8192, 30);
-        let mut rng = SplitMix64::new(5);
-        let mut now = Cycle::ZERO;
-        b.iter(|| {
-            now += 1;
-            let addr = Addr::new(rng.below(256) * 8192);
-            black_box(tlb.translate(now, addr, false));
-        });
+    let mut tlb = Tlb::new(128, 4, 8192, 30);
+    let mut rng = SplitMix64::new(5);
+    let mut now = Cycle::ZERO;
+    bench("tlb_translate", || {
+        now += 1;
+        let addr = Addr::new(rng.below(256) * 8192);
+        black_box(tlb.translate(now, addr, false));
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    group("memory");
+    bench_cache();
+    bench_bus_and_lower();
+    bench_l1_and_tlb();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_cache, bench_bus_and_lower, bench_l1_and_tlb
-}
-criterion_main!(benches);

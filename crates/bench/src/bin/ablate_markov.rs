@@ -8,11 +8,7 @@ use psb_sim::{run_point, MachineConfig, PrefetcherKind, Simulation, Table};
 use psb_workloads::Benchmark;
 
 fn psb_with_markov(entries: usize, bits: u32) -> Box<StreamEngine<SfmPredictor>> {
-    let sfm = SfmPredictor::new(
-        StrideTable::paper_baseline(),
-        MarkovTable::new(entries, bits),
-        32,
-    );
+    let sfm = SfmPredictor::new(StrideTable::paper_baseline(), MarkovTable::new(entries, bits), 32);
     Box::new(StreamEngine::new(
         SbConfig::psb_conf_priority(),
         sfm,

@@ -14,12 +14,8 @@ fn main() {
     let scale = scale_arg();
     println!("Ablation — Markov order (ConfAlloc-Priority PSB)\n");
 
-    let mut t = Table::new(vec![
-        "program".into(),
-        "order-1".into(),
-        "order-2".into(),
-        "delta".into(),
-    ]);
+    let mut t =
+        Table::new(vec!["program".into(), "order-1".into(), "order-2".into(), "delta".into()]);
 
     for bench in Benchmark::ALL {
         eprintln!("running {bench}...");

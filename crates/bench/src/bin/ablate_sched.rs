@@ -34,8 +34,8 @@ fn main() {
     ]);
     for theta in [0u32, 1, 2, 4, 6] {
         eprintln!("threshold {theta}...");
-        let cfg = SbConfig::psb_conf_priority()
-            .with_filter(AllocFilter::Confidence { threshold: theta });
+        let cfg =
+            SbConfig::psb_conf_priority().with_filter(AllocFilter::Confidence { threshold: theta });
         let mut cells = vec![format!("theta = {theta}")];
         for (&bench, base) in benches.iter().zip(&bases) {
             let s = run_with(cfg, bench, scale);

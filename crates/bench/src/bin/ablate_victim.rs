@@ -24,8 +24,7 @@ fn main() {
     for bench in Benchmark::ALL {
         eprintln!("running {bench} (4 configurations)...");
         let base = run_config(bench, MachineConfig::baseline(), scale);
-        let victim =
-            run_config(bench, MachineConfig::baseline().with_victim_cache(16), scale);
+        let victim = run_config(bench, MachineConfig::baseline().with_victim_cache(16), scale);
         let psb = run_config(
             bench,
             MachineConfig::baseline().with_prefetcher(PrefetcherKind::PsbConfPriority),

@@ -9,11 +9,8 @@ use psb_sim::{run_paper_row, Table};
 use psb_workloads::Benchmark;
 
 fn main() {
-    let bench: Benchmark = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "deltablue".into())
-        .parse()
-        .unwrap_or_else(|e| {
+    let bench: Benchmark =
+        std::env::args().nth(1).unwrap_or_else(|| "deltablue".into()).parse().unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
         });

@@ -23,9 +23,7 @@ fn main() {
         let mut cells = vec![bench.name().to_owned()];
         for kind in [PrefetcherKind::None, PrefetcherKind::PsbConfPriority] {
             for dis in [Disambiguation::WaitForStores, Disambiguation::Perfect] {
-                let cfg = MachineConfig::baseline()
-                    .with_prefetcher(kind)
-                    .with_disambiguation(dis);
+                let cfg = MachineConfig::baseline().with_prefetcher(kind).with_disambiguation(dis);
                 cells.push(f2(run_config(bench, cfg, scale).ipc()));
             }
         }

@@ -11,10 +11,7 @@ use psb_workloads::Benchmark;
 
 fn main() {
     let scale = scale_arg();
-    println!(
-        "Prior-art comparison — percent speedup over base ({})\n",
-        machine_banner(scale)
-    );
+    println!("Prior-art comparison — percent speedup over base ({})\n", machine_banner(scale));
 
     let kinds = [
         PrefetcherKind::NextLine,

@@ -8,6 +8,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Pure-std microbenchmark harness used by the `benches/` binaries.
+pub mod micro;
+
 use psb_common::{Addr, Cycle};
 use psb_cpu::DynInst;
 use psb_mem::{Cache, CacheConfig};

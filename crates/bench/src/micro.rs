@@ -1,0 +1,50 @@
+//! Minimal wall-clock microbenchmark harness, pure std.
+//!
+//! Replaces the external criterion dependency so the bench targets
+//! build and run offline: `cargo bench -p psb-bench` executes each
+//! `[[bench]]` binary's `main`, which calls [`bench`] per measurement.
+//! Numbers are indicative (no outlier rejection), which is all the
+//! repo needs for before/after comparisons on one machine.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement. Override with the
+/// `PSB_BENCH_MS` environment variable (e.g. `PSB_BENCH_MS=5` for a
+/// smoke run in CI).
+fn budget() -> Duration {
+    let ms = std::env::var("PSB_BENCH_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(200u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Measure `f` by doubling the batch size until the batch fills the
+/// time budget, then report nanoseconds per iteration.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    let budget = budget();
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= budget || iters >= 1 << 32 {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<32} {ns:>12.1} ns/iter  ({iters} iters)");
+            return;
+        }
+        // Aim straight for the budget once we have a signal; otherwise
+        // keep doubling from the cold start.
+        let grown = if elapsed.as_nanos() > 0 {
+            let scale = budget.as_nanos() as f64 / elapsed.as_nanos() as f64;
+            ((iters as f64 * scale * 1.2) as u64).max(iters * 2)
+        } else {
+            iters * 4
+        };
+        iters = grown.min(1 << 32);
+    }
+}
+
+/// Print a group header so bench output stays scannable.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

@@ -1,0 +1,928 @@
+//! Runtime invariant auditor for the PSB simulator.
+//!
+//! The paper's results hinge on microarchitectural invariants the
+//! simulator code only implies: stream buffers hold non-overlapping
+//! streams, each buffer issues its prefetches in FIFO order, the
+//! priority scheduler never passes over a higher-priority buffer, MSHRs
+//! never hold duplicate blocks or exceed capacity, bus grants are
+//! causal, prefetches only use the L1↔L2 bus when it is free at the
+//! start of the cycle (demand misses outrank them), saturating counters
+//! stay in range, a block never lives in the L1 and the victim cache at
+//! once, and the event log advances monotonically in time.
+//!
+//! This crate makes those invariants executable. Simulator layers
+//! publish small [`Snapshot`]s at hook points (gated behind their
+//! `check` cargo feature so release figure runs pay zero overhead); a
+//! thread-local [`Registry`] of [`Checker`]s validates each snapshot
+//! and records any [`Violation`]s in a thread-local sink that tests and
+//! [`run_audited`](https://docs.rs/psb-sim) drain with [`take`].
+//!
+//! The snapshot types are plain data, so the crate's own unit tests
+//! prove every checker *live* by corrupting a snapshot and asserting
+//! the checker fires — no simulator required.
+
+use psb_common::{BlockAddr, Cycle};
+use std::cell::RefCell;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Violations
+// ---------------------------------------------------------------------------
+
+/// A single invariant violation observed at a hook point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the checker that fired (stable identifier, e.g.
+    /// `"stream-nonoverlap"`).
+    pub checker: &'static str,
+    /// Simulated cycle at which the violation was observed.
+    pub cycle: Cycle,
+    /// Human-readable description of what was wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] cycle {}: {}", self.checker, self.cycle.raw(), self.detail)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots published by hook points
+// ---------------------------------------------------------------------------
+
+/// Lifecycle state of one stream-buffer entry, mirrored from
+/// `psb_core::SbEntry` without depending on it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// No block assigned.
+    Empty,
+    /// Predicted block assigned, prefetch not yet issued.
+    Allocated(BlockAddr),
+    /// Prefetch issued, fill still travelling.
+    InFlight(BlockAddr),
+    /// Block arrived and is ready to satisfy a miss.
+    Ready(BlockAddr),
+}
+
+impl EntryKind {
+    /// The block held by this entry, if any.
+    pub fn block(self) -> Option<BlockAddr> {
+        match self {
+            EntryKind::Empty => None,
+            EntryKind::Allocated(b) | EntryKind::InFlight(b) | EntryKind::Ready(b) => Some(b),
+        }
+    }
+}
+
+/// One stream buffer as seen by the stream-file checkers.
+#[derive(Clone, Debug)]
+pub struct BufferSnapshot {
+    /// Whether the buffer currently tracks a stream.
+    pub active: bool,
+    /// Current priority-counter value.
+    pub priority: u32,
+    /// Saturation ceiling of the priority counter.
+    pub priority_max: u32,
+    /// Entry states in FIFO order (head first).
+    pub entries: Vec<EntryKind>,
+}
+
+/// A contender in a scheduler pick, by buffer index.
+#[derive(Copy, Clone, Debug)]
+pub struct Contender {
+    /// Index of the buffer in the stream file.
+    pub index: usize,
+    /// Its priority-counter value at pick time.
+    pub priority: u32,
+}
+
+/// State published at a hook point for the registry to validate.
+#[derive(Clone, Debug)]
+pub enum Snapshot {
+    /// End-of-tick view of the whole stream-buffer file.
+    Streams {
+        /// Cycle of the observation.
+        now: Cycle,
+        /// Every buffer in the file, active or not.
+        buffers: Vec<BufferSnapshot>,
+    },
+    /// A prefetch was issued from one buffer: `issued` is the entry
+    /// index chosen; `entries` is the buffer's entry states *before*
+    /// the issue.
+    PrefetchIssue {
+        /// Cycle of the issue.
+        now: Cycle,
+        /// Entry states before the issue, head first.
+        entries: Vec<EntryKind>,
+        /// Index of the entry the engine chose to issue.
+        issued: usize,
+    },
+    /// The priority scheduler granted a port to `winner` among
+    /// `eligible` contenders.
+    Grant {
+        /// Cycle of the grant.
+        now: Cycle,
+        /// The buffer that won the port.
+        winner: Contender,
+        /// All buffers that were eligible this cycle (winner included).
+        eligible: Vec<Contender>,
+    },
+    /// MSHR file contents after a mutation.
+    Mshr {
+        /// Cycle of the observation.
+        now: Cycle,
+        /// Maximum number of outstanding misses.
+        capacity: usize,
+        /// Blocks currently outstanding.
+        blocks: Vec<BlockAddr>,
+    },
+    /// A bus grant was handed out.
+    BusGrant {
+        /// Cycle the requester asked for the bus.
+        now: Cycle,
+        /// Cycle the transfer starts.
+        start: Cycle,
+        /// Cycle the transfer completes.
+        end: Cycle,
+    },
+    /// A prefetch reached the lower memory system.
+    PrefetchFetch {
+        /// Cycle of the fetch.
+        now: Cycle,
+        /// Whether the L1↔L2 bus was free when the prefetch fetched.
+        bus_free: bool,
+    },
+    /// A saturating counter was observed.
+    Counter {
+        /// Cycle of the observation.
+        now: Cycle,
+        /// What the counter measures (e.g. `"sb-priority"`).
+        what: &'static str,
+        /// Current value.
+        value: u32,
+        /// Saturation ceiling.
+        max: u32,
+    },
+    /// A block's residency in the L1 and the victim cache.
+    Victim {
+        /// Cycle of the observation.
+        now: Cycle,
+        /// The block that moved between L1 and victim cache.
+        block: BlockAddr,
+        /// Whether the L1 currently holds the block.
+        in_l1: bool,
+        /// Whether the victim cache currently holds the block.
+        in_victim: bool,
+    },
+    /// A memory event was appended to the event log.
+    Event {
+        /// Cycle of the last previously logged event.
+        prev_cycle: Cycle,
+        /// Cycle of the new event.
+        cycle: Cycle,
+        /// Completion cycle carried by the new event, if any.
+        ready: Option<Cycle>,
+        /// Allowed backward skew in cycles. Demand accesses are stamped
+        /// *after* address translation, so a TLB miss can push an event's
+        /// cycle ahead of later same-cycle submissions by up to the TLB
+        /// miss penalty; the log is otherwise append-ordered.
+        slack: u64,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Checker trait and the built-in registry
+// ---------------------------------------------------------------------------
+
+/// A single cross-layer invariant.
+///
+/// Checkers are stateless validators: they look at one [`Snapshot`] and
+/// report what is wrong with it. A checker that does not care about a
+/// snapshot kind returns no violations for it.
+pub trait Checker {
+    /// Stable identifier used in [`Violation::checker`].
+    fn name(&self) -> &'static str;
+    /// Validate one snapshot, appending any violations to `out`.
+    fn check(&self, snap: &Snapshot, out: &mut Vec<Violation>);
+}
+
+macro_rules! violation {
+    ($out:expr, $name:expr, $cycle:expr, $($arg:tt)*) => {
+        $out.push(Violation { checker: $name, cycle: $cycle, detail: format!($($arg)*) })
+    };
+}
+
+/// Stream buffers must hold pairwise non-overlapping streams: the same
+/// block may never be tracked by two buffers at once (§4.3 allocation
+/// filtering checks `covered` before allocating).
+pub struct StreamNonOverlap;
+
+impl Checker for StreamNonOverlap {
+    fn name(&self) -> &'static str {
+        "stream-nonoverlap"
+    }
+
+    fn check(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        let Snapshot::Streams { now, buffers } = snap else {
+            return;
+        };
+        let mut seen: Vec<(BlockAddr, usize)> = Vec::new();
+        for (i, buf) in buffers.iter().enumerate() {
+            if !buf.active {
+                continue;
+            }
+            for block in buf.entries.iter().filter_map(|e| e.block()) {
+                if let Some(&(_, j)) = seen.iter().find(|(b, j)| *b == block && *j != i) {
+                    violation!(
+                        out,
+                        self.name(),
+                        *now,
+                        "block {:#x} tracked by buffers {} and {}",
+                        block.0,
+                        j,
+                        i
+                    );
+                }
+                seen.push((block, i));
+            }
+        }
+    }
+}
+
+/// Each stream buffer is a FIFO: a prefetch must issue from the oldest
+/// (lowest-index) `Allocated` entry, never skipping ahead.
+pub struct StreamFifoIssue;
+
+impl Checker for StreamFifoIssue {
+    fn name(&self) -> &'static str {
+        "stream-fifo-issue"
+    }
+
+    fn check(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        let Snapshot::PrefetchIssue { now, entries, issued } = snap else {
+            return;
+        };
+        match entries.get(*issued) {
+            Some(EntryKind::Allocated(_)) => {}
+            other => {
+                violation!(
+                    out,
+                    self.name(),
+                    *now,
+                    "issued entry {} is {:?}, not Allocated",
+                    issued,
+                    other
+                );
+                return;
+            }
+        }
+        if let Some(skipped) =
+            entries[..*issued].iter().position(|e| matches!(e, EntryKind::Allocated(_)))
+        {
+            violation!(
+                out,
+                self.name(),
+                *now,
+                "issued entry {} but older entry {} was still Allocated",
+                issued,
+                skipped
+            );
+        }
+    }
+}
+
+/// The priority scheduler must never grant a port to a buffer while a
+/// strictly higher-priority buffer was eligible (§4.4: high-confidence
+/// streams outrank low-confidence ones).
+pub struct PriorityGrantOrder;
+
+impl Checker for PriorityGrantOrder {
+    fn name(&self) -> &'static str {
+        "priority-grant-order"
+    }
+
+    fn check(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        let Snapshot::Grant { now, winner, eligible } = snap else {
+            return;
+        };
+        for c in eligible {
+            if c.priority > winner.priority {
+                violation!(
+                    out,
+                    self.name(),
+                    *now,
+                    "buffer {} (priority {}) granted over buffer {} (priority {})",
+                    winner.index,
+                    winner.priority,
+                    c.index,
+                    c.priority
+                );
+            }
+        }
+    }
+}
+
+/// MSHRs must never hold the same block twice (misses to an in-flight
+/// block merge) nor exceed their configured capacity.
+pub struct MshrSound;
+
+impl Checker for MshrSound {
+    fn name(&self) -> &'static str {
+        "mshr-sound"
+    }
+
+    fn check(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        let Snapshot::Mshr { now, capacity, blocks } = snap else {
+            return;
+        };
+        if blocks.len() > *capacity {
+            violation!(
+                out,
+                self.name(),
+                *now,
+                "{} outstanding misses exceed capacity {}",
+                blocks.len(),
+                capacity
+            );
+        }
+        let mut sorted = blocks.clone();
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            if pair[0] == pair[1] {
+                violation!(out, self.name(), *now, "duplicate MSHR for block {:#x}", pair[0].0);
+            }
+        }
+    }
+}
+
+/// Bus grants must be causal: a transfer granted at cycle `now` starts
+/// no earlier than `now` and ends no earlier than it starts.
+pub struct BusCausality;
+
+impl Checker for BusCausality {
+    fn name(&self) -> &'static str {
+        "bus-causality"
+    }
+
+    fn check(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        let Snapshot::BusGrant { now, start, end } = snap else {
+            return;
+        };
+        if start < now {
+            violation!(
+                out,
+                self.name(),
+                *now,
+                "transfer starts at {} before request cycle {}",
+                start.raw(),
+                now.raw()
+            );
+        }
+        if end < start {
+            violation!(
+                out,
+                self.name(),
+                *now,
+                "transfer ends at {} before it starts at {}",
+                end.raw(),
+                start.raw()
+            );
+        }
+    }
+}
+
+/// Prefetches only get the L1↔L2 bus when it is free at the start of
+/// the cycle — demand misses always outrank them (§4.4).
+pub struct PrefetchBusPriority;
+
+impl Checker for PrefetchBusPriority {
+    fn name(&self) -> &'static str {
+        "prefetch-bus-priority"
+    }
+
+    fn check(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        let Snapshot::PrefetchFetch { now, bus_free } = snap else {
+            return;
+        };
+        if !bus_free {
+            violation!(out, self.name(), *now, "prefetch issued while L1\u{2194}L2 bus was busy");
+        }
+    }
+}
+
+/// Saturating counters must stay within `0..=max`.
+pub struct CounterRange;
+
+impl Checker for CounterRange {
+    fn name(&self) -> &'static str {
+        "counter-range"
+    }
+
+    fn check(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        match snap {
+            Snapshot::Counter { now, what, value, max } if value > max => {
+                violation!(
+                    out,
+                    self.name(),
+                    *now,
+                    "{} counter value {} exceeds ceiling {}",
+                    what,
+                    value,
+                    max
+                );
+            }
+            Snapshot::Streams { now, buffers } => {
+                for (i, buf) in buffers.iter().enumerate() {
+                    if buf.priority > buf.priority_max {
+                        violation!(
+                            out,
+                            self.name(),
+                            *now,
+                            "buffer {} priority {} exceeds ceiling {}",
+                            i,
+                            buf.priority,
+                            buf.priority_max
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A block must never be resident in the L1 and the victim cache at the
+/// same time — the victim cache holds only evictees, and a victim hit
+/// moves the block back (exclusive hierarchy).
+pub struct VictimExclusive;
+
+impl Checker for VictimExclusive {
+    fn name(&self) -> &'static str {
+        "victim-exclusive"
+    }
+
+    fn check(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        let Snapshot::Victim { now, block, in_l1, in_victim } = snap else {
+            return;
+        };
+        if *in_l1 && *in_victim {
+            violation!(
+                out,
+                self.name(),
+                *now,
+                "block {:#x} resident in both L1 and victim cache",
+                block.0
+            );
+        }
+    }
+}
+
+/// The event log must advance monotonically in time (up to the
+/// snapshot's declared translation skew), and an event's completion
+/// cycle can never precede its issue cycle.
+pub struct EventMonotonic;
+
+impl Checker for EventMonotonic {
+    fn name(&self) -> &'static str {
+        "event-monotonic"
+    }
+
+    fn check(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        let Snapshot::Event { prev_cycle, cycle, ready, slack } = snap else {
+            return;
+        };
+        if cycle.raw() + slack < prev_cycle.raw() {
+            violation!(
+                out,
+                self.name(),
+                *cycle,
+                "event at cycle {} logged after cycle {} (allowed skew {})",
+                cycle.raw(),
+                prev_cycle.raw(),
+                slack
+            );
+        }
+        if let Some(ready) = ready {
+            if ready < cycle {
+                violation!(
+                    out,
+                    self.name(),
+                    *cycle,
+                    "event completes at {} before its issue cycle {}",
+                    ready.raw(),
+                    cycle.raw()
+                );
+            }
+        }
+    }
+}
+
+/// An ordered collection of [`Checker`]s run over every snapshot.
+pub struct Registry {
+    checkers: Vec<Box<dyn Checker>>,
+}
+
+impl Registry {
+    /// An empty registry with no checkers.
+    pub fn empty() -> Self {
+        Registry { checkers: Vec::new() }
+    }
+
+    /// The standard registry with every built-in invariant.
+    pub fn standard() -> Self {
+        Registry {
+            checkers: vec![
+                Box::new(StreamNonOverlap),
+                Box::new(StreamFifoIssue),
+                Box::new(PriorityGrantOrder),
+                Box::new(MshrSound),
+                Box::new(BusCausality),
+                Box::new(PrefetchBusPriority),
+                Box::new(CounterRange),
+                Box::new(VictimExclusive),
+                Box::new(EventMonotonic),
+            ],
+        }
+    }
+
+    /// Add a checker to the registry.
+    pub fn register(&mut self, checker: Box<dyn Checker>) {
+        self.checkers.push(checker);
+    }
+
+    /// Names of all registered checkers, in run order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.checkers.iter().map(|c| c.name()).collect()
+    }
+
+    /// Run every checker over one snapshot, returning the violations.
+    pub fn run(&self, snap: &Snapshot) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for c in &self.checkers {
+            c.check(snap, &mut out);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local audit sink
+// ---------------------------------------------------------------------------
+
+struct Sink {
+    registry: Registry,
+    violations: Vec<Violation>,
+    audits: u64,
+}
+
+thread_local! {
+    static SINK: RefCell<Sink> = RefCell::new(Sink {
+        registry: Registry::standard(),
+        violations: Vec::new(),
+        audits: 0,
+    });
+}
+
+/// Validate one snapshot against the thread-local registry, recording
+/// any violations in the thread-local sink. This is the single entry
+/// point hook sites call.
+pub fn audit(snap: &Snapshot) {
+    SINK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.audits += 1;
+        let mut found = s.registry.run(snap);
+        // Cap retention so a pathological run cannot grow without bound;
+        // the count is still exact via `violation_count` semantics below.
+        if s.violations.len() < 4096 {
+            s.violations.append(&mut found);
+        }
+    });
+}
+
+/// Clear recorded violations and the audit counter (start of a run).
+pub fn reset() {
+    SINK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.violations.clear();
+        s.audits = 0;
+    });
+}
+
+/// Drain and return all recorded violations.
+pub fn take() -> Vec<Violation> {
+    SINK.with(|s| std::mem::take(&mut s.borrow_mut().violations))
+}
+
+/// Whether no violations have been recorded since the last [`reset`] /
+/// [`take`].
+pub fn is_clean() -> bool {
+    SINK.with(|s| s.borrow().violations.is_empty())
+}
+
+/// Number of snapshots audited since the last [`reset`] — lets tests
+/// assert the hooks are actually wired in, not silently compiled out.
+pub fn audits() -> u64 {
+    SINK.with(|s| s.borrow().audits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x: u64) -> BlockAddr {
+        BlockAddr(x)
+    }
+
+    fn cy(x: u64) -> Cycle {
+        Cycle::new(x)
+    }
+
+    fn buffer(active: bool, priority: u32, entries: Vec<EntryKind>) -> BufferSnapshot {
+        BufferSnapshot { active, priority, priority_max: 12, entries }
+    }
+
+    fn run(snap: &Snapshot) -> Vec<Violation> {
+        Registry::standard().run(snap)
+    }
+
+    #[test]
+    fn registry_has_at_least_six_invariants() {
+        let names = Registry::standard().names();
+        assert!(names.len() >= 6, "only {} checkers registered", names.len());
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "checker names must be unique");
+    }
+
+    // -- stream-nonoverlap ------------------------------------------------
+
+    #[test]
+    fn nonoverlap_silent_on_disjoint_streams() {
+        let snap = Snapshot::Streams {
+            now: cy(10),
+            buffers: vec![
+                buffer(true, 3, vec![EntryKind::Ready(b(1)), EntryKind::Allocated(b(2))]),
+                buffer(true, 5, vec![EntryKind::InFlight(b(7)), EntryKind::Empty]),
+            ],
+        };
+        assert!(run(&snap).is_empty());
+    }
+
+    #[test]
+    fn nonoverlap_fires_on_shared_block() {
+        let snap = Snapshot::Streams {
+            now: cy(10),
+            buffers: vec![
+                buffer(true, 3, vec![EntryKind::Ready(b(42))]),
+                buffer(true, 5, vec![EntryKind::Allocated(b(42))]),
+            ],
+        };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "stream-nonoverlap"), "{v:?}");
+    }
+
+    #[test]
+    fn nonoverlap_ignores_inactive_buffers() {
+        let snap = Snapshot::Streams {
+            now: cy(10),
+            buffers: vec![
+                buffer(true, 3, vec![EntryKind::Ready(b(42))]),
+                buffer(false, 0, vec![EntryKind::Ready(b(42))]),
+            ],
+        };
+        assert!(run(&snap).is_empty());
+    }
+
+    // -- stream-fifo-issue ------------------------------------------------
+
+    #[test]
+    fn fifo_silent_on_oldest_allocated() {
+        let snap = Snapshot::PrefetchIssue {
+            now: cy(3),
+            entries: vec![
+                EntryKind::Ready(b(1)),
+                EntryKind::Allocated(b(2)),
+                EntryKind::Allocated(b(3)),
+            ],
+            issued: 1,
+        };
+        assert!(run(&snap).is_empty());
+    }
+
+    #[test]
+    fn fifo_fires_when_issue_skips_older_entry() {
+        let snap = Snapshot::PrefetchIssue {
+            now: cy(3),
+            entries: vec![EntryKind::Allocated(b(2)), EntryKind::Allocated(b(3))],
+            issued: 1,
+        };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "stream-fifo-issue"), "{v:?}");
+    }
+
+    #[test]
+    fn fifo_fires_when_issued_entry_not_allocated() {
+        let snap = Snapshot::PrefetchIssue {
+            now: cy(3),
+            entries: vec![EntryKind::Ready(b(2))],
+            issued: 0,
+        };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "stream-fifo-issue"), "{v:?}");
+    }
+
+    // -- priority-grant-order ---------------------------------------------
+
+    #[test]
+    fn grant_silent_when_winner_has_top_priority() {
+        let snap = Snapshot::Grant {
+            now: cy(9),
+            winner: Contender { index: 2, priority: 7 },
+            eligible: vec![
+                Contender { index: 0, priority: 3 },
+                Contender { index: 2, priority: 7 },
+                Contender { index: 5, priority: 7 },
+            ],
+        };
+        assert!(run(&snap).is_empty());
+    }
+
+    #[test]
+    fn grant_fires_when_low_priority_wins() {
+        let snap = Snapshot::Grant {
+            now: cy(9),
+            winner: Contender { index: 0, priority: 1 },
+            eligible: vec![
+                Contender { index: 0, priority: 1 },
+                Contender { index: 3, priority: 11 },
+            ],
+        };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "priority-grant-order"), "{v:?}");
+    }
+
+    // -- mshr-sound -------------------------------------------------------
+
+    #[test]
+    fn mshr_silent_on_distinct_blocks_within_capacity() {
+        let snap = Snapshot::Mshr { now: cy(4), capacity: 8, blocks: vec![b(1), b(2), b(3)] };
+        assert!(run(&snap).is_empty());
+    }
+
+    #[test]
+    fn mshr_fires_on_duplicate_block() {
+        let snap = Snapshot::Mshr { now: cy(4), capacity: 8, blocks: vec![b(1), b(2), b(1)] };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "mshr-sound"), "{v:?}");
+    }
+
+    #[test]
+    fn mshr_fires_on_capacity_overflow() {
+        let snap = Snapshot::Mshr { now: cy(4), capacity: 2, blocks: vec![b(1), b(2), b(3)] };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "mshr-sound"), "{v:?}");
+    }
+
+    // -- bus-causality ----------------------------------------------------
+
+    #[test]
+    fn bus_silent_on_causal_grant() {
+        let snap = Snapshot::BusGrant { now: cy(10), start: cy(12), end: cy(16) };
+        assert!(run(&snap).is_empty());
+    }
+
+    #[test]
+    fn bus_fires_on_grant_in_the_past() {
+        let snap = Snapshot::BusGrant { now: cy(10), start: cy(8), end: cy(16) };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "bus-causality"), "{v:?}");
+    }
+
+    #[test]
+    fn bus_fires_on_negative_duration() {
+        let snap = Snapshot::BusGrant { now: cy(10), start: cy(12), end: cy(11) };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "bus-causality"), "{v:?}");
+    }
+
+    // -- prefetch-bus-priority --------------------------------------------
+
+    #[test]
+    fn prefetch_silent_when_bus_free() {
+        let snap = Snapshot::PrefetchFetch { now: cy(5), bus_free: true };
+        assert!(run(&snap).is_empty());
+    }
+
+    #[test]
+    fn prefetch_fires_when_bus_busy() {
+        let snap = Snapshot::PrefetchFetch { now: cy(5), bus_free: false };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "prefetch-bus-priority"), "{v:?}");
+    }
+
+    // -- counter-range ----------------------------------------------------
+
+    #[test]
+    fn counter_silent_in_range() {
+        let snap = Snapshot::Counter { now: cy(1), what: "sb-priority", value: 12, max: 12 };
+        assert!(run(&snap).is_empty());
+    }
+
+    #[test]
+    fn counter_fires_above_ceiling() {
+        let snap = Snapshot::Counter { now: cy(1), what: "sb-priority", value: 13, max: 12 };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "counter-range"), "{v:?}");
+    }
+
+    #[test]
+    fn counter_fires_on_overflowed_buffer_priority() {
+        let snap = Snapshot::Streams {
+            now: cy(1),
+            buffers: vec![BufferSnapshot {
+                active: true,
+                priority: 99,
+                priority_max: 12,
+                entries: vec![EntryKind::Empty],
+            }],
+        };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "counter-range"), "{v:?}");
+    }
+
+    // -- victim-exclusive -------------------------------------------------
+
+    #[test]
+    fn victim_silent_when_exclusive() {
+        for (in_l1, in_victim) in [(true, false), (false, true), (false, false)] {
+            let snap = Snapshot::Victim { now: cy(2), block: b(9), in_l1, in_victim };
+            assert!(run(&snap).is_empty());
+        }
+    }
+
+    #[test]
+    fn victim_fires_on_double_residency() {
+        let snap = Snapshot::Victim { now: cy(2), block: b(9), in_l1: true, in_victim: true };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "victim-exclusive"), "{v:?}");
+    }
+
+    // -- event-monotonic --------------------------------------------------
+
+    #[test]
+    fn event_silent_on_monotonic_log() {
+        let snap =
+            Snapshot::Event { prev_cycle: cy(7), cycle: cy(7), ready: Some(cy(20)), slack: 0 };
+        assert!(run(&snap).is_empty());
+    }
+
+    #[test]
+    fn event_silent_within_translation_skew() {
+        // A demand access stamped after a TLB miss may legally precede
+        // the previous log entry by up to the declared skew.
+        let snap =
+            Snapshot::Event { prev_cycle: cy(37), cycle: cy(7), ready: Some(cy(20)), slack: 30 };
+        assert!(run(&snap).is_empty());
+    }
+
+    #[test]
+    fn event_fires_on_time_travel() {
+        let snap = Snapshot::Event { prev_cycle: cy(9), cycle: cy(7), ready: None, slack: 0 };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "event-monotonic"), "{v:?}");
+    }
+
+    #[test]
+    fn event_fires_beyond_translation_skew() {
+        let snap = Snapshot::Event { prev_cycle: cy(40), cycle: cy(7), ready: None, slack: 30 };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "event-monotonic"), "{v:?}");
+    }
+
+    #[test]
+    fn event_fires_on_completion_before_issue() {
+        let snap =
+            Snapshot::Event { prev_cycle: cy(5), cycle: cy(7), ready: Some(cy(6)), slack: 0 };
+        let v = run(&snap);
+        assert!(v.iter().any(|v| v.checker == "event-monotonic"), "{v:?}");
+    }
+
+    // -- sink -------------------------------------------------------------
+
+    #[test]
+    fn sink_records_and_drains() {
+        reset();
+        assert!(is_clean());
+        audit(&Snapshot::PrefetchFetch { now: cy(5), bus_free: false });
+        assert!(!is_clean());
+        assert_eq!(audits(), 1);
+        let v = take();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].checker, "prefetch-bus-priority");
+        assert!(is_clean());
+        reset();
+        assert_eq!(audits(), 0);
+    }
+}

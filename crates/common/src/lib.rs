@@ -34,6 +34,7 @@ mod addr;
 mod counter;
 mod cycle;
 mod rng;
+/// Streaming statistics: counters, ratios, running means, histograms.
 pub mod stats;
 
 pub use addr::{Addr, BlockAddr, PageAddr};

@@ -28,12 +28,7 @@ pub struct RunningMean {
 impl RunningMean {
     /// Creates an empty accumulator.
     pub const fn new() -> Self {
-        RunningMean {
-            sum: 0,
-            count: 0,
-            min: u64::MAX,
-            max: 0,
-        }
+        RunningMean { sum: 0, count: 0, min: u64::MAX, max: 0 }
     }
 
     /// Adds one sample.
@@ -182,11 +177,7 @@ pub struct Histogram {
 impl Histogram {
     /// Creates a histogram with `len` exact-value buckets.
     pub fn new(len: usize) -> Self {
-        Histogram {
-            buckets: vec![0; len],
-            overflow: 0,
-            total: 0,
-        }
+        Histogram { buckets: vec![0; len], overflow: 0, total: 0 }
     }
 
     /// Adds one sample.

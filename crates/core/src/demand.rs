@@ -73,7 +73,7 @@ impl PrefetchBuffer {
                 .enumerate()
                 .min_by_key(|(_, e)| e.lru)
                 .map(|(i, _)| i)
-                .expect("capacity > 0");
+                .expect("invariant: capacity > 0 keeps the entry list non-empty");
             let evicted = std::mem::replace(&mut self.entries[victim], entry);
             Some(evicted.block)
         }
@@ -154,7 +154,9 @@ impl Prefetcher for NextLinePrefetcher {
         if !sink.bus_free(now) {
             return;
         }
-        let Some(block) = self.pending.pop_front() else { return };
+        let Some(block) = self.pending.pop_front() else {
+            return;
+        };
         let ready = sink.fetch(now, block.base(self.block));
         self.buffer.insert(block, ready);
         self.stats.issued += 1;
@@ -301,7 +303,9 @@ impl Prefetcher for DemandMarkovPrefetcher {
         if !sink.bus_free(now) {
             return;
         }
-        let Some(block) = self.pending.pop_front() else { return };
+        let Some(block) = self.pending.pop_front() else {
+            return;
+        };
         // Remember which transition produced this prefetch for crediting.
         let source = self.last_miss.and_then(|prev| {
             let (idx, tag) = self.index(prev);

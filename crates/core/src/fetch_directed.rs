@@ -16,8 +16,8 @@
 //! on stream buffers instead: a fetch-stream prefetcher can never get
 //! farther ahead than the fetch unit itself.
 
-use crate::prefetcher::{PrefetchSink, PrefetchStats, Prefetcher, SbLookup};
 use crate::predictor::StrideTable;
+use crate::prefetcher::{PrefetchSink, PrefetchStats, Prefetcher, SbLookup};
 use psb_common::{Addr, BlockAddr, Cycle};
 use std::collections::VecDeque;
 
@@ -120,7 +120,9 @@ impl Prefetcher for FetchDirectedPrefetcher {
     fn observe_fetch(&mut self, _now: Cycle, pc: Addr) {
         // Predict the load's next address from its table entry and queue
         // a prefetch — the LA-PC trigger.
-        let Some(info) = self.table.info(pc, Addr::new(0)) else { return };
+        let Some(info) = self.table.info(pc, Addr::new(0)) else {
+            return;
+        };
         if info.confidence == 0 || info.stride == 0 {
             return;
         }
@@ -135,7 +137,9 @@ impl Prefetcher for FetchDirectedPrefetcher {
         if !sink.bus_free(now) {
             return;
         }
-        let Some(block) = self.pending.pop_front() else { return };
+        let Some(block) = self.pending.pop_front() else {
+            return;
+        };
         let ready = sink.fetch(now, block.base(self.block));
         self.stamp += 1;
         let slot = Slot { block, ready, lru: self.stamp };
@@ -148,7 +152,7 @@ impl Prefetcher for FetchDirectedPrefetcher {
                 .enumerate()
                 .min_by_key(|(_, s)| s.lru)
                 .map(|(i, _)| i)
-                .expect("capacity > 0");
+                .expect("invariant: capacity > 0 keeps the buffer non-empty");
             self.buffer[victim] = slot;
         }
         self.stats.issued += 1;
@@ -184,10 +188,7 @@ mod tests {
         fd.tick(Cycle::new(11), &mut sink);
         // last = 0x1_0100, stride 64 -> prefetch 0x1_0140.
         assert_eq!(sink.fetched, vec![Addr::new(0x1_0140)]);
-        assert!(matches!(
-            fd.lookup(Cycle::new(20), Addr::new(0x1_0140)),
-            SbLookup::Hit { .. }
-        ));
+        assert!(matches!(fd.lookup(Cycle::new(20), Addr::new(0x1_0140)), SbLookup::Hit { .. }));
     }
 
     #[test]
@@ -195,7 +196,7 @@ mod tests {
         let mut fd = FetchDirectedPrefetcher::baseline();
         let mut sink = TestSink::new(1);
         fd.observe_fetch(Cycle::ZERO, Addr::new(0x999)); // never trained
-        // Trained but erratic: confidence 0.
+                                                         // Trained but erratic: confidence 0.
         let mut x = 7u64;
         for _ in 0..6 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);

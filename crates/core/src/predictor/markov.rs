@@ -120,8 +120,7 @@ impl MarkovTable {
     /// holds a transition for it.
     pub fn predict(&self, block: BlockAddr) -> Option<BlockAddr> {
         let (idx, tag) = self.index_and_tag(block);
-        (self.valid[idx] && self.tags[idx] == tag)
-            .then(|| block.offset(self.deltas[idx] as i64))
+        (self.valid[idx] && self.tags[idx] == tag).then(|| block.offset(self.deltas[idx] as i64))
     }
 
     /// Histogram of the signed bit-width needed by every observed

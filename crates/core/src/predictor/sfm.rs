@@ -151,8 +151,7 @@ mod tests {
         let chain = [0x10000u64, 0x2a040, 0x17080, 0x330c0, 0x10000];
         train_seq(&mut p, 0x2000, &chain);
         train_seq(&mut p, 0x2000, &chain[1..]); // revisit to stabilize
-        let mut s =
-            StreamState::new(Addr::new(0x2000), Addr::new(0x10000), 32);
+        let mut s = StreamState::new(Addr::new(0x2000), Addr::new(0x10000), 32);
         let walked: Vec<u64> = (0..4).map(|_| p.predict(&mut s).unwrap().raw()).collect();
         assert_eq!(walked, vec![0x2a040, 0x17080, 0x330c0, 0x10000]);
     }
@@ -171,8 +170,7 @@ mod tests {
     #[test]
     fn stride_fallback_when_markov_cold() {
         let p = SfmPredictor::paper_baseline();
-        let mut s =
-            StreamState::new(Addr::new(0x4000), Addr::new(0x1000), 96);
+        let mut s = StreamState::new(Addr::new(0x4000), Addr::new(0x1000), 96);
         assert_eq!(p.predict(&mut s), Some(Addr::new(0x1060)));
         assert_eq!(p.predict(&mut s), Some(Addr::new(0x10c0)));
     }
@@ -210,8 +208,7 @@ mod tests {
         let mut p = SfmPredictor::paper_baseline();
         train_seq(&mut p, 0x7000, &[0x1000, 0x9000, 0x1000, 0x9000]);
         let updates_before = p.markov_table().updates();
-        let mut s =
-            StreamState::new(Addr::new(0x7000), Addr::new(0x1000), 32);
+        let mut s = StreamState::new(Addr::new(0x7000), Addr::new(0x1000), 32);
         for _ in 0..10 {
             p.predict(&mut s);
         }
@@ -224,8 +221,7 @@ mod tests {
         // Addresses in the middle of blocks; predictions come back
         // block-aligned.
         train_seq(&mut p, 0x8000, &[0x1010, 0x5028, 0x1010, 0x5028]);
-        let mut s =
-            StreamState::new(Addr::new(0x8000), Addr::new(0x1010), 32);
+        let mut s = StreamState::new(Addr::new(0x8000), Addr::new(0x1010), 32);
         let next = p.predict(&mut s).unwrap();
         assert_eq!(next, Addr::new(0x5020), "markov target is the block base");
         assert_eq!(next.block(32), BlockAddr(0x5028 / 32));

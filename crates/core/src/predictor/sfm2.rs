@@ -6,9 +6,7 @@
 //! their results." This module implements an order-2 variant so that
 //! claim can be re-verified (`cargo run -p psb-bench --bin ablate_order`).
 
-use crate::predictor::{
-    AllocInfo, MarkovTable, StreamPredictor, StreamState, StrideTable,
-};
+use crate::predictor::{AllocInfo, MarkovTable, StreamPredictor, StreamState, StrideTable};
 use psb_common::{Addr, BlockAddr};
 use std::collections::HashMap;
 
@@ -92,10 +90,7 @@ impl StreamPredictor for Sfm2Predictor {
             // The delta is stored relative to prev1 (the most recent
             // address), exactly as the order-1 table stores it relative
             // to its index address.
-            let markov_correct = self
-                .markov
-                .predict(key)
-                .map(|b| b.delta(key))
+            let markov_correct = self.markov.predict(key).map(|b| b.delta(key))
                 == Some(addr.block(self.block).delta(prev1.block(self.block)));
             if !(out.stride_correct || out.repeat_stride) {
                 let delta = addr.block(self.block).delta(prev1.block(self.block));

@@ -75,7 +75,7 @@ struct Entry {
 /// for i in 0..4u64 {
 ///     t.train(pc, Addr::new(0x8000 + 64 * i));
 /// }
-/// let info = t.info(pc, Addr::new(0x80c0)).unwrap();
+/// let info = t.info(pc, Addr::new(0x80c0)).expect("trained pc stays resident in the table");
 /// assert_eq!(info.stride, 64);
 /// ```
 #[derive(Clone, Debug)]
@@ -168,7 +168,7 @@ impl StrideTable {
             let base = set * self.assoc;
             let victim = (base..base + self.assoc)
                 .min_by_key(|&i| (self.sets[i].valid, self.sets[i].lru))
-                .expect("assoc >= 1");
+                .expect("invariant: assoc >= 1 gives every set at least one way");
             self.sets[victim] = Entry {
                 tag,
                 last_addr: addr,
@@ -248,7 +248,9 @@ mod tests {
     fn learns_constant_stride() {
         let mut t = StrideTable::paper_baseline();
         train_seq(&mut t, 0x1000, &[0x8000, 0x8040, 0x8080, 0x80c0, 0x8100]);
-        let info = t.info(Addr::new(0x1000), Addr::new(0x8100)).unwrap();
+        let info = t
+            .info(Addr::new(0x1000), Addr::new(0x8100))
+            .expect("trained pc stays resident in the table");
         assert_eq!(info.stride, 0x40);
         assert_eq!(info.last_addr, Addr::new(0x8100));
         assert!(info.stride_streak >= 2);
@@ -262,11 +264,17 @@ mod tests {
         let mut t = StrideTable::paper_baseline();
         // Steady stride 64, one wild jump, then steady 64 again.
         train_seq(&mut t, 0x1000, &[0x8000, 0x8040, 0x8080]);
-        let before = t.info(Addr::new(0x1000), Addr::new(0)).unwrap().stride;
+        let before = t
+            .info(Addr::new(0x1000), Addr::new(0))
+            .expect("trained pc stays resident in the table")
+            .stride;
         assert_eq!(before, 64);
         t.train(Addr::new(0x1000), Addr::new(0xff00));
         // One deviant stride must NOT replace the two-delta stride.
-        let after = t.info(Addr::new(0x1000), Addr::new(0)).unwrap().stride;
+        let after = t
+            .info(Addr::new(0x1000), Addr::new(0))
+            .expect("trained pc stays resident in the table")
+            .stride;
         assert_eq!(after, 64);
     }
 
@@ -274,22 +282,22 @@ mod tests {
     fn two_delta_adopts_repeated_new_stride() {
         let mut t = StrideTable::paper_baseline();
         train_seq(&mut t, 0x1000, &[0x8000, 0x8040, 0x8080]); // stride 64
-        // New stride 128 seen twice in a row: adopted.
+                                                              // New stride 128 seen twice in a row: adopted.
         t.train(Addr::new(0x1000), Addr::new(0x8100));
         t.train(Addr::new(0x1000), Addr::new(0x8180));
-        let info = t.info(Addr::new(0x1000), Addr::new(0)).unwrap();
+        let info = t
+            .info(Addr::new(0x1000), Addr::new(0))
+            .expect("trained pc stays resident in the table");
         assert_eq!(info.stride, 128);
     }
 
     #[test]
     fn confidence_tracks_predictability() {
         let mut t = StrideTable::paper_baseline();
-        train_seq(
-            &mut t,
-            0x2000,
-            &[0x100, 0x140, 0x180, 0x1c0, 0x200, 0x240, 0x280],
-        );
-        let steady = t.info(Addr::new(0x2000), Addr::new(0)).unwrap();
+        train_seq(&mut t, 0x2000, &[0x100, 0x140, 0x180, 0x1c0, 0x200, 0x240, 0x280]);
+        let steady = t
+            .info(Addr::new(0x2000), Addr::new(0))
+            .expect("trained pc stays resident in the table");
         assert!(steady.confidence >= 3, "confidence = {}", steady.confidence);
         assert!(steady.predicted_streak >= 3);
 
@@ -300,7 +308,9 @@ mod tests {
             let out = t.train(Addr::new(0x2000), Addr::new(chaos & 0xffff_fff8));
             t.confirm(Addr::new(0x2000), out.stride_correct);
         }
-        let after = t.info(Addr::new(0x2000), Addr::new(0)).unwrap();
+        let after = t
+            .info(Addr::new(0x2000), Addr::new(0))
+            .expect("trained pc stays resident in the table");
         assert_eq!(after.predicted_streak, 0);
         assert!(after.confidence <= 1, "confidence {}", after.confidence);
     }
@@ -321,8 +331,18 @@ mod tests {
         let mut t = StrideTable::paper_baseline();
         train_seq(&mut t, 0x1000, &[0x8000, 0x8040, 0x8080]);
         train_seq(&mut t, 0x1004, &[0x20, 0x30, 0x40]);
-        assert_eq!(t.info(Addr::new(0x1000), Addr::new(0)).unwrap().stride, 0x40);
-        assert_eq!(t.info(Addr::new(0x1004), Addr::new(0)).unwrap().stride, 0x10);
+        assert_eq!(
+            t.info(Addr::new(0x1000), Addr::new(0))
+                .expect("trained pc stays resident in the table")
+                .stride,
+            0x40
+        );
+        assert_eq!(
+            t.info(Addr::new(0x1004), Addr::new(0))
+                .expect("trained pc stays resident in the table")
+                .stride,
+            0x10
+        );
     }
 
     #[test]
@@ -342,7 +362,9 @@ mod tests {
     fn negative_strides_work() {
         let mut t = StrideTable::paper_baseline();
         train_seq(&mut t, 0x1000, &[0x9000, 0x8fc0, 0x8f80, 0x8f40]);
-        let info = t.info(Addr::new(0x1000), Addr::new(0)).unwrap();
+        let info = t
+            .info(Addr::new(0x1000), Addr::new(0))
+            .expect("trained pc stays resident in the table");
         assert_eq!(info.stride, -64);
     }
 

@@ -14,6 +14,17 @@ enum Port {
     Prefetch,
 }
 
+/// Mirrors an [`SbEntry`] into the auditor's neutral entry type.
+#[cfg(feature = "check")]
+fn entry_kind(e: &SbEntry) -> psb_check::EntryKind {
+    match *e {
+        SbEntry::Empty => psb_check::EntryKind::Empty,
+        SbEntry::Allocated { block } => psb_check::EntryKind::Allocated(block),
+        SbEntry::InFlight { block, .. } => psb_check::EntryKind::InFlight(block),
+        SbEntry::Ready { block } => psb_check::EntryKind::Ready(block),
+    }
+}
+
 /// A file of stream buffers directed by an address predictor.
 ///
 /// This single engine expresses the whole design space of Section 4:
@@ -146,9 +157,32 @@ impl<P: StreamPredictor> StreamEngine<P> {
         }
     }
 
+    /// Publishes the whole stream file to the invariant auditor
+    /// (non-overlap and priority-counter range checks).
+    #[cfg(feature = "check")]
+    fn audit_streams(&self, now: Cycle) {
+        let buffers = self
+            .buffers
+            .iter()
+            .map(|b| psb_check::BufferSnapshot {
+                active: b.is_active(),
+                priority: b.priority(),
+                priority_max: self.config.priority_max,
+                entries: b.entries().iter().map(entry_kind).collect(),
+            })
+            .collect();
+        psb_check::audit(&psb_check::Snapshot::Streams { now, buffers });
+    }
+
     /// Picks the buffer that wins `port` this cycle among those
     /// satisfying `eligible`, per the configured scheduler.
-    fn pick(&mut self, port: Port, eligible: impl Fn(&StreamBuffer) -> bool) -> Option<usize> {
+    #[cfg_attr(not(feature = "check"), allow(unused_variables))]
+    fn pick(
+        &mut self,
+        now: Cycle,
+        port: Port,
+        eligible: impl Fn(&StreamBuffer) -> bool,
+    ) -> Option<usize> {
         let n = self.buffers.len();
         let winner = match self.config.scheduler {
             Scheduler::RoundRobin => {
@@ -168,6 +202,16 @@ impl<P: StreamPredictor> StreamEngine<P> {
                 .max_by_key(|(_, b)| (b.priority(), std::cmp::Reverse(b.last_service())))
                 .map(|(i, _)| i),
         }?;
+        #[cfg(feature = "check")]
+        if self.config.scheduler == Scheduler::Priority {
+            let contender =
+                |i: usize| psb_check::Contender { index: i, priority: self.buffers[i].priority() };
+            psb_check::audit(&psb_check::Snapshot::Grant {
+                now,
+                winner: contender(winner),
+                eligible: (0..n).filter(|&i| eligible(&self.buffers[i])).map(contender).collect(),
+            });
+        }
         match port {
             Port::Predict => self.rr_predict = winner,
             Port::Prefetch => self.rr_prefetch = winner,
@@ -192,9 +236,7 @@ impl<P: StreamPredictor> StreamEngine<P> {
     /// predictor port (the "streams being followed by multiple stream
     /// buffers [must] be non-overlapping" rule of Farkas et al.).
     fn pick_victim(&self, pc: Addr, confidence: u32) -> Option<usize> {
-        if let Some(own) =
-            self.buffers.iter().position(|b| b.is_active() && b.state().pc == pc)
-        {
+        if let Some(own) = self.buffers.iter().position(|b| b.is_active() && b.state().pc == pc) {
             return Some(own);
         }
         match self.config.filter {
@@ -232,7 +274,9 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
         self.promote_all(now);
         let block = addr.block(self.config.block);
         for i in 0..self.buffers.len() {
-            let Some(idx) = self.buffers[i].find(block) else { continue };
+            let Some(idx) = self.buffers[i].find(block) else {
+                continue;
+            };
             let entry = self.buffers[i].entries()[idx];
             match entry {
                 SbEntry::Ready { .. } | SbEntry::InFlight { .. } => {
@@ -277,18 +321,18 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
         }
 
         let info = self.predictor.alloc_info(pc, addr);
-        let admitted = match self.config.filter {
-            AllocFilter::None => Some(info.map_or(
-                (self.config.block as i64, 0, 0),
-                |i| (i.stride, i.confidence, i.history),
-            )),
-            AllocFilter::TwoMiss => info
-                .filter(|i| i.two_miss_ok)
-                .map(|i| (i.stride, i.confidence, i.history)),
-            AllocFilter::Confidence { threshold } => info
-                .filter(|i| i.confidence >= threshold)
-                .map(|i| (i.stride, i.confidence, i.history)),
-        };
+        let admitted =
+            match self.config.filter {
+                AllocFilter::None => Some(info.map_or((self.config.block as i64, 0, 0), |i| {
+                    (i.stride, i.confidence, i.history)
+                })),
+                AllocFilter::TwoMiss => {
+                    info.filter(|i| i.two_miss_ok).map(|i| (i.stride, i.confidence, i.history))
+                }
+                AllocFilter::Confidence { threshold } => info
+                    .filter(|i| i.confidence >= threshold)
+                    .map(|i| (i.stride, i.confidence, i.history)),
+            };
 
         let Some((stride, confidence, history)) = admitted else {
             self.stats.alloc_rejected += 1;
@@ -314,7 +358,7 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
 
         // Prediction port: one buffer per cycle queries the shared
         // predictor.
-        if let Some(i) = self.pick(Port::Predict, StreamBuffer::can_predict) {
+        if let Some(i) = self.pick(now, Port::Predict, StreamBuffer::can_predict) {
             self.stats.predictions += 1;
             if let Some(addr) = self.predictor.predict(self.buffers[i].state_mut()) {
                 let block = addr.block(self.config.block);
@@ -323,7 +367,9 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
                     // has still advanced.
                     self.stats.suppressed += 1;
                 } else {
-                    let idx = self.buffers[i].first_empty().expect("can_predict checked");
+                    let idx = self.buffers[i]
+                        .first_empty()
+                        .expect("invariant: can_predict verified a free entry");
                     self.buffers[i].set_entry(idx, SbEntry::Allocated { block });
                 }
             }
@@ -331,16 +377,27 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
 
         // Prefetch port: one prefetch if the L1<->L2 bus is idle.
         if sink.bus_free(now) {
-            if let Some(i) = self.pick(Port::Prefetch, StreamBuffer::can_prefetch) {
-                let idx = self.buffers[i].first_allocated().expect("can_prefetch checked");
+            if let Some(i) = self.pick(now, Port::Prefetch, StreamBuffer::can_prefetch) {
+                let idx = self.buffers[i]
+                    .first_allocated()
+                    .expect("invariant: can_prefetch verified an allocated entry");
                 let block = self.buffers[i].entries()[idx]
                     .block()
-                    .expect("allocated entry has a block");
+                    .expect("invariant: Allocated entries always carry a block");
+                #[cfg(feature = "check")]
+                psb_check::audit(&psb_check::Snapshot::PrefetchIssue {
+                    now,
+                    entries: self.buffers[i].entries().iter().map(entry_kind).collect(),
+                    issued: idx,
+                });
                 let ready = sink.fetch(now, block.base(self.config.block));
                 self.buffers[i].set_entry(idx, SbEntry::InFlight { block, ready });
                 self.stats.issued += 1;
             }
         }
+
+        #[cfg(feature = "check")]
+        self.audit_streams(now);
     }
 
     fn stats(&self) -> PrefetchStats {
@@ -359,11 +416,8 @@ mod tests {
 
     /// Trains a strided PC enough to open every filter, then allocates.
     fn engine_with_stream(config: SbConfig) -> StrideStreamBuffers {
-        let mut e = StreamEngine::new(
-            config,
-            PcStridePredictor::paper_baseline(),
-            "test".to_owned(),
-        );
+        let mut e =
+            StreamEngine::new(config, PcStridePredictor::paper_baseline(), "test".to_owned());
         let pc = Addr::new(0x1000);
         for i in 0..5u64 {
             e.train(Cycle::ZERO, pc, Addr::new(0x10_0000 + 0x40 * i));
@@ -463,11 +517,7 @@ mod tests {
     #[test]
     fn confidence_filter_gates_on_threshold_and_priorities() {
         let config = SbConfig::psb_conf_priority();
-        let mut e = StreamEngine::new(
-            config,
-            PcStridePredictor::paper_baseline(),
-            "t".to_owned(),
-        );
+        let mut e = StreamEngine::new(config, PcStridePredictor::paper_baseline(), "t".to_owned());
         let pc = Addr::new(0x3000);
         // Unpredictable load: confidence stays 0 < threshold 1.
         let mut x = 1u64;
@@ -493,11 +543,7 @@ mod tests {
         // must not displace it.
         let mut config = SbConfig::psb_conf_priority();
         config.buffers = 1;
-        let mut e = StreamEngine::new(
-            config,
-            PcStridePredictor::paper_baseline(),
-            "t".to_owned(),
-        );
+        let mut e = StreamEngine::new(config, PcStridePredictor::paper_baseline(), "t".to_owned());
         let pc = Addr::new(0x1000);
         for i in 0..8u64 {
             e.train(Cycle::ZERO, pc, Addr::new(0x10_0000 + 0x40 * i));
@@ -527,11 +573,7 @@ mod tests {
     fn aging_eventually_frees_stale_buffers() {
         let mut config = SbConfig::psb_conf_priority();
         config.buffers = 1;
-        let mut e = StreamEngine::new(
-            config,
-            PcStridePredictor::paper_baseline(),
-            "t".to_owned(),
-        );
+        let mut e = StreamEngine::new(config, PcStridePredictor::paper_baseline(), "t".to_owned());
         let pc = Addr::new(0x1000);
         for i in 0..10u64 {
             e.train(Cycle::ZERO, pc, Addr::new(0x10_0000 + 0x40 * i));
@@ -603,8 +645,7 @@ mod tests {
     #[test]
     fn priority_scheduler_prefers_hot_streams() {
         let config = SbConfig::sequential_baseline().with_scheduler(Scheduler::Priority);
-        let mut e =
-            StreamEngine::new(config, SequentialPredictor::new(32, 0), "t".to_owned());
+        let mut e = StreamEngine::new(config, SequentialPredictor::new(32, 0), "t".to_owned());
         // Stream A (cold) and stream B; B gets hits -> priority rises.
         e.allocate(Cycle::ZERO, Addr::new(0x1000), Addr::new(0x10_0000));
         e.allocate(Cycle::ZERO, Addr::new(0x2000), Addr::new(0x50_0000));
@@ -680,7 +721,10 @@ mod tests {
 
     #[test]
     fn names_reflect_configuration() {
-        assert_eq!(PsbPrefetcher::psb(SbConfig::psb_conf_priority()).name(), "psb-confalloc-priority");
+        assert_eq!(
+            PsbPrefetcher::psb(SbConfig::psb_conf_priority()).name(),
+            "psb-confalloc-priority"
+        );
         assert_eq!(PsbPrefetcher::psb(SbConfig::psb_two_miss_rr()).name(), "psb-2miss-rr");
         assert_eq!(StrideStreamBuffers::pc_stride().name(), "pc-stride");
         assert_eq!(SequentialStreamBuffers::sequential().name(), "sequential");

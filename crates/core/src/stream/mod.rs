@@ -6,6 +6,4 @@ mod engine;
 
 pub use buffer::{SbEntry, StreamBuffer};
 pub use config::{AllocFilter, SbConfig, Scheduler};
-pub use engine::{
-    PsbPrefetcher, SequentialStreamBuffers, StreamEngine, StrideStreamBuffers,
-};
+pub use engine::{PsbPrefetcher, SequentialStreamBuffers, StreamEngine, StrideStreamBuffers};

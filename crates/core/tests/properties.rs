@@ -1,96 +1,110 @@
-//! Property-based tests for the predictors and the stream-buffer engine.
+//! Property-style tests for the predictors and the stream-buffer
+//! engine, sweeping deterministic pseudo-random cases from fixed seeds
+//! (no external test framework, runs offline).
 
-use proptest::prelude::*;
-use psb_common::{Addr, BlockAddr, Cycle};
+use psb_common::{Addr, BlockAddr, Cycle, SplitMix64};
 use psb_core::{
     AllocFilter, MarkovTable, PcStridePredictor, Prefetcher, PsbPrefetcher, SbConfig, SbLookup,
     SfmPredictor, StreamPredictor, StreamState, StrideTable, TestSink,
 };
 
-proptest! {
-    /// A constant-stride training sequence of any base/stride is learned
-    /// exactly by the two-delta table.
-    #[test]
-    fn stride_table_learns_any_constant_stride(
-        pc in (0u64..1 << 30).prop_map(|x| x << 2),
-        base in 0u64..1 << 40,
-        stride in -4096i64..4096,
-        n in 4usize..16,
-    ) {
+const CASES: u64 = 100;
+
+/// A constant-stride training sequence of any base/stride is learned
+/// exactly by the two-delta table.
+#[test]
+fn stride_table_learns_any_constant_stride() {
+    let mut meta = SplitMix64::new(0x57121D);
+    for case in 0..CASES {
+        let pc = meta.below(1 << 30) << 2;
+        let base = meta.below(1 << 40);
+        let stride = meta.below(8192) as i64 - 4096;
+        let n = 4 + meta.below(12) as usize;
         let mut t = StrideTable::paper_baseline();
         for i in 0..n {
             t.train(Addr::new(pc), Addr::new(base).offset(stride * i as i64));
         }
-        let info = t.info(Addr::new(pc), Addr::new(0)).unwrap();
-        prop_assert_eq!(info.stride, stride);
-        prop_assert!(info.stride_streak as usize >= n - 2);
+        let info = t.info(Addr::new(pc), Addr::new(0)).expect("trained pc must be resident");
+        assert_eq!(info.stride, stride, "case {case}");
+        assert!(info.stride_streak as usize >= n - 2, "case {case}");
     }
+}
 
-    /// The Markov table never invents transitions: a prediction implies a
-    /// previous update whose source shares the index and partial tag, and
-    /// the predicted delta is bounded by the configured width.
-    #[test]
-    fn markov_predictions_are_bounded(
-        updates in proptest::collection::vec((0u64..1 << 20, 0u64..1 << 20), 0..128),
-        probe in 0u64..1 << 20,
-    ) {
+/// The Markov table never invents transitions: a prediction implies a
+/// previous update, and the predicted delta is bounded by the
+/// configured width.
+#[test]
+fn markov_predictions_are_bounded() {
+    let mut meta = SplitMix64::new(0x3A4C0F);
+    for case in 0..CASES {
+        let n = meta.below(128);
         let mut m = MarkovTable::paper_baseline();
-        for (a, b) in &updates {
-            m.update(BlockAddr(*a), BlockAddr(*b));
+        for _ in 0..n {
+            m.update(BlockAddr(meta.below(1 << 20)), BlockAddr(meta.below(1 << 20)));
         }
+        let probe = meta.below(1 << 20);
         if let Some(next) = m.predict(BlockAddr(probe)) {
             let delta = next.delta(BlockAddr(probe));
-            prop_assert!((-32768..=32767).contains(&delta), "delta {} exceeds 16 bits", delta);
-            prop_assert!(!updates.is_empty(), "prediction from an empty table");
+            assert!(
+                (-32768..=32767).contains(&delta),
+                "case {case}: delta {delta} exceeds 16 bits"
+            );
+            assert!(n > 0, "case {case}: prediction from an empty table");
         }
-        prop_assert_eq!(m.updates(), updates.len() as u64);
+        assert_eq!(m.updates(), n, "case {case}");
     }
+}
 
-    /// Whatever the training history, SFM stream predictions always
-    /// advance the stream state to the address they return.
-    #[test]
-    fn sfm_prediction_advances_state(
-        trains in proptest::collection::vec((0u64..64, 0u64..1 << 24), 0..64),
-        start in 0u64..1 << 24,
-        stride in 32i64..256,
-    ) {
+/// Whatever the training history, SFM stream predictions always
+/// advance the stream state to the address they return.
+#[test]
+fn sfm_prediction_advances_state() {
+    let mut meta = SplitMix64::new(0x5F3);
+    for case in 0..CASES {
         let mut p = SfmPredictor::paper_baseline();
-        for (pc, addr) in trains {
-            p.train(Addr::new(pc << 2), Addr::new(addr * 8));
+        let n = meta.below(64);
+        for _ in 0..n {
+            p.train(Addr::new(meta.below(64) << 2), Addr::new(meta.below(1 << 24) * 8));
         }
+        let start = meta.below(1 << 24);
+        let stride = 32 + meta.below(224) as i64;
         let mut s = StreamState::new(Addr::new(4), Addr::new(start * 8), stride);
         for _ in 0..8 {
             let before = s.last_addr;
-            let predicted = p.predict(&mut s).unwrap();
-            prop_assert_eq!(s.last_addr, predicted);
-            prop_assert_ne!(predicted, before, "stride >= 32 never predicts in place");
+            let predicted = p.predict(&mut s).expect("SFM always falls back to the stride");
+            assert_eq!(s.last_addr, predicted, "case {case}");
+            assert_ne!(predicted, before, "case {case}: stride >= 32 never predicts in place");
         }
     }
+}
 
-    /// Engine invariants under arbitrary interleavings of training,
-    /// allocation, lookups and ticks: used <= issued, hits <= lookups,
-    /// and no block is ever tracked by two buffers.
-    #[test]
-    fn engine_invariants(
-        events in proptest::collection::vec((0u8..4, 0u64..64, 0u64..1 << 16), 1..256),
-    ) {
+/// Engine invariants under arbitrary interleavings of training,
+/// allocation, lookups and ticks: used <= issued, hits <= lookups,
+/// and no block is ever tracked by two buffers.
+#[test]
+fn engine_invariants() {
+    let mut meta = SplitMix64::new(0xE29);
+    for case in 0..CASES {
         let mut e = PsbPrefetcher::psb(SbConfig::psb_conf_priority());
         let mut sink = TestSink::new(20);
         let mut now = Cycle::ZERO;
-        for (kind, pc, slot) in events {
+        let events = 1 + meta.below(255);
+        for _ in 0..events {
             now += 1;
-            let pc = Addr::new(0x1000 + pc * 4);
-            let addr = Addr::new(0x10_0000 + slot * 32);
-            match kind {
+            let pc = Addr::new(0x1000 + meta.below(64) * 4);
+            let addr = Addr::new(0x10_0000 + meta.below(1 << 16) * 32);
+            match meta.below(4) {
                 0 => e.train(now, pc, addr),
                 1 => e.allocate(now, pc, addr),
-                2 => { e.lookup(now, addr); }
+                2 => {
+                    e.lookup(now, addr);
+                }
                 _ => e.tick(now, &mut sink),
             }
             let s = e.stats();
-            prop_assert!(s.used <= s.issued);
-            prop_assert!(s.hits <= s.lookups);
-            prop_assert!(s.predictions >= s.suppressed);
+            assert!(s.used <= s.issued, "case {case}");
+            assert!(s.hits <= s.lookups, "case {case}");
+            assert!(s.predictions >= s.suppressed, "case {case}");
 
             // Non-overlap: each block tracked at most once.
             let mut blocks: Vec<u64> = e
@@ -101,14 +115,19 @@ proptest! {
             let n = blocks.len();
             blocks.sort_unstable();
             blocks.dedup();
-            prop_assert_eq!(blocks.len(), n, "duplicate tracked block");
+            assert_eq!(blocks.len(), n, "case {case}: duplicate tracked block");
         }
     }
+}
 
-    /// A lookup hit always frees the entry: probing the same block again
-    /// without new predictions misses.
-    #[test]
-    fn lookup_hits_consume_entries(laps in 2usize..6, nodes in 8u64..64) {
+/// A lookup hit always frees the entry: probing the same block again
+/// without new predictions misses.
+#[test]
+fn lookup_hits_consume_entries() {
+    let mut meta = SplitMix64::new(0x10C4);
+    for case in 0..CASES {
+        let laps = 2 + meta.below(4) as usize;
+        let nodes = 8 + meta.below(56);
         let mut e = PsbPrefetcher::psb(SbConfig::psb_conf_priority());
         let pc = Addr::new(0x1000);
         let mut now = Cycle::ZERO;
@@ -134,19 +153,20 @@ proptest! {
             let addr = block.base(32);
             let first = matches!(e.lookup(now + 10, addr), SbLookup::Hit { .. });
             let second = matches!(e.lookup(now + 11, addr), SbLookup::Miss);
-            prop_assert!(first, "ready block must hit");
-            prop_assert!(second, "hit must free the entry");
+            assert!(first, "case {case}: ready block must hit");
+            assert!(second, "case {case}: hit must free the entry");
         }
     }
+}
 
-    /// The PC-stride engine's prefetch addresses, when following an
-    /// established strided load, are exactly the arithmetic sequence.
-    #[test]
-    fn pc_stride_streams_are_arithmetic(
-        base in (0u64..1 << 30).prop_map(|x| x * 64),
-        stride_blocks in 1i64..8,
-    ) {
-        let stride = stride_blocks * 32;
+/// The PC-stride engine's prefetch addresses, when following an
+/// established strided load, are exactly the arithmetic sequence.
+#[test]
+fn pc_stride_streams_are_arithmetic() {
+    let mut meta = SplitMix64::new(0xA217);
+    for case in 0..CASES {
+        let base = meta.below(1 << 30) * 64;
+        let stride = (1 + meta.below(7) as i64) * 32;
         let mut e = psb_core::StreamEngine::new(
             SbConfig::stride_baseline(),
             PcStridePredictor::paper_baseline(),
@@ -162,17 +182,21 @@ proptest! {
         for c in 0..12 {
             e.tick(Cycle::new(c), &mut sink);
         }
-        prop_assert!(sink.fetched.len() >= 4);
+        assert!(sink.fetched.len() >= 4, "case {case}");
         for (k, f) in sink.fetched.iter().take(4).enumerate() {
             let expect = last.offset(stride * (k as i64 + 1)).block_base(32);
-            prop_assert_eq!(*f, expect);
+            assert_eq!(*f, expect, "case {case}: prefetch {k}");
         }
     }
+}
 
-    /// Allocation filters: an engine with `AllocFilter::None` allocates on
-    /// every request; the others never allocate more than requested.
-    #[test]
-    fn allocation_counts_are_sane(requests in 1u64..64) {
+/// Allocation filters: an engine with `AllocFilter::None` allocates on
+/// every request.
+#[test]
+fn allocation_counts_are_sane() {
+    let mut meta = SplitMix64::new(0xF117);
+    for case in 0..CASES {
+        let requests = 1 + meta.below(63);
         let mut open = psb_core::StreamEngine::new(
             SbConfig::sequential_baseline().with_filter(AllocFilter::None),
             PcStridePredictor::paper_baseline(),
@@ -181,7 +205,7 @@ proptest! {
         for i in 0..requests {
             open.allocate(Cycle::new(i), Addr::new(0x100 + i * 4), Addr::new(i * 4096));
         }
-        prop_assert_eq!(open.stats().allocations, requests);
-        prop_assert_eq!(open.stats().alloc_rejected, 0);
+        assert_eq!(open.stats().allocations, requests, "case {case}");
+        assert_eq!(open.stats().alloc_rejected, 0, "case {case}");
     }
 }

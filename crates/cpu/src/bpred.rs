@@ -129,8 +129,8 @@ impl BranchPredictor {
 
         // A prediction is correct when the direction matches and, if the
         // branch is taken, the target is known and matches.
-        let correct = pred_taken == actual.taken
-            && (!actual.taken || pred_target == Some(actual.target));
+        let correct =
+            pred_taken == actual.taken && (!actual.taken || pred_target == Some(actual.target));
 
         // --- train ---
         if actual.kind == BranchKind::Conditional {

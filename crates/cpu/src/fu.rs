@@ -45,13 +45,14 @@ impl FuPool {
     /// Panics if any class has zero units.
     pub fn new(counts: [usize; 5]) -> Self {
         assert!(counts.iter().all(|&c| c > 0), "every FU class needs at least one unit");
-        FuPool {
-            units: counts.map(|c| vec![Cycle::ZERO; c]),
-        }
+        FuPool { units: counts.map(|c| vec![Cycle::ZERO; c]) }
     }
 
     fn class_index(class: FuClass) -> usize {
-        FuClass::ALL.iter().position(|&c| c == class).expect("class in ALL")
+        FuClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("invariant: FuClass::ALL enumerates every class")
     }
 
     /// Attempts to issue `op` at `now`. On success, returns the cycle the

@@ -317,7 +317,8 @@ mod tests {
         assert_eq!(ld.mem_addr, Some(Addr::new(0x80)));
         assert_eq!(ld.mem_size, 8);
 
-        let st = DynInst::store(Addr::new(4), Some(Reg::new(2)), Some(Reg::new(1)), Addr::new(0x88), 8);
+        let st =
+            DynInst::store(Addr::new(4), Some(Reg::new(2)), Some(Reg::new(1)), Addr::new(0x88), 8);
         assert!(st.op.is_store());
         assert_eq!(st.dst, None);
     }

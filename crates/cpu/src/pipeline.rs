@@ -217,8 +217,7 @@ impl Pipeline {
     }
 
     fn entry(&self, seq: u64) -> Option<&RobEntry> {
-        seq.checked_sub(self.head_seq)
-            .and_then(|i| self.rob.get(i as usize))
+        seq.checked_sub(self.head_seq).and_then(|i| self.rob.get(i as usize))
     }
 
     /// True if the value produced by `seq` is available at `now`.
@@ -231,19 +230,16 @@ impl Pipeline {
     }
 
     fn deps_ready(&self, idx: usize) -> bool {
-        self.rob[idx]
-            .deps
-            .iter()
-            .flatten()
-            .all(|&seq| self.value_ready(seq))
+        self.rob[idx].deps.iter().flatten().all(|&seq| self.value_ready(seq))
     }
 
     /// Decides whether the load at ROB index `idx` may issue, and how.
     fn load_gate(&self, idx: usize) -> LoadGate {
-        let load_addr = self.rob[idx].inst.mem_addr.expect("load has an address");
+        let load_addr =
+            self.rob[idx].inst.mem_addr.expect("invariant: mem ops always carry an address");
         let load_size = self.rob[idx].inst.mem_size as u64;
         let overlap = |e: &RobEntry| {
-            let sa = e.inst.mem_addr.expect("store has an address");
+            let sa = e.inst.mem_addr.expect("invariant: mem ops always carry an address");
             let ss = e.inst.mem_size as u64;
             sa.raw() < load_addr.raw() + load_size && load_addr.raw() < sa.raw() + ss
         };
@@ -287,11 +283,13 @@ impl Pipeline {
         let mut committed = 0;
         while committed < self.config.commit_width {
             let Some(head) = self.rob.front() else { break };
-            let EntryState::Done { finish } = head.state else { break };
+            let EntryState::Done { finish } = head.state else {
+                break;
+            };
             if finish > self.now {
                 break;
             }
-            let e = self.rob.pop_front().expect("checked front");
+            let e = self.rob.pop_front().expect("invariant: the loop guard saw a front element");
             self.head_seq += 1;
             committed += 1;
             self.stats.committed += 1;
@@ -307,7 +305,7 @@ impl Pipeline {
                 Op::Store => {
                     self.stats.stores += 1;
                     self.lsq_count -= 1;
-                    let addr = e.inst.mem_addr.expect("store has an address");
+                    let addr = e.inst.mem_addr.expect("invariant: mem ops always carry an address");
                     mem.store(self.now, e.inst.pc, addr);
                 }
                 Op::Branch => self.stats.branches += 1,
@@ -364,7 +362,8 @@ impl Pipeline {
                     },
                     LoadGate::Cache => match self.fu.try_issue(Op::Load, self.now) {
                         Some(_) => {
-                            let addr = inst.mem_addr.expect("load has an address");
+                            let addr =
+                                inst.mem_addr.expect("invariant: mem ops always carry an address");
                             mem.load(self.now, inst.pc, addr)
                         }
                         None => {
@@ -391,14 +390,19 @@ impl Pipeline {
     fn dispatch(&mut self) {
         let mut dispatched = 0;
         while dispatched < self.config.dispatch_width {
-            let Some(&(inst, _)) = self.fetch_queue.front() else { break };
+            let Some(&(inst, _)) = self.fetch_queue.front() else {
+                break;
+            };
             if self.rob.len() >= self.config.rob_size {
                 break;
             }
             if inst.op.is_mem() && self.lsq_count >= self.config.lsq_size {
                 break;
             }
-            let (inst, mispredicted) = self.fetch_queue.pop_front().expect("checked front");
+            let (inst, mispredicted) = self
+                .fetch_queue
+                .pop_front()
+                .expect("invariant: the loop guard saw a front element");
             let seq = self.next_seq;
             self.next_seq += 1;
             let dep_of = |r: Option<Reg>| r.and_then(|r| self.last_writer[r.index()]);
@@ -463,7 +467,7 @@ impl Pipeline {
                 self.last_fetch_block = Some(block);
             }
 
-            let inst = trace.next().expect("peeked");
+            let inst = trace.next().expect("invariant: peek just returned Some");
             fetched += 1;
             if inst.op.is_load() {
                 mem.fetched_load(self.now, inst.pc);
@@ -495,8 +499,8 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mem_iface::FixedLatencyMemory;
     use crate::inst::{BranchInfo, BranchKind};
+    use crate::mem_iface::FixedLatencyMemory;
     use psb_common::Addr;
 
     fn run_trace(trace: Vec<DynInst>, load_latency: u64) -> CpuStats {
@@ -508,12 +512,7 @@ mod tests {
     fn alu_run(base: u64, n: usize) -> Vec<DynInst> {
         (0..n)
             .map(|i| {
-                DynInst::alu(
-                    Addr::new(base + 4 * i as u64),
-                    Reg::new((i % 32) as u8),
-                    None,
-                    None,
-                )
+                DynInst::alu(Addr::new(base + 4 * i as u64), Reg::new((i % 32) as u8), None, None)
             })
             .collect()
     }
@@ -530,9 +529,7 @@ mod tests {
     fn dependent_chain_is_serialized() {
         // r1 <- r1 chain: one instruction per cycle at best.
         let trace: Vec<DynInst> = (0..1000)
-            .map(|i| {
-                DynInst::alu(Addr::new(0x1000 + 4 * i), Reg::new(1), Some(Reg::new(1)), None)
-            })
+            .map(|i| DynInst::alu(Addr::new(0x1000 + 4 * i), Reg::new(1), Some(Reg::new(1)), None))
             .collect();
         let stats = run_trace(trace, 1);
         assert_eq!(stats.committed, 1000);
@@ -594,13 +591,7 @@ mod tests {
         for i in 0..100u64 {
             let x = Addr::new(0x20_0000 + 8 * i);
             trace.push(DynInst::store(Addr::new(0x1000 + 8 * i), None, None, x, 8));
-            trace.push(DynInst::load(
-                Addr::new(0x1000 + 8 * i + 4),
-                Reg::new(2),
-                None,
-                x,
-                8,
-            ));
+            trace.push(DynInst::load(Addr::new(0x1000 + 8 * i + 4), Reg::new(2), None, x, 8));
         }
         let mut mem = FixedLatencyMemory::new(200);
         let stats = Pipeline::new(CpuConfig::baseline()).run(trace, &mut mem, u64::MAX);
@@ -638,10 +629,9 @@ mod tests {
         let mut mem1 = FixedLatencyMemory::new(30);
         let perfect = Pipeline::new(CpuConfig::baseline()).run(trace.clone(), &mut mem1, u64::MAX);
         let mut mem2 = FixedLatencyMemory::new(30);
-        let nodis = Pipeline::new(
-            CpuConfig::baseline().with_disambiguation(Disambiguation::WaitForStores),
-        )
-        .run(trace, &mut mem2, u64::MAX);
+        let nodis =
+            Pipeline::new(CpuConfig::baseline().with_disambiguation(Disambiguation::WaitForStores))
+                .run(trace, &mut mem2, u64::MAX);
         assert!(
             nodis.cycles >= perfect.cycles,
             "NoDis {} must not beat perfect {}",
@@ -667,11 +657,7 @@ mod tests {
                 v.push(DynInst::branch(
                     Addr::new(0x1004),
                     None,
-                    BranchInfo {
-                        kind: BranchKind::Conditional,
-                        taken,
-                        target: Addr::new(0x100c),
-                    },
+                    BranchInfo { kind: BranchKind::Conditional, taken, target: Addr::new(0x100c) },
                 ));
                 if !taken {
                     v.push(DynInst::alu(Addr::new(0x1008), Reg::new(2), None, None));
@@ -712,13 +698,8 @@ mod tests {
     fn rob_capacity_limits_outstanding_work() {
         // A single very long load followed by many ALUs: the ROB fills and
         // dispatch stalls until the load completes.
-        let mut trace = vec![DynInst::load(
-            Addr::new(0x1000),
-            Reg::new(1),
-            None,
-            Addr::new(0x10_0000),
-            8,
-        )];
+        let mut trace =
+            vec![DynInst::load(Addr::new(0x1000), Reg::new(1), None, Addr::new(0x10_0000), 8)];
         trace.extend(alu_run(0x1004, 400));
         let stats = run_trace(trace, 500);
         // The load blocks commit; the 128-entry ROB can absorb only so
@@ -730,20 +711,8 @@ mod tests {
     #[test]
     fn stats_fractions() {
         let mut trace = alu_run(0x1000, 10);
-        trace.push(DynInst::load(
-            Addr::new(0x1028),
-            Reg::new(1),
-            None,
-            Addr::new(0x9000),
-            8,
-        ));
-        trace.push(DynInst::store(
-            Addr::new(0x102c),
-            None,
-            None,
-            Addr::new(0x9008),
-            8,
-        ));
+        trace.push(DynInst::load(Addr::new(0x1028), Reg::new(1), None, Addr::new(0x9000), 8));
+        trace.push(DynInst::store(Addr::new(0x102c), None, None, Addr::new(0x9008), 8));
         let stats = run_trace(trace, 1);
         assert_eq!(stats.committed, 12);
         assert!((stats.load_fraction() - 1.0 / 12.0).abs() < 1e-12);

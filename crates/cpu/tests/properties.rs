@@ -1,12 +1,12 @@
-//! Property-based tests for the out-of-order pipeline: arbitrary
+//! Property-style tests for the out-of-order pipeline: pseudo-random
 //! well-formed traces must commit completely, in bounded time, without
-//! deadlock, under both disambiguation policies.
+//! deadlock, under both disambiguation policies. Cases are generated
+//! from fixed seeds with the workspace PRNG so the suite runs offline.
 
-use proptest::prelude::*;
-use psb_common::Addr;
+use psb_common::{Addr, SplitMix64};
 use psb_cpu::{
-    BranchInfo, BranchKind, CpuConfig, Disambiguation, DynInst, FixedLatencyMemory, Op,
-    Pipeline, Reg,
+    BranchInfo, BranchKind, CpuConfig, Disambiguation, DynInst, FixedLatencyMemory, Op, Pipeline,
+    Reg,
 };
 
 /// One abstract instruction choice; lowered to a consistent trace.
@@ -19,14 +19,25 @@ enum Item {
     CondBranch { taken: bool },
 }
 
-fn item() -> impl Strategy<Value = Item> {
-    prop_oneof![
-        (0u8..32, 0u8..32).prop_map(|(dst, src)| Item::Alu { dst, src }),
-        (0u8..6, 0u8..32, 0u8..32).prop_map(|(op, dst, src)| Item::Fp { op, dst, src }),
-        (0u8..32, 0u8..32, any::<u16>()).prop_map(|(dst, base, slot)| Item::Load { dst, base, slot }),
-        (0u8..32, any::<u16>()).prop_map(|(data, slot)| Item::Store { data, slot }),
-        any::<bool>().prop_map(|taken| Item::CondBranch { taken }),
-    ]
+fn item(rng: &mut SplitMix64) -> Item {
+    match rng.below(5) {
+        0 => Item::Alu { dst: rng.below(32) as u8, src: rng.below(32) as u8 },
+        1 => {
+            Item::Fp { op: rng.below(6) as u8, dst: rng.below(32) as u8, src: rng.below(32) as u8 }
+        }
+        2 => Item::Load {
+            dst: rng.below(32) as u8,
+            base: rng.below(32) as u8,
+            slot: rng.below(1 << 16) as u16,
+        },
+        3 => Item::Store { data: rng.below(32) as u8, slot: rng.below(1 << 16) as u16 },
+        _ => Item::CondBranch { taken: rng.below(2) == 0 },
+    }
+}
+
+fn items(rng: &mut SplitMix64, max: u64) -> Vec<Item> {
+    let n = 1 + rng.below(max - 1);
+    (0..n).map(|_| item(rng)).collect()
 }
 
 /// Lowers abstract items to a control-flow-consistent trace: every branch
@@ -91,20 +102,17 @@ fn lower(items: &[Item]) -> Vec<DynInst> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every well-formed trace commits fully, takes at least the
-    /// width-limited minimum number of cycles, and never deadlocks —
-    /// under both disambiguation policies and various load latencies.
-    #[test]
-    fn pipeline_commits_everything(
-        items in proptest::collection::vec(item(), 1..200),
-        latency in 1u64..60,
-        perfect in any::<bool>(),
-    ) {
-        let trace = lower(&items);
+/// Every well-formed trace commits fully, takes at least the
+/// width-limited minimum number of cycles, and never deadlocks —
+/// under both disambiguation policies and various load latencies.
+#[test]
+fn pipeline_commits_everything() {
+    let mut meta = SplitMix64::new(0xC3117);
+    for case in 0..48 {
+        let trace = lower(&items(&mut meta, 200));
         let n = trace.len() as u64;
+        let latency = 1 + meta.below(59);
+        let perfect = meta.below(2) == 0;
         let config = CpuConfig::baseline().with_disambiguation(if perfect {
             Disambiguation::Perfect
         } else {
@@ -112,38 +120,44 @@ proptest! {
         });
         let mut mem = FixedLatencyMemory::new(latency);
         let stats = Pipeline::new(config).run(trace, &mut mem, u64::MAX);
-        prop_assert_eq!(stats.committed, n);
-        prop_assert!(stats.cycles >= n / 8, "cannot beat the commit width");
-        prop_assert!(stats.ipc() <= 8.0 + 1e-9);
+        assert_eq!(stats.committed, n, "case {case}");
+        assert!(stats.cycles >= n / 8, "case {case}: cannot beat the commit width");
+        assert!(stats.ipc() <= 8.0 + 1e-9, "case {case}");
         // Accounting adds up.
         let counted = stats.loads + stats.stores + stats.branches;
-        prop_assert!(counted <= stats.committed);
-        prop_assert_eq!(stats.load_latency.count(), stats.loads);
-        prop_assert!(stats.forwarded_loads <= stats.loads);
+        assert!(counted <= stats.committed, "case {case}");
+        assert_eq!(stats.load_latency.count(), stats.loads, "case {case}");
+        assert!(stats.forwarded_loads <= stats.loads, "case {case}");
     }
+}
 
-    /// Determinism: the same trace and configuration give identical
-    /// cycle counts.
-    #[test]
-    fn pipeline_is_deterministic(items in proptest::collection::vec(item(), 1..100)) {
-        let trace = lower(&items);
+/// Determinism: the same trace and configuration give identical
+/// cycle counts.
+#[test]
+fn pipeline_is_deterministic() {
+    let mut meta = SplitMix64::new(0xD37);
+    for case in 0..48 {
+        let trace = lower(&items(&mut meta, 100));
         let mut m1 = FixedLatencyMemory::new(7);
         let mut m2 = FixedLatencyMemory::new(7);
         let s1 = Pipeline::new(CpuConfig::baseline()).run(trace.clone(), &mut m1, u64::MAX);
         let s2 = Pipeline::new(CpuConfig::baseline()).run(trace, &mut m2, u64::MAX);
-        prop_assert_eq!(s1.cycles, s2.cycles);
-        prop_assert_eq!(s1.committed, s2.committed);
-        prop_assert_eq!(m1.loads(), m2.loads());
+        assert_eq!(s1.cycles, s2.cycles, "case {case}");
+        assert_eq!(s1.committed, s2.committed, "case {case}");
+        assert_eq!(m1.loads(), m2.loads(), "case {case}");
     }
+}
 
-    /// Memory latency can only slow the machine down.
-    #[test]
-    fn slower_memory_never_speeds_up(items in proptest::collection::vec(item(), 1..120)) {
-        let trace = lower(&items);
+/// Memory latency can only slow the machine down.
+#[test]
+fn slower_memory_never_speeds_up() {
+    let mut meta = SplitMix64::new(0x510);
+    for case in 0..48 {
+        let trace = lower(&items(&mut meta, 120));
         let mut fast_mem = FixedLatencyMemory::new(1);
         let mut slow_mem = FixedLatencyMemory::new(80);
         let fast = Pipeline::new(CpuConfig::baseline()).run(trace.clone(), &mut fast_mem, u64::MAX);
         let slow = Pipeline::new(CpuConfig::baseline()).run(trace, &mut slow_mem, u64::MAX);
-        prop_assert!(slow.cycles >= fast.cycles);
+        assert!(slow.cycles >= fast.cycles, "case {case}");
     }
 }

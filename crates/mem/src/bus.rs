@@ -42,12 +42,7 @@ impl Bus {
     /// Panics if `bytes_per_cycle` is zero.
     pub fn new(bytes_per_cycle: u64) -> Self {
         assert!(bytes_per_cycle > 0, "a bus must move at least one byte per cycle");
-        Bus {
-            bytes_per_cycle,
-            free_at: Cycle::ZERO,
-            busy_cycles: 0,
-            transactions: 0,
-        }
+        Bus { bytes_per_cycle, free_at: Cycle::ZERO, busy_cycles: 0, transactions: 0 }
     }
 
     /// True if a new transaction could start exactly at `now`.
@@ -74,6 +69,8 @@ impl Bus {
         self.free_at = end;
         self.busy_cycles += end - start;
         self.transactions += 1;
+        #[cfg(feature = "check")]
+        psb_check::audit(&psb_check::Snapshot::BusGrant { now, start, end });
         (start, end)
     }
 

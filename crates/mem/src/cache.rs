@@ -70,10 +70,7 @@ impl Cache {
         let num_sets = config.num_sets();
         Cache {
             config,
-            sets: vec![
-                Line { tag: 0, valid: false, lru: 0 };
-                (num_sets as usize) * config.assoc
-            ],
+            sets: vec![Line { tag: 0, valid: false, lru: 0 }; (num_sets as usize) * config.assoc],
             num_sets,
             stamp: 0,
         }
@@ -169,8 +166,9 @@ impl Cache {
                 victim = Some((i, Some(self.sets[i].tag)));
             }
         }
-        let (slot, evicted_tag) = victim.expect("assoc >= 1 guarantees a victim");
+        let (slot, evicted_tag) = victim.expect("invariant: assoc >= 1 guarantees a victim");
         self.sets[slot] = Line { tag, valid: true, lru: self.stamp };
+        // lint:allow(addr-arith) tag/set recomposition, not pointer math
         evicted_tag.map(|t| BlockAddr(t * self.num_sets + set as u64))
     }
 

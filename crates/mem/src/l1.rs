@@ -193,14 +193,8 @@ mod tests {
         let a = Addr::new(0x200);
         assert_eq!(c.lookup(Cycle::ZERO, a), L1Access::Miss);
         c.start_fill(c.block_of(a), Cycle::new(50)).unwrap();
-        assert_eq!(
-            c.lookup(Cycle::new(10), a),
-            L1Access::InFlight { ready: Cycle::new(50) }
-        );
-        assert_eq!(
-            c.lookup(Cycle::new(50), a),
-            L1Access::Hit { ready: Cycle::new(51) }
-        );
+        assert_eq!(c.lookup(Cycle::new(10), a), L1Access::InFlight { ready: Cycle::new(50) });
+        assert_eq!(c.lookup(Cycle::new(50), a), L1Access::Hit { ready: Cycle::new(51) });
         // Two misses (cold + in-flight), one hit.
         assert_eq!(c.stats().misses, 2);
         assert_eq!(c.stats().hits, 1);
@@ -234,10 +228,7 @@ mod tests {
             c.start_fill(BlockAddr(100 + i), Cycle::new(1000)).unwrap();
         }
         assert!(c.mshrs_full());
-        assert_eq!(
-            c.start_fill(BlockAddr(999), Cycle::new(1000)),
-            Err(MshrError::Full)
-        );
+        assert_eq!(c.start_fill(BlockAddr(999), Cycle::new(1000)), Err(MshrError::Full));
     }
 
     #[test]

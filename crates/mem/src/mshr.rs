@@ -35,7 +35,7 @@ impl std::error::Error for MshrError {}
 /// use psb_mem::Mshr;
 ///
 /// let mut m = Mshr::new(4);
-/// m.allocate(BlockAddr(7), Cycle::new(100)).unwrap();
+/// m.allocate(BlockAddr(7), Cycle::new(100)).expect("a register is free for this block");
 /// assert_eq!(m.lookup(BlockAddr(7)), Some(Cycle::new(100)));
 /// let done = m.drain_ready(Cycle::new(100));
 /// assert_eq!(done, vec![BlockAddr(7)]);
@@ -55,10 +55,7 @@ impl Mshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "an MSHR file needs at least one register");
-        Mshr {
-            capacity,
-            pending: HashMap::with_capacity(capacity),
-        }
+        Mshr { capacity, pending: HashMap::with_capacity(capacity) }
     }
 
     /// Returns the completion time of an in-flight block, if any.
@@ -90,7 +87,20 @@ impl Mshr {
             return Err(MshrError::Full);
         }
         self.pending.insert(block, ready);
+        #[cfg(feature = "check")]
+        self.audit(ready);
         Ok(())
+    }
+
+    /// Publishes the register file to the invariant auditor (duplicate
+    /// blocks, capacity bound).
+    #[cfg(feature = "check")]
+    fn audit(&self, now: Cycle) {
+        psb_check::audit(&psb_check::Snapshot::Mshr {
+            now,
+            capacity: self.capacity,
+            blocks: self.pending.keys().copied().collect(),
+        });
     }
 
     /// Removes and returns every block whose fill has completed by `now`,
@@ -106,6 +116,8 @@ impl Mshr {
         for (_, b) in &done {
             self.pending.remove(b);
         }
+        #[cfg(feature = "check")]
+        self.audit(now);
         done.into_iter().map(|(_, b)| b).collect()
     }
 
@@ -132,8 +144,8 @@ mod tests {
     #[test]
     fn allocate_lookup_drain() {
         let mut m = Mshr::new(2);
-        m.allocate(BlockAddr(1), Cycle::new(10)).unwrap();
-        m.allocate(BlockAddr(2), Cycle::new(20)).unwrap();
+        m.allocate(BlockAddr(1), Cycle::new(10)).expect("a register is free for this block");
+        m.allocate(BlockAddr(2), Cycle::new(20)).expect("a register is free for this block");
         assert!(m.is_full());
         assert_eq!(m.lookup(BlockAddr(1)), Some(Cycle::new(10)));
         assert_eq!(m.drain_ready(Cycle::new(5)), vec![]);
@@ -146,7 +158,7 @@ mod tests {
     #[test]
     fn full_rejects() {
         let mut m = Mshr::new(1);
-        m.allocate(BlockAddr(1), Cycle::new(10)).unwrap();
+        m.allocate(BlockAddr(1), Cycle::new(10)).expect("a register is free for this block");
         assert_eq!(m.allocate(BlockAddr(2), Cycle::new(10)), Err(MshrError::Full));
         // Same block merges even when full.
         assert_eq!(m.allocate(BlockAddr(1), Cycle::new(30)), Ok(()));
@@ -155,10 +167,10 @@ mod tests {
     #[test]
     fn merge_keeps_earlier_completion() {
         let mut m = Mshr::new(4);
-        m.allocate(BlockAddr(9), Cycle::new(50)).unwrap();
-        m.allocate(BlockAddr(9), Cycle::new(40)).unwrap();
+        m.allocate(BlockAddr(9), Cycle::new(50)).expect("a register is free for this block");
+        m.allocate(BlockAddr(9), Cycle::new(40)).expect("a register is free for this block");
         assert_eq!(m.lookup(BlockAddr(9)), Some(Cycle::new(40)));
-        m.allocate(BlockAddr(9), Cycle::new(60)).unwrap();
+        m.allocate(BlockAddr(9), Cycle::new(60)).expect("a register is free for this block");
         assert_eq!(m.lookup(BlockAddr(9)), Some(Cycle::new(40)));
         assert_eq!(m.in_flight(), 1);
     }
@@ -166,13 +178,10 @@ mod tests {
     #[test]
     fn drain_order_is_deterministic() {
         let mut m = Mshr::new(8);
-        m.allocate(BlockAddr(5), Cycle::new(10)).unwrap();
-        m.allocate(BlockAddr(3), Cycle::new(10)).unwrap();
-        m.allocate(BlockAddr(4), Cycle::new(9)).unwrap();
-        assert_eq!(
-            m.drain_ready(Cycle::new(10)),
-            vec![BlockAddr(4), BlockAddr(3), BlockAddr(5)]
-        );
+        m.allocate(BlockAddr(5), Cycle::new(10)).expect("a register is free for this block");
+        m.allocate(BlockAddr(3), Cycle::new(10)).expect("a register is free for this block");
+        m.allocate(BlockAddr(4), Cycle::new(9)).expect("a register is free for this block");
+        assert_eq!(m.drain_ready(Cycle::new(10)), vec![BlockAddr(4), BlockAddr(3), BlockAddr(5)]);
     }
 
     #[test]

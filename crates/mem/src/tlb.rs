@@ -106,6 +106,11 @@ impl Tlb {
         })
     }
 
+    /// The miss penalty in cycles.
+    pub fn miss_latency(&self) -> u64 {
+        self.miss_latency
+    }
+
     /// Translates a virtual address to a physical one, assigning a page if
     /// needed (no timing, no TLB state change — used for cache indexing).
     pub fn physical(&mut self, addr: Addr) -> Addr {

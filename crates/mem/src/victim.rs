@@ -90,6 +90,25 @@ impl VictimCache {
         self.cache.insert_block(block);
     }
 
+    /// True if the victim cache currently holds `block` (non-mutating,
+    /// no statistics side effects).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.cache.probe_block(block)
+    }
+
+    /// Publishes an exclusivity observation to the invariant auditor: a
+    /// block must never be resident here and in the L1 at once. The
+    /// caller (who owns the L1) supplies `in_l1`.
+    #[cfg(feature = "check")]
+    pub fn audit_exclusive(&self, now: psb_common::Cycle, block: BlockAddr, in_l1: bool) {
+        psb_check::audit(&psb_check::Snapshot::Victim {
+            now,
+            block,
+            in_l1,
+            in_victim: self.contains(block),
+        });
+    }
+
     /// The extra hit latency in cycles.
     pub fn latency(&self) -> u64 {
         self.latency

@@ -1,9 +1,11 @@
-//! Property-based tests for the memory-hierarchy components, checked
-//! against simple reference models.
+//! Property-style tests for the memory-hierarchy components, checked
+//! against simple reference models over deterministic pseudo-random
+//! operation sequences (no external test framework, runs offline).
 
-use proptest::prelude::*;
-use psb_common::{Addr, BlockAddr, Cycle};
+use psb_common::{Addr, BlockAddr, Cycle, SplitMix64};
 use psb_mem::{Bus, Cache, CacheConfig, Mshr, ThroughputPipe};
+
+const CASES: u64 = 150;
 
 /// A reference model of a set-associative LRU cache: per-set vectors in
 /// recency order.
@@ -42,65 +44,49 @@ impl RefCache {
         if self.access(block) {
             return None;
         }
-        let evicted = if self.sets[s].len() == self.assoc {
-            Some(self.sets[s].remove(0))
-        } else {
-            None
-        };
+        let evicted =
+            if self.sets[s].len() == self.assoc { Some(self.sets[s].remove(0)) } else { None };
         self.sets[s].push(block);
         evicted
     }
 }
 
-#[derive(Clone, Debug)]
-enum CacheOp {
-    Access(u64),
-    Insert(u64),
-    Probe(u64),
-    Invalidate(u64),
-}
-
-fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..64).prop_map(CacheOp::Access),
-            (0u64..64).prop_map(CacheOp::Insert),
-            (0u64..64).prop_map(CacheOp::Probe),
-            (0u64..64).prop_map(CacheOp::Invalidate),
-        ],
-        0..256,
-    )
-}
-
-proptest! {
-    /// The tag array agrees with a straightforward LRU reference model on
-    /// arbitrary operation sequences.
-    #[test]
-    fn cache_matches_reference(ops in cache_ops()) {
+/// The tag array agrees with a straightforward LRU reference model on
+/// arbitrary operation sequences.
+#[test]
+fn cache_matches_reference() {
+    let mut meta = SplitMix64::new(0xCAC4E);
+    for case in 0..CASES {
         // 4 sets x 2 ways x 32B blocks.
         let mut cache = Cache::new(CacheConfig::new(256, 2, 32));
         let mut reference = RefCache::new(4, 2);
-        for op in ops {
-            match op {
-                CacheOp::Access(b) => {
-                    prop_assert_eq!(
+        let ops = meta.below(256);
+        for _ in 0..ops {
+            let b = meta.below(64);
+            match meta.below(4) {
+                0 => {
+                    assert_eq!(
                         cache.access_block(BlockAddr(b)),
                         reference.access(b),
-                        "access {}", b
+                        "case {case}: access {b}"
                     );
                 }
-                CacheOp::Insert(b) => {
+                1 => {
                     let got = cache.insert_block(BlockAddr(b));
                     let want = reference.insert(b);
-                    prop_assert_eq!(got.map(|x| x.0), want, "insert {}", b);
+                    assert_eq!(got.map(|x| x.0), want, "case {case}: insert {b}");
                 }
-                CacheOp::Probe(b) => {
-                    prop_assert_eq!(cache.probe_block(BlockAddr(b)), reference.probe(b));
+                2 => {
+                    assert_eq!(
+                        cache.probe_block(BlockAddr(b)),
+                        reference.probe(b),
+                        "case {case}: probe {b}"
+                    );
                 }
-                CacheOp::Invalidate(b) => {
+                _ => {
                     let addr = Addr::new(b * 32);
                     let was = reference.probe(b);
-                    prop_assert_eq!(cache.invalidate(addr), was);
+                    assert_eq!(cache.invalidate(addr), was, "case {case}: invalidate {b}");
                     if was {
                         let s = reference.set_of(b);
                         reference.sets[s].retain(|&x| x != b);
@@ -109,76 +95,93 @@ proptest! {
             }
         }
     }
+}
 
-    /// Occupancy never exceeds capacity and matches insert/invalidate
-    /// history at the reference level.
-    #[test]
-    fn cache_occupancy_bounded(blocks in proptest::collection::vec(0u64..1024, 0..512)) {
+/// Occupancy never exceeds capacity regardless of insert history.
+#[test]
+fn cache_occupancy_bounded() {
+    let mut meta = SplitMix64::new(0x0CC);
+    for case in 0..CASES {
         let mut cache = Cache::new(CacheConfig::new(1024, 4, 32));
-        for b in blocks {
-            cache.insert_block(BlockAddr(b));
-            prop_assert!(cache.occupancy() <= cache.capacity_lines());
+        let n = meta.below(512);
+        for _ in 0..n {
+            cache.insert_block(BlockAddr(meta.below(1024)));
+            assert!(
+                cache.occupancy() <= cache.capacity_lines(),
+                "case {case}: occupancy exceeded capacity"
+            );
         }
     }
+}
 
-    /// MSHR: in-flight count is conserved; drained blocks were allocated
-    /// and are gone afterwards.
-    #[test]
-    fn mshr_conservation(
-        allocs in proptest::collection::vec((0u64..32, 1u64..1000), 0..64),
-        drain_at in 0u64..1200,
-    ) {
+/// MSHR: in-flight count is conserved; drained blocks were allocated,
+/// were due, and are gone afterwards.
+#[test]
+fn mshr_conservation() {
+    let mut meta = SplitMix64::new(0x854);
+    for case in 0..CASES {
         let mut m = Mshr::new(64);
         let mut expected = std::collections::HashMap::new();
-        for (b, ready) in allocs {
-            m.allocate(BlockAddr(b), Cycle::new(ready)).unwrap();
+        let n = meta.below(64);
+        for _ in 0..n {
+            let b = meta.below(32);
+            let ready = 1 + meta.below(999);
+            m.allocate(BlockAddr(b), Cycle::new(ready))
+                .expect("capacity 64 cannot fill from at most 32 distinct blocks");
             let e = expected.entry(b).or_insert(ready);
             *e = (*e).min(ready);
         }
-        prop_assert_eq!(m.in_flight(), expected.len());
+        assert_eq!(m.in_flight(), expected.len(), "case {case}");
+        let drain_at = meta.below(1200);
         let drained = m.drain_ready(Cycle::new(drain_at));
         for b in &drained {
-            prop_assert!(expected[&b.0] <= drain_at);
+            assert!(expected[&b.0] <= drain_at, "case {case}: block {} drained early", b.0);
         }
-        let remaining: Vec<_> = expected.values().filter(|&&r| r > drain_at).collect();
-        prop_assert_eq!(m.in_flight(), remaining.len());
+        let remaining = expected.values().filter(|&&r| r > drain_at).count();
+        assert_eq!(m.in_flight(), remaining, "case {case}");
     }
+}
 
-    /// Bus: transactions never overlap, start no earlier than requested,
-    /// and busy time equals the sum of transfer times.
-    #[test]
-    fn bus_no_overlap(reqs in proptest::collection::vec((0u64..1000, 1u64..256), 1..64)) {
+/// Bus: transactions never overlap, start no earlier than requested,
+/// and busy time equals the sum of transfer times.
+#[test]
+fn bus_no_overlap() {
+    let mut meta = SplitMix64::new(0xB05);
+    for case in 0..CASES {
         let mut bus = Bus::new(8);
-        let mut reqs = reqs;
+        let n = 1 + meta.below(63);
+        let mut reqs: Vec<(u64, u64)> =
+            (0..n).map(|_| (meta.below(1000), 1 + meta.below(255))).collect();
         reqs.sort_by_key(|&(t, _)| t);
         let mut last_end = Cycle::ZERO;
         let mut total = 0;
         for (t, bytes) in reqs {
             let (start, end) = bus.acquire(Cycle::new(t), bytes);
-            prop_assert!(start >= Cycle::new(t));
-            prop_assert!(start >= last_end, "transactions must not overlap");
-            prop_assert_eq!(end.since(start), bytes.div_ceil(8));
+            assert!(start >= Cycle::new(t), "case {case}");
+            assert!(start >= last_end, "case {case}: transactions must not overlap");
+            assert_eq!(end.since(start), bytes.div_ceil(8), "case {case}");
             total += end.since(start);
             last_end = end;
         }
-        prop_assert_eq!(bus.busy_cycles(), total);
+        assert_eq!(bus.busy_cycles(), total, "case {case}");
     }
+}
 
-    /// Pipelined port: completions are monotone in submission order and
-    /// respect both latency and initiation interval.
-    #[test]
-    fn pipe_ordering(times in proptest::collection::vec(0u64..500, 1..64)) {
+/// Pipelined port: completions are monotone in submission order and
+/// respect both latency and initiation interval.
+#[test]
+fn pipe_ordering() {
+    let mut meta = SplitMix64::new(0x919E);
+    for case in 0..CASES {
         let mut pipe = ThroughputPipe::new(12, 3);
-        let mut times = times;
+        let n = 1 + meta.below(63);
+        let mut times: Vec<u64> = (0..n).map(|_| meta.below(500)).collect();
         times.sort_unstable();
         let mut prev_done = Cycle::ZERO;
         for t in times {
             let done = pipe.access(Cycle::new(t));
-            prop_assert!(done.since(Cycle::new(t)) >= 12, "full latency always paid");
-            prop_assert!(done >= prev_done, "in-order completion");
-            if prev_done > Cycle::ZERO {
-                prop_assert!(done.since(Cycle::ZERO) >= prev_done.since(Cycle::ZERO));
-            }
+            assert!(done.since(Cycle::new(t)) >= 12, "case {case}: full latency always paid");
+            assert!(done >= prev_done, "case {case}: in-order completion");
             prev_done = done;
         }
     }

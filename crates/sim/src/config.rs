@@ -1,8 +1,8 @@
 //! Whole-machine configuration.
 
 use psb_core::{
-    DemandMarkovPrefetcher, FetchDirectedPrefetcher, NextLinePrefetcher, NoPrefetch,
-    Prefetcher, PsbPrefetcher, SbConfig, SequentialStreamBuffers, StrideStreamBuffers,
+    DemandMarkovPrefetcher, FetchDirectedPrefetcher, NextLinePrefetcher, NoPrefetch, Prefetcher,
+    PsbPrefetcher, SbConfig, SequentialStreamBuffers, StrideStreamBuffers,
 };
 use psb_cpu::{CpuConfig, Disambiguation};
 use psb_mem::{CacheConfig, MemConfig};
@@ -70,9 +70,7 @@ impl PrefetcherKind {
             PrefetcherKind::DemandMarkov => Box::new(DemandMarkovPrefetcher::baseline()),
             PrefetcherKind::FetchDirected => Box::new(FetchDirectedPrefetcher::baseline()),
             PrefetcherKind::PcStride => Box::new(StrideStreamBuffers::pc_stride()),
-            PrefetcherKind::Psb2MissRr => {
-                Box::new(PsbPrefetcher::psb(SbConfig::psb_two_miss_rr()))
-            }
+            PrefetcherKind::Psb2MissRr => Box::new(PsbPrefetcher::psb(SbConfig::psb_two_miss_rr())),
             PrefetcherKind::Psb2MissPriority => {
                 Box::new(PsbPrefetcher::psb(SbConfig::psb_two_miss_priority()))
             }
@@ -165,10 +163,7 @@ mod tests {
         assert_eq!(PrefetcherKind::None.build().name(), "none");
         assert_eq!(PrefetcherKind::PcStride.build().name(), "pc-stride");
         assert_eq!(PrefetcherKind::Psb2MissRr.build().name(), "psb-2miss-rr");
-        assert_eq!(
-            PrefetcherKind::PsbConfPriority.build().name(),
-            "psb-confalloc-priority"
-        );
+        assert_eq!(PrefetcherKind::PsbConfPriority.build().name(), "psb-confalloc-priority");
         assert_eq!(PrefetcherKind::Sequential.build().name(), "sequential");
     }
 

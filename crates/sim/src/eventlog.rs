@@ -84,6 +84,12 @@ impl fmt::Display for MemEvent {
 pub struct MemLog {
     events: Vec<MemEvent>,
     capacity: usize,
+    /// Allowed backward cycle skew between consecutive entries, published
+    /// to the invariant auditor: demand events are stamped after address
+    /// translation, so a TLB miss can push one ahead of later same-cycle
+    /// submissions by up to the TLB miss penalty.
+    #[cfg(feature = "check")]
+    check_skew: u64,
 }
 
 /// The shared handle the simulator components write through.
@@ -92,12 +98,32 @@ pub type SharedMemLog = Rc<RefCell<MemLog>>;
 impl MemLog {
     /// Creates a log keeping the first `capacity` events.
     pub fn shared(capacity: usize) -> SharedMemLog {
-        Rc::new(RefCell::new(MemLog { events: Vec::new(), capacity }))
+        Rc::new(RefCell::new(MemLog {
+            events: Vec::new(),
+            capacity,
+            #[cfg(feature = "check")]
+            check_skew: 0,
+        }))
+    }
+
+    /// Declares the backward cycle skew the auditor should tolerate
+    /// between consecutive entries (the owning memory system sets this to
+    /// its TLB miss penalty when it attaches the log).
+    #[cfg(feature = "check")]
+    pub fn set_check_skew(&mut self, skew: u64) {
+        self.check_skew = skew;
     }
 
     /// Records an event if capacity remains.
     pub fn record(&mut self, event: MemEvent) {
         if self.events.len() < self.capacity {
+            #[cfg(feature = "check")]
+            psb_check::audit(&psb_check::Snapshot::Event {
+                prev_cycle: self.events.last().map_or(event.cycle, |e| e.cycle),
+                cycle: event.cycle,
+                ready: Some(event.ready),
+                slack: self.check_skew,
+            });
             self.events.push(event);
         }
     }

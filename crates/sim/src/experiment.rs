@@ -21,10 +21,7 @@ pub fn run_point(bench: Benchmark, kind: PrefetcherKind, scale: u32) -> SimStats
 /// Runs every paper configuration (Base, PC-stride, four PSB variants)
 /// for one benchmark, in Figure 5 order.
 pub fn run_paper_row(bench: Benchmark, scale: u32) -> Vec<(PrefetcherKind, SimStats)> {
-    PrefetcherKind::PAPER
-        .into_iter()
-        .map(|k| (k, run_point(bench, k, scale)))
-        .collect()
+    PrefetcherKind::PAPER.into_iter().map(|k| (k, run_point(bench, k, scale))).collect()
 }
 
 /// Geometric-mean percent speedup across a set of per-benchmark speedups

@@ -24,6 +24,14 @@ impl PrefetchSink for Lower {
     }
 
     fn fetch(&mut self, now: Cycle, addr: Addr) -> Cycle {
+        // The paper only issues prefetches when the L1-L2 bus is free at
+        // the start of the cycle; publish the observation so the auditor
+        // can catch an engine that fetches over a busy bus.
+        #[cfg(feature = "check")]
+        psb_check::audit(&psb_check::Snapshot::PrefetchFetch {
+            now,
+            bus_free: self.lower.l1_bus_free(now),
+        });
         // Prefetches carry virtual addresses: translate first. A TLB miss
         // delays the prefetch and warms the TLB (TLB prefetching,
         // Section 4.5).
@@ -100,6 +108,8 @@ impl SimMemory {
     /// Attaches a shared event log; demand accesses, prefetches and
     /// I-fetch misses are recorded until it fills.
     pub fn attach_log(&mut self, log: SharedMemLog) {
+        #[cfg(feature = "check")]
+        log.borrow_mut().set_check_skew(self.inner.dtlb.miss_latency());
         self.inner.log = Some(log.clone());
         self.log = Some(log);
     }
@@ -156,6 +166,14 @@ impl SimMemory {
             }
             if victim.probe(addr) {
                 self.l1d.install(addr);
+                // The rescued block now lives in the L1; the probe must
+                // have removed it from the victim cache (exclusivity).
+                #[cfg(feature = "check")]
+                victim.audit_exclusive(
+                    now,
+                    self.l1d.block_of(addr),
+                    self.l1d.covers_block(self.l1d.block_of(addr)),
+                );
                 let ready = now + self.l1d.latency() + victim.latency();
                 self.record(now, Some(pc), addr, ready, MemEventKind::VictimHit);
                 return ready;

@@ -49,6 +49,18 @@ impl Simulation {
         self
     }
 
+    /// Executes the run under the invariant auditor: resets the
+    /// thread-local sink, runs, and returns the statistics together with
+    /// every cross-layer invariant violation observed by the registered
+    /// checkers (see [`psb_check`]). Only available with the `check`
+    /// feature; release figure runs never pay for auditing.
+    #[cfg(feature = "check")]
+    pub fn run_audited(self) -> (SimStats, Vec<psb_check::Violation>) {
+        psb_check::reset();
+        let stats = self.run();
+        (stats, psb_check::take())
+    }
+
     /// Executes the run and collects statistics.
     pub fn run(self) -> SimStats {
         let mut mem = match self.engine {

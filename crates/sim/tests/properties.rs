@@ -1,104 +1,93 @@
-//! Property-based tests of the composed memory system and full machine.
+//! Property-style tests of the composed memory system and full
+//! machine, over deterministic pseudo-random access patterns (no
+//! external test framework, runs offline).
 
-use proptest::prelude::*;
-use psb_common::{Addr, Cycle};
+use psb_common::{Addr, Cycle, SplitMix64};
 use psb_cpu::MemSystem;
 use psb_sim::{MachineConfig, PrefetcherKind, SimMemory};
 
-/// An arbitrary mixed access pattern driven directly against SimMemory.
-#[derive(Clone, Debug)]
-enum Access {
-    Load { pc: u8, slot: u16 },
-    Store { pc: u8, slot: u16 },
-    Ifetch { slot: u8 },
-    Tick,
-}
+const KINDS: [PrefetcherKind; 6] = [
+    PrefetcherKind::None,
+    PrefetcherKind::Sequential,
+    PrefetcherKind::NextLine,
+    PrefetcherKind::DemandMarkov,
+    PrefetcherKind::PcStride,
+    PrefetcherKind::PsbConfPriority,
+];
 
-fn access() -> impl Strategy<Value = Access> {
-    prop_oneof![
-        (any::<u8>(), any::<u16>()).prop_map(|(pc, slot)| Access::Load { pc, slot }),
-        (any::<u8>(), any::<u16>()).prop_map(|(pc, slot)| Access::Store { pc, slot }),
-        any::<u8>().prop_map(|slot| Access::Ifetch { slot }),
-        Just(Access::Tick),
-    ]
-}
-
-fn kinds() -> impl Strategy<Value = PrefetcherKind> {
-    prop_oneof![
-        Just(PrefetcherKind::None),
-        Just(PrefetcherKind::Sequential),
-        Just(PrefetcherKind::NextLine),
-        Just(PrefetcherKind::DemandMarkov),
-        Just(PrefetcherKind::PcStride),
-        Just(PrefetcherKind::PsbConfPriority),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The memory system never travels back in time, never loses
-    /// accounting, and keeps prefetch counters consistent — under every
-    /// prefetcher and arbitrary access interleavings.
-    #[test]
-    fn memory_system_is_causal(
-        kind in kinds(),
-        ops in proptest::collection::vec(access(), 1..200),
-    ) {
+/// The memory system never travels back in time, never loses
+/// accounting, and keeps prefetch counters consistent — under every
+/// prefetcher and arbitrary access interleavings.
+#[test]
+fn memory_system_is_causal() {
+    let mut meta = SplitMix64::new(0xCA05A1);
+    for case in 0..32 {
+        let kind = KINDS[meta.below(KINDS.len() as u64) as usize];
         let mut mem = SimMemory::new(&MachineConfig::baseline().with_prefetcher(kind));
         let mut now = Cycle::ZERO;
         let mut accesses = 0u64;
-        for op in ops {
+        let ops = 1 + meta.below(199);
+        for _ in 0..ops {
             now += 3;
-            match op {
-                Access::Load { pc, slot } => {
-                    let ready = mem.load(now, Addr::new(0x400 + pc as u64 * 4),
-                                         Addr::new(0x1000_0000 + slot as u64 * 32));
-                    prop_assert!(ready > now, "a load takes at least one cycle");
-                    prop_assert!(ready.since(now) < 10_000, "latency must be bounded");
+            let pc = meta.below(256);
+            let slot = meta.below(1 << 16);
+            match meta.below(4) {
+                0 => {
+                    let ready = mem.load(
+                        now,
+                        Addr::new(0x400 + pc * 4),
+                        Addr::new(0x1000_0000 + slot * 32),
+                    );
+                    assert!(ready > now, "case {case}: a load takes at least one cycle");
+                    assert!(ready.since(now) < 10_000, "case {case}: latency must be bounded");
                     accesses += 1;
                 }
-                Access::Store { pc, slot } => {
-                    mem.store(now, Addr::new(0x400 + pc as u64 * 4),
-                              Addr::new(0x1000_0000 + slot as u64 * 32));
+                1 => {
+                    mem.store(now, Addr::new(0x400 + pc * 4), Addr::new(0x1000_0000 + slot * 32));
                     accesses += 1;
                 }
-                Access::Ifetch { slot } => {
-                    let ready = mem.ifetch(now, Addr::new(0x40_0000 + slot as u64 * 32));
-                    prop_assert!(ready >= now);
+                2 => {
+                    let ready = mem.ifetch(now, Addr::new(0x40_0000 + (slot % 256) * 32));
+                    assert!(ready >= now, "case {case}");
                 }
-                Access::Tick => mem.tick(now),
+                _ => mem.tick(now),
             }
             let p = mem.prefetcher().stats();
-            prop_assert!(p.used <= p.issued);
-            prop_assert!(p.hits <= p.lookups);
+            assert!(p.used <= p.issued, "case {case} ({kind:?})");
+            assert!(p.hits <= p.lookups, "case {case} ({kind:?})");
         }
-        prop_assert_eq!(mem.l1d().stats().accesses(), accesses);
+        assert_eq!(mem.l1d().stats().accesses(), accesses, "case {case} ({kind:?})");
     }
+}
 
-    /// A victim cache never makes latency worse than the same machine
-    /// without one, access by access... (not true in general for IPC on
-    /// the OoO core, but the per-access L1-path invariant holds: a
-    /// victim hit is strictly cheaper than a lower-memory trip).
-    #[test]
-    fn victim_hits_are_cheap(slots in proptest::collection::vec(0u16..4096, 1..128)) {
+/// A victim hit is strictly cheaper than a lower-memory trip: the
+/// per-access latency is L1 (1), L1+victim (2), or a full trip below
+/// (>= 12). Nothing in between exists.
+#[test]
+fn victim_hits_are_cheap() {
+    let mut meta = SplitMix64::new(0x71C71);
+    for case in 0..32 {
         let mut mem = SimMemory::new(&MachineConfig::baseline().with_victim_cache(16));
         let mut now = Cycle::ZERO;
-        for slot in slots {
+        let n = 1 + meta.below(127);
+        for _ in 0..n {
             now += 200;
-            let ready = mem.load(now, Addr::new(0x400), Addr::new(0x1000_0000 + slot as u64 * 32));
-            // A victim-cache hit costs l1 latency + victim latency (2);
-            // everything else goes below. Nothing in between exists.
+            let slot = meta.below(4096);
+            let ready = mem.load(now, Addr::new(0x400), Addr::new(0x1000_0000 + slot * 32));
             let lat = ready.since(now);
-            prop_assert!(lat == 1 || lat == 2 || lat >= 12, "odd latency {}", lat);
+            assert!(lat == 1 || lat == 2 || lat >= 12, "case {case}: odd latency {lat}");
         }
     }
+}
 
-    /// Stats CSV stays parseable for arbitrary small runs.
-    #[test]
-    fn csv_always_matches_header(seed in any::<u64>()) {
-        use psb_sim::{SimStats, Simulation};
-        use psb_workloads::TraceBuilder;
+/// Stats CSV stays parseable for arbitrary small runs.
+#[test]
+fn csv_always_matches_header() {
+    use psb_sim::{SimStats, Simulation};
+    use psb_workloads::TraceBuilder;
+    let mut meta = SplitMix64::new(0xC57);
+    for case in 0..8 {
+        let seed = meta.next_u64();
         let mut b = TraceBuilder::new(Addr::new(0x40_0000));
         let n = 16 + (seed % 64);
         for i in 0..n {
@@ -106,9 +95,10 @@ proptest! {
             b.alu(2, Some(1), None);
         }
         let stats = Simulation::new(MachineConfig::baseline(), b.finish(), u64::MAX).run();
-        prop_assert_eq!(
+        assert_eq!(
             stats.csv_row().split(',').count(),
-            SimStats::CSV_HEADER.split(',').count()
+            SimStats::CSV_HEADER.split(',').count(),
+            "case {case}"
         );
     }
 }

@@ -36,13 +36,8 @@ impl Benchmark {
 
     /// The five pointer-based programs (everything but `turb3d`), over
     /// which the paper reports its headline averages.
-    pub const POINTER_BASED: [Benchmark; 5] = [
-        Benchmark::Health,
-        Benchmark::Burg,
-        Benchmark::DeltaBlue,
-        Benchmark::Gs,
-        Benchmark::Sis,
-    ];
+    pub const POINTER_BASED: [Benchmark; 5] =
+        [Benchmark::Health, Benchmark::Burg, Benchmark::DeltaBlue, Benchmark::Gs, Benchmark::Sis];
 
     /// The benchmark's name as the paper spells it.
     pub fn name(self) -> &'static str {
@@ -97,7 +92,11 @@ pub struct ParseBenchmarkError(String);
 
 impl fmt::Display for ParseBenchmarkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown benchmark `{}` (expected one of health, burg, deltablue, gs, sis, turb3d)", self.0)
+        write!(
+            f,
+            "unknown benchmark `{}` (expected one of health, burg, deltablue, gs, sis, turb3d)",
+            self.0
+        )
     }
 }
 

@@ -31,12 +31,7 @@ struct Tree {
 
 fn build_tree(rng: &mut SplitMix64, addrs: Vec<Addr>) -> Tree {
     let n = addrs.len();
-    let mut tree = Tree {
-        addr: addrs,
-        left: vec![None; n],
-        right: vec![None; n],
-        root: 0,
-    };
+    let mut tree = Tree { addr: addrs, left: vec![None; n], right: vec![None; n], root: 0 };
     // Random binary shape: recursively split the index range.
     fn split(tree: &mut Tree, rng: &mut SplitMix64, lo: usize, hi: usize) -> usize {
         let node = lo;

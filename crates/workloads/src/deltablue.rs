@@ -64,7 +64,7 @@ pub fn trace(scale: u32) -> Vec<DynInst> {
                 b.load(2, Some(1), na.offset(8));
                 b.load(1, Some(1), na);
                 // Planner state (hot, L1-resident).
-                b.load(8, Some(6), Addr::new(0x2000_0180 + (i as u64 % 8) * 8));
+                b.load(8, Some(6), Addr::new(0x2000_0180).offset((i % 8) as i64 * 8));
                 b.alu(3, Some(2), Some(8));
                 // Chain B step (chase register r7).
                 b.load(4, Some(7), nb.offset(8));
@@ -171,9 +171,7 @@ mod tests {
         let t = trace(1);
         let visits: Vec<u64> = t
             .iter()
-            .filter(|i| {
-                i.op.is_load() && i.dst == Some(Reg::new(1)) && i.src1 == Some(Reg::new(1))
-            })
+            .filter(|i| i.op.is_load() && i.dst == Some(Reg::new(1)) && i.src1 == Some(Reg::new(1)))
             .map(|i| i.mem_addr.unwrap().raw())
             .collect();
         let per_pass = (CHAINS / 2) * CHAIN_LEN; // even chains go via register r1

@@ -54,7 +54,7 @@ pub fn trace(scale: u32) -> Vec<DynInst> {
             b.expect_pc(RASTER);
             let a = band_buf.offset(64 * i as i64);
             b.load(2, Some(6), a);
-            b.load(5, Some(2), Addr::new(0x2000_0280 + (i as u64 % 32) * 8));
+            b.load(5, Some(2), Addr::new(0x2000_0280).offset((i % 32) as i64 * 8));
             b.op(Op::FpMult, 3, Some(2), Some(5));
             b.op(Op::FpAdd, 4, Some(3), Some(4));
             b.store(Some(4), Some(6), a.offset(8));
@@ -68,7 +68,7 @@ pub fn trace(scale: u32) -> Vec<DynInst> {
             b.expect_pc(DLIST);
             b.load(2, Some(1), node.offset(8));
             b.load(1, Some(1), node);
-            b.load(5, Some(6), Addr::new(0x2000_0300 + (i as u64 % 8) * 8));
+            b.load(5, Some(6), Addr::new(0x2000_0300).offset((i % 8) as i64 * 8));
             b.alu(3, Some(2), Some(5));
             b.alu(4, Some(3), None);
             b.cond(Some(6), i + 1 < dlist.len(), DLIST);
@@ -124,10 +124,8 @@ mod tests {
             .collect();
         assert!(chase.len() >= 2 * DLIST_NODES);
         assert_eq!(&chase[..DLIST_NODES], &chase[DLIST_NODES..2 * DLIST_NODES]);
-        let strided = chase[..DLIST_NODES]
-            .windows(2)
-            .filter(|w| w[1].wrapping_sub(w[0]) == 64)
-            .count();
+        let strided =
+            chase[..DLIST_NODES].windows(2).filter(|w| w[1].wrapping_sub(w[0]) == 64).count();
         assert!(strided < DLIST_NODES / 4, "chase must not be strided ({strided})");
     }
 

@@ -52,8 +52,7 @@ pub fn trace(scale: u32) -> Vec<DynInst> {
     for level in 0..VILLAGE_LEVELS {
         let count = 4usize.pow(level as u32);
         for i in 0..count {
-            let parent = (level > 0)
-                .then(|| level_start[level - 1] + i / 4);
+            let parent = (level > 0).then(|| level_start[level - 1] + i / 4);
             villages.push(Village { header: headers[idx], parent, patients: Vec::new() });
             idx += 1;
         }
@@ -210,10 +209,7 @@ mod tests {
             })
             .count();
         let loads = TraceMix::of(&t).loads;
-        assert!(
-            chase * 4 > loads,
-            "chase loads {chase} should be a large share of {loads}"
-        );
+        assert!(chase * 4 > loads, "chase loads {chase} should be a large share of {loads}");
     }
 
     #[test]

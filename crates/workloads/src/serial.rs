@@ -135,8 +135,8 @@ pub fn write_trace(mut w: impl Write, trace: &[DynInst]) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&[VERSION])?;
     write_varint(&mut w, trace.len() as u64)?;
-    let mut prev_pc = 0u64;
-    let mut prev_mem = 0u64;
+    let mut prev_pc = Addr::new(0);
+    let mut prev_mem = Addr::new(0);
     for inst in trace {
         let mut head = op_code(inst.op);
         head |= (inst.dst.is_some() as u8) << 4;
@@ -144,20 +144,20 @@ pub fn write_trace(mut w: impl Write, trace: &[DynInst]) -> io::Result<()> {
         head |= (inst.src2.is_some() as u8) << 6;
         head |= (inst.branch.is_some() as u8) << 7;
         w.write_all(&[head])?;
-        write_varint(&mut w, zigzag(inst.pc.raw().wrapping_sub(prev_pc) as i64))?;
-        prev_pc = inst.pc.raw();
+        write_varint(&mut w, zigzag(inst.pc.delta(prev_pc)))?;
+        prev_pc = inst.pc;
         for r in [inst.dst, inst.src1, inst.src2].into_iter().flatten() {
             w.write_all(&[r.0])?;
         }
         if inst.op.is_mem() {
             let addr = inst.mem_addr.ok_or_else(|| bad("memory op without address".into()))?;
-            write_varint(&mut w, zigzag(addr.raw().wrapping_sub(prev_mem) as i64))?;
-            prev_mem = addr.raw();
+            write_varint(&mut w, zigzag(addr.delta(prev_mem)))?;
+            prev_mem = addr;
             w.write_all(&[inst.mem_size])?;
         }
         if let Some(b) = inst.branch {
             w.write_all(&[kind_code(b.kind) | ((b.taken as u8) << 4)])?;
-            write_varint(&mut w, zigzag(b.target.raw().wrapping_sub(inst.pc.raw()) as i64))?;
+            write_varint(&mut w, zigzag(b.target.delta(inst.pc)))?;
         }
     }
     Ok(())
@@ -182,13 +182,13 @@ pub fn read_trace(mut r: impl Read) -> io::Result<Vec<DynInst>> {
     }
     let count = read_varint(&mut r)? as usize;
     let mut out = Vec::with_capacity(count.min(1 << 24));
-    let mut prev_pc = 0u64;
-    let mut prev_mem = 0u64;
+    let mut prev_pc = Addr::new(0);
+    let mut prev_mem = Addr::new(0);
     for _ in 0..count {
         let mut head = [0u8];
         r.read_exact(&mut head)?;
         let op = op_from(head[0] & 0x0f)?;
-        let pc = prev_pc.wrapping_add(unzigzag(read_varint(&mut r)?) as u64);
+        let pc = prev_pc.offset(unzigzag(read_varint(&mut r)?));
         prev_pc = pc;
         let mut reg = |present: bool| -> io::Result<Option<Reg>> {
             if !present {
@@ -205,11 +205,11 @@ pub fn read_trace(mut r: impl Read) -> io::Result<Vec<DynInst>> {
         let src1 = reg(head[0] & 0x20 != 0)?;
         let src2 = reg(head[0] & 0x40 != 0)?;
         let (mem_addr, mem_size) = if op.is_mem() {
-            let addr = prev_mem.wrapping_add(unzigzag(read_varint(&mut r)?) as u64);
+            let addr = prev_mem.offset(unzigzag(read_varint(&mut r)?));
             prev_mem = addr;
             let mut size = [0u8];
             r.read_exact(&mut size)?;
-            (Some(Addr::new(addr)), size[0])
+            (Some(addr), size[0])
         } else {
             (None, 0)
         };
@@ -218,12 +218,12 @@ pub fn read_trace(mut r: impl Read) -> io::Result<Vec<DynInst>> {
             r.read_exact(&mut kb)?;
             let kind = kind_from(kb[0] & 0x0f)?;
             let taken = kb[0] & 0x10 != 0;
-            let target = pc.wrapping_add(unzigzag(read_varint(&mut r)?) as u64);
-            Some(BranchInfo { kind, taken, target: Addr::new(target) })
+            let target = pc.offset(unzigzag(read_varint(&mut r)?));
+            Some(BranchInfo { kind, taken, target })
         } else {
             None
         };
-        out.push(DynInst { pc: Addr::new(pc), op, dst, src1, src2, mem_addr, mem_size, branch });
+        out.push(DynInst { pc, op, dst, src1, src2, mem_addr, mem_size, branch });
     }
     Ok(out)
 }

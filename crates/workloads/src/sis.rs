@@ -58,8 +58,7 @@ pub fn trace(scale: u32) -> Vec<DynInst> {
     // Each site's walking position, step counter, and jump RNG.
     let mut site_pos = vec![0u64; JUNK_SITES as usize];
     let mut site_step = vec![0u64; JUNK_SITES as usize];
-    let mut rng: Vec<SplitMix64> =
-        (0..JUNK_SITES).map(|g| SplitMix64::new(0x515 + g)).collect();
+    let mut rng: Vec<SplitMix64> = (0..JUNK_SITES).map(|g| SplitMix64::new(0x515 + g)).collect();
 
     loop {
         b.expect_pc(SWEEP);
@@ -99,7 +98,7 @@ pub fn trace(scale: u32) -> Vec<DynInst> {
                 b.load(3, Some(9), pos);
                 b.alu(4, Some(3), Some(4));
                 b.alu(9, Some(4), None);
-                b.store(Some(9), None, Addr::new(0x2000_0800 + (gate as u64 % 64) * 8));
+                b.store(Some(9), None, Addr::new(0x2000_0800).offset((gate % 64) as i64 * 8));
                 b.cond(Some(9), k < 5, site);
             }
             b.jump(GNEXT);

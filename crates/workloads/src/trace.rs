@@ -164,10 +164,7 @@ impl TraceBuilder {
 ///
 /// Every generator's output is validated in tests with this function.
 pub fn find_control_flow_violation(trace: &[DynInst]) -> Option<usize> {
-    trace
-        .windows(2)
-        .position(|w| w[1].pc != w[0].next_pc())
-        .map(|i| i + 1)
+    trace.windows(2).position(|w| w[1].pc != w[0].next_pc()).map(|i| i + 1)
 }
 
 /// Summary statistics of a trace's instruction mix.

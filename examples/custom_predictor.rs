@@ -15,8 +15,7 @@
 
 use psb::common::Addr;
 use psb::core::{
-    AllocInfo, PsbPrefetcher, SbConfig, StreamEngine, StreamPredictor, StreamState,
-    StrideTable,
+    AllocInfo, PsbPrefetcher, SbConfig, StreamEngine, StreamPredictor, StreamState, StrideTable,
 };
 use psb::sim::{f2, MachineConfig, PrefetcherKind, Simulation, Table};
 use psb::workloads::TraceBuilder;
@@ -131,12 +130,9 @@ fn main() {
         "issued".into(),
         "alloc".into(),
     ]);
-    for (name, s) in [
-        ("base", &base),
-        ("pc-stride", &stride),
-        ("psb (sfm)", &sfm),
-        ("psb (custom ring)", &ring),
-    ] {
+    for (name, s) in
+        [("base", &base), ("pc-stride", &stride), ("psb (sfm)", &sfm), ("psb (custom ring)", &ring)]
+    {
         t.row(vec![
             name.into(),
             f2(s.ipc()),

@@ -38,8 +38,7 @@ fn main() {
 
     // 3. Follow the stream the way a stream buffer would: one prediction
     //    per cycle, advancing the per-stream state, tables untouched.
-    let mut state =
-        StreamState::new(chase_pc, Addr::new(chain[0]), info.stride);
+    let mut state = StreamState::new(chase_pc, Addr::new(chain[0]), info.stride);
     println!("stream buffer walking the chain from {:#x}:", chain[0]);
     for step in 1..=4 {
         let next = sfm.predict(&mut state).expect("SFM always predicts");

@@ -12,14 +12,13 @@ use psb::sim::{f2, pct, MachineConfig, PrefetcherKind, Simulation, Table};
 use psb::workloads::Benchmark;
 
 fn main() {
-    let bench: Benchmark = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "deltablue".to_owned())
-        .parse()
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
+    let bench: Benchmark =
+        std::env::args().nth(1).unwrap_or_else(|| "deltablue".to_owned()).parse().unwrap_or_else(
+            |e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            },
+        );
 
     println!("benchmark: {bench} — {}", bench.description());
     println!("generating trace...");
@@ -34,11 +33,7 @@ fn main() {
     println!("simulating PSB (ConfAlloc-Priority)...\n");
     let psb = Simulation::new(psb_cfg, trace, u64::MAX).run();
 
-    let mut t = Table::new(vec![
-        "metric".into(),
-        "base".into(),
-        "psb".into(),
-    ]);
+    let mut t = Table::new(vec!["metric".into(), "base".into(), "psb".into()]);
     t.row(vec!["IPC".into(), f2(base.ipc()), f2(psb.ipc())]);
     t.row(vec![
         "L1D miss rate".into(),
@@ -55,11 +50,7 @@ fn main() {
         pct(base.l1_l2_bus_percent()),
         pct(psb.l1_l2_bus_percent()),
     ]);
-    t.row(vec![
-        "prefetch accuracy".into(),
-        "-".into(),
-        pct(psb.prefetch_accuracy() * 100.0),
-    ]);
+    t.row(vec!["prefetch accuracy".into(), "-".into(), pct(psb.prefetch_accuracy() * 100.0)]);
     print!("{t}");
     println!("\nspeedup over base: {}", pct(psb.speedup_percent_over(&base)));
 }

@@ -96,7 +96,9 @@ fn main() {
                 }
             }
             "--no-dis" => dis = Disambiguation::WaitForStores,
-            "--scale" => scale = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--scale" => {
+                scale = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--max" => max = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
             "--compare" => compare = true,
             "--dump" => dump = Some(args.next().unwrap_or_else(|| usage())),
@@ -106,8 +108,7 @@ fn main() {
             }
             "--csv" => csv = true,
             "--log" => {
-                log_events =
-                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                log_events = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             other => match other.parse() {
@@ -136,11 +137,10 @@ fn main() {
             eprintln!("{path}: {e}");
             std::process::exit(1);
         });
-        psb::workloads::write_trace(std::io::BufWriter::new(file), &trace)
-            .unwrap_or_else(|e| {
-                eprintln!("{path}: {e}");
-                std::process::exit(1);
-            });
+        psb::workloads::write_trace(std::io::BufWriter::new(file), &trace).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        });
         eprintln!("wrote {} instructions to {path}", trace.len());
         return;
     }
@@ -176,12 +176,7 @@ fn main() {
     );
     let main_stats = Simulation::new(config, trace.clone(), max).run();
     if compare {
-        let base = Simulation::new(
-            config.with_prefetcher(PrefetcherKind::None),
-            trace,
-            max,
-        )
-        .run();
+        let base = Simulation::new(config.with_prefetcher(PrefetcherKind::None), trace, max).run();
         t.row(report("base", &base));
         t.row(report(kind.label(), &main_stats));
         print!("{t}");

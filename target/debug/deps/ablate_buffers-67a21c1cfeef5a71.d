@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_buffers-67a21c1cfeef5a71.d: crates/bench/src/bin/ablate_buffers.rs
+
+/root/repo/target/debug/deps/ablate_buffers-67a21c1cfeef5a71: crates/bench/src/bin/ablate_buffers.rs
+
+crates/bench/src/bin/ablate_buffers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_buffers-798b72249a098a9d.d: crates/bench/src/bin/ablate_buffers.rs
+
+/root/repo/target/debug/deps/ablate_buffers-798b72249a098a9d: crates/bench/src/bin/ablate_buffers.rs
+
+crates/bench/src/bin/ablate_buffers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_buffers-7be024a4c80d249e.d: crates/bench/src/bin/ablate_buffers.rs
+
+/root/repo/target/debug/deps/ablate_buffers-7be024a4c80d249e: crates/bench/src/bin/ablate_buffers.rs
+
+crates/bench/src/bin/ablate_buffers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_buffers-80aed0a0e04e4817.d: crates/bench/src/bin/ablate_buffers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_buffers-80aed0a0e04e4817.rmeta: crates/bench/src/bin/ablate_buffers.rs Cargo.toml
+
+crates/bench/src/bin/ablate_buffers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

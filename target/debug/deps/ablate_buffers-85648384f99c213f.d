@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_buffers-85648384f99c213f.d: crates/bench/src/bin/ablate_buffers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_buffers-85648384f99c213f.rmeta: crates/bench/src/bin/ablate_buffers.rs Cargo.toml
+
+crates/bench/src/bin/ablate_buffers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

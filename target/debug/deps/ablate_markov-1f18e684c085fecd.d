@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_markov-1f18e684c085fecd.d: crates/bench/src/bin/ablate_markov.rs
+
+/root/repo/target/debug/deps/ablate_markov-1f18e684c085fecd: crates/bench/src/bin/ablate_markov.rs
+
+crates/bench/src/bin/ablate_markov.rs:

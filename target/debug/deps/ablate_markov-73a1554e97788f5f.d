@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_markov-73a1554e97788f5f.d: crates/bench/src/bin/ablate_markov.rs
+
+/root/repo/target/debug/deps/ablate_markov-73a1554e97788f5f: crates/bench/src/bin/ablate_markov.rs
+
+crates/bench/src/bin/ablate_markov.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_markov-9948b53d8f54862a.d: crates/bench/src/bin/ablate_markov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_markov-9948b53d8f54862a.rmeta: crates/bench/src/bin/ablate_markov.rs Cargo.toml
+
+crates/bench/src/bin/ablate_markov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

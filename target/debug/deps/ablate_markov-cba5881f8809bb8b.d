@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_markov-cba5881f8809bb8b.d: crates/bench/src/bin/ablate_markov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_markov-cba5881f8809bb8b.rmeta: crates/bench/src/bin/ablate_markov.rs Cargo.toml
+
+crates/bench/src/bin/ablate_markov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_markov-dc8544d2c76226c0.d: crates/bench/src/bin/ablate_markov.rs
+
+/root/repo/target/debug/deps/ablate_markov-dc8544d2c76226c0: crates/bench/src/bin/ablate_markov.rs
+
+crates/bench/src/bin/ablate_markov.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_order-393cdf465f3ad093.d: crates/bench/src/bin/ablate_order.rs
+
+/root/repo/target/debug/deps/ablate_order-393cdf465f3ad093: crates/bench/src/bin/ablate_order.rs
+
+crates/bench/src/bin/ablate_order.rs:

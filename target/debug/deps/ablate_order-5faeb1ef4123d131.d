@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_order-5faeb1ef4123d131.d: crates/bench/src/bin/ablate_order.rs
+
+/root/repo/target/debug/deps/ablate_order-5faeb1ef4123d131: crates/bench/src/bin/ablate_order.rs
+
+crates/bench/src/bin/ablate_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_order-db24461b02437a67.d: crates/bench/src/bin/ablate_order.rs
+
+/root/repo/target/debug/deps/ablate_order-db24461b02437a67: crates/bench/src/bin/ablate_order.rs
+
+crates/bench/src/bin/ablate_order.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_order-fbc56572a51a3877.d: crates/bench/src/bin/ablate_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_order-fbc56572a51a3877.rmeta: crates/bench/src/bin/ablate_order.rs Cargo.toml
+
+crates/bench/src/bin/ablate_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_sched-2fc353c328962198.d: crates/bench/src/bin/ablate_sched.rs
+
+/root/repo/target/debug/deps/ablate_sched-2fc353c328962198: crates/bench/src/bin/ablate_sched.rs
+
+crates/bench/src/bin/ablate_sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_sched-6f60b2b6bfbf507c.d: crates/bench/src/bin/ablate_sched.rs
+
+/root/repo/target/debug/deps/ablate_sched-6f60b2b6bfbf507c: crates/bench/src/bin/ablate_sched.rs
+
+crates/bench/src/bin/ablate_sched.rs:

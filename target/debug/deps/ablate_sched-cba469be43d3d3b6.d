@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_sched-cba469be43d3d3b6.d: crates/bench/src/bin/ablate_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_sched-cba469be43d3d3b6.rmeta: crates/bench/src/bin/ablate_sched.rs Cargo.toml
+
+crates/bench/src/bin/ablate_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_sched-ef12f97f3dca6639.d: crates/bench/src/bin/ablate_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_sched-ef12f97f3dca6639.rmeta: crates/bench/src/bin/ablate_sched.rs Cargo.toml
+
+crates/bench/src/bin/ablate_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_sched-f9517243ec8cc16d.d: crates/bench/src/bin/ablate_sched.rs
+
+/root/repo/target/debug/deps/ablate_sched-f9517243ec8cc16d: crates/bench/src/bin/ablate_sched.rs
+
+crates/bench/src/bin/ablate_sched.rs:

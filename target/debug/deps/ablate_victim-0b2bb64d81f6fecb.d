@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_victim-0b2bb64d81f6fecb.d: crates/bench/src/bin/ablate_victim.rs
+
+/root/repo/target/debug/deps/ablate_victim-0b2bb64d81f6fecb: crates/bench/src/bin/ablate_victim.rs
+
+crates/bench/src/bin/ablate_victim.rs:

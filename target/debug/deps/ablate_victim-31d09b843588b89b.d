@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_victim-31d09b843588b89b.d: crates/bench/src/bin/ablate_victim.rs
+
+/root/repo/target/debug/deps/ablate_victim-31d09b843588b89b: crates/bench/src/bin/ablate_victim.rs
+
+crates/bench/src/bin/ablate_victim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_victim-88f4a015782e7069.d: crates/bench/src/bin/ablate_victim.rs
+
+/root/repo/target/debug/deps/ablate_victim-88f4a015782e7069: crates/bench/src/bin/ablate_victim.rs
+
+crates/bench/src/bin/ablate_victim.rs:

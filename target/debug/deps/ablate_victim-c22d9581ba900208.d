@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_victim-c22d9581ba900208.d: crates/bench/src/bin/ablate_victim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_victim-c22d9581ba900208.rmeta: crates/bench/src/bin/ablate_victim.rs Cargo.toml
+
+crates/bench/src/bin/ablate_victim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

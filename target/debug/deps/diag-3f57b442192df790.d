@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-3f57b442192df790.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-3f57b442192df790: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

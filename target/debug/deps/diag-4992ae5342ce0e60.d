@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-4992ae5342ce0e60.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-4992ae5342ce0e60: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

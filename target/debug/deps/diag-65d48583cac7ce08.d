@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-65d48583cac7ce08.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-65d48583cac7ce08: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8d5770996cb1098a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8d5770996cb1098a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ec39d720ab987cf2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ec39d720ab987cf2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

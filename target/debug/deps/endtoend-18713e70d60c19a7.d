@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/endtoend-18713e70d60c19a7.d: crates/bench/benches/endtoend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libendtoend-18713e70d60c19a7.rmeta: crates/bench/benches/endtoend.rs Cargo.toml
+
+crates/bench/benches/endtoend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-6c6d8a2765e1c523.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-6c6d8a2765e1c523: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c01e3a631bc319e3.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c01e3a631bc319e3: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c81555d20e4cace9.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c81555d20e4cace9: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

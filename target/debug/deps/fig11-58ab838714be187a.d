@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-58ab838714be187a.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-58ab838714be187a: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-671771054b88c9f5.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-671771054b88c9f5: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-8f33e6a2a9d6a80f.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-8f33e6a2a9d6a80f: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-af3c36767df67d9d.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-af3c36767df67d9d: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-af8a8f922b69ab4b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-af8a8f922b69ab4b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

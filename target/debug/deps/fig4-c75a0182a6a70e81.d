@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c75a0182a6a70e81.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c75a0182a6a70e81: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-6d3832def07f7f23.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-6d3832def07f7f23: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

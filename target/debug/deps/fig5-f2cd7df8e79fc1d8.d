@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-f2cd7df8e79fc1d8.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-f2cd7df8e79fc1d8: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

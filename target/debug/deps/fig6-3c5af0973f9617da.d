@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-3c5af0973f9617da.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-3c5af0973f9617da: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-72a2cde8f95c8048.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-72a2cde8f95c8048: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-f5f7c48af118c5d4.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-f5f7c48af118c5d4: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

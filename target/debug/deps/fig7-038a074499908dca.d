@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-038a074499908dca.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-038a074499908dca: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-0a328da2d3d7d5fb.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-0a328da2d3d7d5fb: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

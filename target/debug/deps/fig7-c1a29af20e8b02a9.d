@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c1a29af20e8b02a9.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c1a29af20e8b02a9: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

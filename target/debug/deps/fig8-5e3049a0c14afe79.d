@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-5e3049a0c14afe79.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-5e3049a0c14afe79: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

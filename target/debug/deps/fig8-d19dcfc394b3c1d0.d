@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d19dcfc394b3c1d0.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d19dcfc394b3c1d0: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-ee577d59db8b1cdc.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-ee577d59db8b1cdc: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

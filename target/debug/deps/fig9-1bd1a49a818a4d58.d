@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-1bd1a49a818a4d58.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-1bd1a49a818a4d58: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-59424ebf9008b60f.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-59424ebf9008b60f: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

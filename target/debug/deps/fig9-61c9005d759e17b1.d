@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-61c9005d759e17b1.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-61c9005d759e17b1: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-3d40f91f6a40b056.d: crates/sim/tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-3d40f91f6a40b056.rmeta: crates/sim/tests/invariants.rs Cargo.toml
+
+crates/sim/tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-492ceb4b6316f61f.d: crates/sim/tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-492ceb4b6316f61f: crates/sim/tests/invariants.rs
+
+crates/sim/tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-c618ec764c9a40a8.d: crates/sim/tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-c618ec764c9a40a8.rmeta: crates/sim/tests/invariants.rs Cargo.toml
+
+crates/sim/tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

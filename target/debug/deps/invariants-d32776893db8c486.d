@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-d32776893db8c486.d: crates/sim/tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-d32776893db8c486: crates/sim/tests/invariants.rs
+
+crates/sim/tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory-9bf64d5c6be27193.d: crates/bench/benches/memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory-9bf64d5c6be27193.rmeta: crates/bench/benches/memory.rs Cargo.toml
+
+crates/bench/benches/memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictors-e9e32ed7d8d7312c.d: crates/bench/benches/predictors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictors-e9e32ed7d8d7312c.rmeta: crates/bench/benches/predictors.rs Cargo.toml
+
+crates/bench/benches/predictors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

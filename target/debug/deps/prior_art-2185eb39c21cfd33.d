@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prior_art-2185eb39c21cfd33.d: crates/bench/src/bin/prior_art.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprior_art-2185eb39c21cfd33.rmeta: crates/bench/src/bin/prior_art.rs Cargo.toml
+
+crates/bench/src/bin/prior_art.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prior_art-320853be8d21ca84.d: crates/bench/src/bin/prior_art.rs
+
+/root/repo/target/debug/deps/prior_art-320853be8d21ca84: crates/bench/src/bin/prior_art.rs
+
+crates/bench/src/bin/prior_art.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prior_art-38efcfc55bccdf21.d: crates/bench/src/bin/prior_art.rs
+
+/root/repo/target/debug/deps/prior_art-38efcfc55bccdf21: crates/bench/src/bin/prior_art.rs
+
+crates/bench/src/bin/prior_art.rs:

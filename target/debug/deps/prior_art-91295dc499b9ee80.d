@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prior_art-91295dc499b9ee80.d: crates/bench/src/bin/prior_art.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprior_art-91295dc499b9ee80.rmeta: crates/bench/src/bin/prior_art.rs Cargo.toml
+
+crates/bench/src/bin/prior_art.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prior_art-9721ac1fdeddf03d.d: crates/bench/src/bin/prior_art.rs
+
+/root/repo/target/debug/deps/prior_art-9721ac1fdeddf03d: crates/bench/src/bin/prior_art.rs
+
+crates/bench/src/bin/prior_art.rs:

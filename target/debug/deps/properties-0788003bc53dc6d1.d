@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0788003bc53dc6d1.d: crates/common/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0788003bc53dc6d1.rmeta: crates/common/tests/properties.rs Cargo.toml
+
+crates/common/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1490043ae8951326.d: crates/mem/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1490043ae8951326: crates/mem/tests/properties.rs
+
+crates/mem/tests/properties.rs:

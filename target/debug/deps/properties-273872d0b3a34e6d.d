@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-273872d0b3a34e6d.d: crates/cpu/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-273872d0b3a34e6d: crates/cpu/tests/properties.rs
+
+crates/cpu/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2d2946f3ff4dc9b2.d: crates/cpu/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2d2946f3ff4dc9b2.rmeta: crates/cpu/tests/properties.rs Cargo.toml
+
+crates/cpu/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-35fd672b581e3032.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-35fd672b581e3032: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

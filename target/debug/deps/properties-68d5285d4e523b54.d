@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-68d5285d4e523b54.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-68d5285d4e523b54: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

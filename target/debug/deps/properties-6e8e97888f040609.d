@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6e8e97888f040609.d: crates/mem/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6e8e97888f040609.rmeta: crates/mem/tests/properties.rs Cargo.toml
+
+crates/mem/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

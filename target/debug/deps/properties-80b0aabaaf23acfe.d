@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-80b0aabaaf23acfe.d: crates/mem/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-80b0aabaaf23acfe.rmeta: crates/mem/tests/properties.rs Cargo.toml
+
+crates/mem/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

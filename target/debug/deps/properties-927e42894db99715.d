@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-927e42894db99715.d: crates/mem/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-927e42894db99715: crates/mem/tests/properties.rs
+
+crates/mem/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c2440cc87162dcb1.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c2440cc87162dcb1: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e65fbc3b92615379.d: crates/common/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e65fbc3b92615379: crates/common/tests/properties.rs
+
+crates/common/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ed55fa040f35bcd3.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ed55fa040f35bcd3: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psb-0a20e10608dd96bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/psb-0a20e10608dd96bf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psb-a89c991a2d778f9b.d: src/lib.rs
+
+/root/repo/target/debug/deps/psb-a89c991a2d778f9b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/psb-bdf00fbebaec4610.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpsb-bdf00fbebaec4610.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpsb-bdf00fbebaec4610.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/psb-f4a82c447d865ac8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpsb-f4a82c447d865ac8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpsb-f4a82c447d865ac8.rmeta: src/lib.rs
+
+src/lib.rs:

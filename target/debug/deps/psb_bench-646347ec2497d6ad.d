@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/psb_bench-646347ec2497d6ad.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libpsb_bench-646347ec2497d6ad.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libpsb_bench-646347ec2497d6ad.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

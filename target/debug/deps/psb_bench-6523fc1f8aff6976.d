@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/psb_bench-6523fc1f8aff6976.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libpsb_bench-6523fc1f8aff6976.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libpsb_bench-6523fc1f8aff6976.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

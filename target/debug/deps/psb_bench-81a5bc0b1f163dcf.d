@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/psb_bench-81a5bc0b1f163dcf.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/psb_bench-81a5bc0b1f163dcf: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/psb_bench-95fe7b2d70927eb6.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/psb_bench-95fe7b2d70927eb6: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

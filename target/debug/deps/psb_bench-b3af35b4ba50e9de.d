@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/psb_bench-b3af35b4ba50e9de.d: crates/bench/src/lib.rs crates/bench/src/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsb_bench-b3af35b4ba50e9de.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

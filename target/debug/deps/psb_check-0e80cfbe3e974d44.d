@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psb_check-0e80cfbe3e974d44.d: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/psb_check-0e80cfbe3e974d44: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

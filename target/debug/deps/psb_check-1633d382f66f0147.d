@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/psb_check-1633d382f66f0147.d: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/libpsb_check-1633d382f66f0147.rlib: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/libpsb_check-1633d382f66f0147.rmeta: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

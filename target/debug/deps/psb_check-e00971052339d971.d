@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/psb_check-e00971052339d971.d: crates/check/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsb_check-e00971052339d971.rmeta: crates/check/src/lib.rs Cargo.toml
+
+crates/check/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/psb_common-7ad5df00edf3a487.d: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/counter.rs crates/common/src/cycle.rs crates/common/src/rng.rs crates/common/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsb_common-7ad5df00edf3a487.rmeta: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/counter.rs crates/common/src/cycle.rs crates/common/src/rng.rs crates/common/src/stats.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/addr.rs:
+crates/common/src/counter.rs:
+crates/common/src/cycle.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/psb_common-cb092603e03e6668.d: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/counter.rs crates/common/src/cycle.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+/root/repo/target/debug/deps/libpsb_common-cb092603e03e6668.rlib: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/counter.rs crates/common/src/cycle.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+/root/repo/target/debug/deps/libpsb_common-cb092603e03e6668.rmeta: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/counter.rs crates/common/src/cycle.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+crates/common/src/lib.rs:
+crates/common/src/addr.rs:
+crates/common/src/counter.rs:
+crates/common/src/cycle.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:

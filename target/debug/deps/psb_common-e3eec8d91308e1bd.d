@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/psb_common-e3eec8d91308e1bd.d: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/counter.rs crates/common/src/cycle.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+/root/repo/target/debug/deps/psb_common-e3eec8d91308e1bd: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/counter.rs crates/common/src/cycle.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+crates/common/src/lib.rs:
+crates/common/src/addr.rs:
+crates/common/src/counter.rs:
+crates/common/src/cycle.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:

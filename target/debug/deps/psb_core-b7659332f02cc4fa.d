@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/psb_core-b7659332f02cc4fa.d: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/fetch_directed.rs crates/core/src/predictor/mod.rs crates/core/src/predictor/markov.rs crates/core/src/predictor/pc_stride.rs crates/core/src/predictor/sequential.rs crates/core/src/predictor/sfm.rs crates/core/src/predictor/sfm2.rs crates/core/src/predictor/stride.rs crates/core/src/prefetcher.rs crates/core/src/stream/mod.rs crates/core/src/stream/buffer.rs crates/core/src/stream/config.rs crates/core/src/stream/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsb_core-b7659332f02cc4fa.rmeta: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/fetch_directed.rs crates/core/src/predictor/mod.rs crates/core/src/predictor/markov.rs crates/core/src/predictor/pc_stride.rs crates/core/src/predictor/sequential.rs crates/core/src/predictor/sfm.rs crates/core/src/predictor/sfm2.rs crates/core/src/predictor/stride.rs crates/core/src/prefetcher.rs crates/core/src/stream/mod.rs crates/core/src/stream/buffer.rs crates/core/src/stream/config.rs crates/core/src/stream/engine.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/demand.rs:
+crates/core/src/fetch_directed.rs:
+crates/core/src/predictor/mod.rs:
+crates/core/src/predictor/markov.rs:
+crates/core/src/predictor/pc_stride.rs:
+crates/core/src/predictor/sequential.rs:
+crates/core/src/predictor/sfm.rs:
+crates/core/src/predictor/sfm2.rs:
+crates/core/src/predictor/stride.rs:
+crates/core/src/prefetcher.rs:
+crates/core/src/stream/mod.rs:
+crates/core/src/stream/buffer.rs:
+crates/core/src/stream/config.rs:
+crates/core/src/stream/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

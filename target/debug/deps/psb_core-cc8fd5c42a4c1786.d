@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/psb_core-cc8fd5c42a4c1786.d: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/fetch_directed.rs crates/core/src/predictor/mod.rs crates/core/src/predictor/markov.rs crates/core/src/predictor/pc_stride.rs crates/core/src/predictor/sequential.rs crates/core/src/predictor/sfm.rs crates/core/src/predictor/sfm2.rs crates/core/src/predictor/stride.rs crates/core/src/prefetcher.rs crates/core/src/stream/mod.rs crates/core/src/stream/buffer.rs crates/core/src/stream/config.rs crates/core/src/stream/engine.rs
+
+/root/repo/target/debug/deps/libpsb_core-cc8fd5c42a4c1786.rlib: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/fetch_directed.rs crates/core/src/predictor/mod.rs crates/core/src/predictor/markov.rs crates/core/src/predictor/pc_stride.rs crates/core/src/predictor/sequential.rs crates/core/src/predictor/sfm.rs crates/core/src/predictor/sfm2.rs crates/core/src/predictor/stride.rs crates/core/src/prefetcher.rs crates/core/src/stream/mod.rs crates/core/src/stream/buffer.rs crates/core/src/stream/config.rs crates/core/src/stream/engine.rs
+
+/root/repo/target/debug/deps/libpsb_core-cc8fd5c42a4c1786.rmeta: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/fetch_directed.rs crates/core/src/predictor/mod.rs crates/core/src/predictor/markov.rs crates/core/src/predictor/pc_stride.rs crates/core/src/predictor/sequential.rs crates/core/src/predictor/sfm.rs crates/core/src/predictor/sfm2.rs crates/core/src/predictor/stride.rs crates/core/src/prefetcher.rs crates/core/src/stream/mod.rs crates/core/src/stream/buffer.rs crates/core/src/stream/config.rs crates/core/src/stream/engine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/demand.rs:
+crates/core/src/fetch_directed.rs:
+crates/core/src/predictor/mod.rs:
+crates/core/src/predictor/markov.rs:
+crates/core/src/predictor/pc_stride.rs:
+crates/core/src/predictor/sequential.rs:
+crates/core/src/predictor/sfm.rs:
+crates/core/src/predictor/sfm2.rs:
+crates/core/src/predictor/stride.rs:
+crates/core/src/prefetcher.rs:
+crates/core/src/stream/mod.rs:
+crates/core/src/stream/buffer.rs:
+crates/core/src/stream/config.rs:
+crates/core/src/stream/engine.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/psb_cpu-4c1e06f4f3ef381a.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/fu.rs crates/cpu/src/inst.rs crates/cpu/src/mem_iface.rs crates/cpu/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsb_cpu-4c1e06f4f3ef381a.rmeta: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/fu.rs crates/cpu/src/inst.rs crates/cpu/src/mem_iface.rs crates/cpu/src/pipeline.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/fu.rs:
+crates/cpu/src/inst.rs:
+crates/cpu/src/mem_iface.rs:
+crates/cpu/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

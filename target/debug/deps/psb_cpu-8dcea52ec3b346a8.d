@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/psb_cpu-8dcea52ec3b346a8.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/fu.rs crates/cpu/src/inst.rs crates/cpu/src/mem_iface.rs crates/cpu/src/pipeline.rs
+
+/root/repo/target/debug/deps/psb_cpu-8dcea52ec3b346a8: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/fu.rs crates/cpu/src/inst.rs crates/cpu/src/mem_iface.rs crates/cpu/src/pipeline.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/fu.rs:
+crates/cpu/src/inst.rs:
+crates/cpu/src/mem_iface.rs:
+crates/cpu/src/pipeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/psb_cpu-9d237180b0b6dcef.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/fu.rs crates/cpu/src/inst.rs crates/cpu/src/mem_iface.rs crates/cpu/src/pipeline.rs
+
+/root/repo/target/debug/deps/libpsb_cpu-9d237180b0b6dcef.rlib: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/fu.rs crates/cpu/src/inst.rs crates/cpu/src/mem_iface.rs crates/cpu/src/pipeline.rs
+
+/root/repo/target/debug/deps/libpsb_cpu-9d237180b0b6dcef.rmeta: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/fu.rs crates/cpu/src/inst.rs crates/cpu/src/mem_iface.rs crates/cpu/src/pipeline.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/fu.rs:
+crates/cpu/src/inst.rs:
+crates/cpu/src/mem_iface.rs:
+crates/cpu/src/pipeline.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/psb_mem-95694f7207895924.d: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/l1.rs crates/mem/src/lower.rs crates/mem/src/mshr.rs crates/mem/src/pipe.rs crates/mem/src/tlb.rs crates/mem/src/victim.rs
+
+/root/repo/target/debug/deps/psb_mem-95694f7207895924: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/l1.rs crates/mem/src/lower.rs crates/mem/src/mshr.rs crates/mem/src/pipe.rs crates/mem/src/tlb.rs crates/mem/src/victim.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/l1.rs:
+crates/mem/src/lower.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/pipe.rs:
+crates/mem/src/tlb.rs:
+crates/mem/src/victim.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/psb_mem-9e57971e5c790c45.d: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/l1.rs crates/mem/src/lower.rs crates/mem/src/mshr.rs crates/mem/src/pipe.rs crates/mem/src/tlb.rs crates/mem/src/victim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsb_mem-9e57971e5c790c45.rmeta: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/l1.rs crates/mem/src/lower.rs crates/mem/src/mshr.rs crates/mem/src/pipe.rs crates/mem/src/tlb.rs crates/mem/src/victim.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/l1.rs:
+crates/mem/src/lower.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/pipe.rs:
+crates/mem/src/tlb.rs:
+crates/mem/src/victim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

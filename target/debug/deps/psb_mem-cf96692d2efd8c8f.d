@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/psb_mem-cf96692d2efd8c8f.d: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/l1.rs crates/mem/src/lower.rs crates/mem/src/mshr.rs crates/mem/src/pipe.rs crates/mem/src/tlb.rs crates/mem/src/victim.rs
+
+/root/repo/target/debug/deps/libpsb_mem-cf96692d2efd8c8f.rlib: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/l1.rs crates/mem/src/lower.rs crates/mem/src/mshr.rs crates/mem/src/pipe.rs crates/mem/src/tlb.rs crates/mem/src/victim.rs
+
+/root/repo/target/debug/deps/libpsb_mem-cf96692d2efd8c8f.rmeta: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/l1.rs crates/mem/src/lower.rs crates/mem/src/mshr.rs crates/mem/src/pipe.rs crates/mem/src/tlb.rs crates/mem/src/victim.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/l1.rs:
+crates/mem/src/lower.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/pipe.rs:
+crates/mem/src/tlb.rs:
+crates/mem/src/victim.rs:

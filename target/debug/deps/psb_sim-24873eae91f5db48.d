@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/psb_sim-24873eae91f5db48.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/eventlog.rs crates/sim/src/experiment.rs crates/sim/src/memsys.rs crates/sim/src/report.rs crates/sim/src/simulator.rs crates/sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsb_sim-24873eae91f5db48.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/eventlog.rs crates/sim/src/experiment.rs crates/sim/src/memsys.rs crates/sim/src/report.rs crates/sim/src/simulator.rs crates/sim/src/stats.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/eventlog.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/memsys.rs:
+crates/sim/src/report.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/psb_sim-4df823287a56599e.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/eventlog.rs crates/sim/src/experiment.rs crates/sim/src/memsys.rs crates/sim/src/report.rs crates/sim/src/simulator.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/psb_sim-4df823287a56599e: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/eventlog.rs crates/sim/src/experiment.rs crates/sim/src/memsys.rs crates/sim/src/report.rs crates/sim/src/simulator.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/eventlog.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/memsys.rs:
+crates/sim/src/report.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/stats.rs:

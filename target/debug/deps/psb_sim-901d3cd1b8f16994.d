@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/psb_sim-901d3cd1b8f16994.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/eventlog.rs crates/sim/src/experiment.rs crates/sim/src/memsys.rs crates/sim/src/report.rs crates/sim/src/simulator.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libpsb_sim-901d3cd1b8f16994.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/eventlog.rs crates/sim/src/experiment.rs crates/sim/src/memsys.rs crates/sim/src/report.rs crates/sim/src/simulator.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libpsb_sim-901d3cd1b8f16994.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/eventlog.rs crates/sim/src/experiment.rs crates/sim/src/memsys.rs crates/sim/src/report.rs crates/sim/src/simulator.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/eventlog.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/memsys.rs:
+crates/sim/src/report.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/psb_workloads-82c4fe034d9cda66.d: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/burg.rs crates/workloads/src/deltablue.rs crates/workloads/src/gs.rs crates/workloads/src/health.rs crates/workloads/src/heap.rs crates/workloads/src/serial.rs crates/workloads/src/sis.rs crates/workloads/src/trace.rs crates/workloads/src/turb3d.rs
+
+/root/repo/target/debug/deps/libpsb_workloads-82c4fe034d9cda66.rlib: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/burg.rs crates/workloads/src/deltablue.rs crates/workloads/src/gs.rs crates/workloads/src/health.rs crates/workloads/src/heap.rs crates/workloads/src/serial.rs crates/workloads/src/sis.rs crates/workloads/src/trace.rs crates/workloads/src/turb3d.rs
+
+/root/repo/target/debug/deps/libpsb_workloads-82c4fe034d9cda66.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/burg.rs crates/workloads/src/deltablue.rs crates/workloads/src/gs.rs crates/workloads/src/health.rs crates/workloads/src/heap.rs crates/workloads/src/serial.rs crates/workloads/src/sis.rs crates/workloads/src/trace.rs crates/workloads/src/turb3d.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmark.rs:
+crates/workloads/src/burg.rs:
+crates/workloads/src/deltablue.rs:
+crates/workloads/src/gs.rs:
+crates/workloads/src/health.rs:
+crates/workloads/src/heap.rs:
+crates/workloads/src/serial.rs:
+crates/workloads/src/sis.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/turb3d.rs:

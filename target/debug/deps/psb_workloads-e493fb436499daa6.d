@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/psb_workloads-e493fb436499daa6.d: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/burg.rs crates/workloads/src/deltablue.rs crates/workloads/src/gs.rs crates/workloads/src/health.rs crates/workloads/src/heap.rs crates/workloads/src/serial.rs crates/workloads/src/sis.rs crates/workloads/src/trace.rs crates/workloads/src/turb3d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsb_workloads-e493fb436499daa6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/burg.rs crates/workloads/src/deltablue.rs crates/workloads/src/gs.rs crates/workloads/src/health.rs crates/workloads/src/heap.rs crates/workloads/src/serial.rs crates/workloads/src/sis.rs crates/workloads/src/trace.rs crates/workloads/src/turb3d.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmark.rs:
+crates/workloads/src/burg.rs:
+crates/workloads/src/deltablue.rs:
+crates/workloads/src/gs.rs:
+crates/workloads/src/health.rs:
+crates/workloads/src/heap.rs:
+crates/workloads/src/serial.rs:
+crates/workloads/src/sis.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/turb3d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

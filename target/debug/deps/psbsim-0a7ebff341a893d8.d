@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psbsim-0a7ebff341a893d8.d: src/bin/psbsim.rs
+
+/root/repo/target/debug/deps/psbsim-0a7ebff341a893d8: src/bin/psbsim.rs
+
+src/bin/psbsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psbsim-1e370a72e344f17a.d: src/bin/psbsim.rs
+
+/root/repo/target/debug/deps/psbsim-1e370a72e344f17a: src/bin/psbsim.rs
+
+src/bin/psbsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psbsim-4474ee82b977b363.d: src/bin/psbsim.rs
+
+/root/repo/target/debug/deps/psbsim-4474ee82b977b363: src/bin/psbsim.rs
+
+src/bin/psbsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psbsim-7852a5328bf6ff41.d: src/bin/psbsim.rs
+
+/root/repo/target/debug/deps/psbsim-7852a5328bf6ff41: src/bin/psbsim.rs
+
+src/bin/psbsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/psbsim-a4d67873f71a1aab.d: src/bin/psbsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsbsim-a4d67873f71a1aab.rmeta: src/bin/psbsim.rs Cargo.toml
+
+src/bin/psbsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

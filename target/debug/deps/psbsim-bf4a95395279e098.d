@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/psbsim-bf4a95395279e098.d: src/bin/psbsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsbsim-bf4a95395279e098.rmeta: src/bin/psbsim.rs Cargo.toml
+
+src/bin/psbsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-140009b7e60549a8.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-140009b7e60549a8: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-2c2d54a6330f485e.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-2c2d54a6330f485e: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-b596746b86d1c61e.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-b596746b86d1c61e: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

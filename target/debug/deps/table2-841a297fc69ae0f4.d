@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-841a297fc69ae0f4.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-841a297fc69ae0f4: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

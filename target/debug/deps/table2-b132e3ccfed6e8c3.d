@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b132e3ccfed6e8c3.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-b132e3ccfed6e8c3: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

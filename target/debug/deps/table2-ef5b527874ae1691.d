@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ef5b527874ae1691.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ef5b527874ae1691: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

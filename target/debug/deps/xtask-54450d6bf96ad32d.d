@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtask-54450d6bf96ad32d.d: xtask/src/main.rs xtask/src/lints.rs
+
+/root/repo/target/debug/deps/xtask-54450d6bf96ad32d: xtask/src/main.rs xtask/src/lints.rs
+
+xtask/src/main.rs:
+xtask/src/lints.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/xtask

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_predictor-575ec2e0a7288623.d: examples/custom_predictor.rs
+
+/root/repo/target/debug/examples/custom_predictor-575ec2e0a7288623: examples/custom_predictor.rs
+
+examples/custom_predictor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_predictor-d1c8b06cd4537b2b.d: examples/custom_predictor.rs
+
+/root/repo/target/debug/examples/custom_predictor-d1c8b06cd4537b2b: examples/custom_predictor.rs
+
+examples/custom_predictor.rs:

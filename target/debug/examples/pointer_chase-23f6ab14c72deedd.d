@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pointer_chase-23f6ab14c72deedd.d: examples/pointer_chase.rs
+
+/root/repo/target/debug/examples/pointer_chase-23f6ab14c72deedd: examples/pointer_chase.rs
+
+examples/pointer_chase.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pointer_chase-b57b02eb9229fdf5.d: examples/pointer_chase.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpointer_chase-b57b02eb9229fdf5.rmeta: examples/pointer_chase.rs Cargo.toml
+
+examples/pointer_chase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

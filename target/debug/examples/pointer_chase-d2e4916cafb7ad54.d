@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pointer_chase-d2e4916cafb7ad54.d: examples/pointer_chase.rs
+
+/root/repo/target/debug/examples/pointer_chase-d2e4916cafb7ad54: examples/pointer_chase.rs
+
+examples/pointer_chase.rs:

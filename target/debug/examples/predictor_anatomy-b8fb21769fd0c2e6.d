@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predictor_anatomy-b8fb21769fd0c2e6.d: examples/predictor_anatomy.rs
+
+/root/repo/target/debug/examples/predictor_anatomy-b8fb21769fd0c2e6: examples/predictor_anatomy.rs
+
+examples/predictor_anatomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predictor_anatomy-deea18060f495a72.d: examples/predictor_anatomy.rs
+
+/root/repo/target/debug/examples/predictor_anatomy-deea18060f495a72: examples/predictor_anatomy.rs
+
+examples/predictor_anatomy.rs:

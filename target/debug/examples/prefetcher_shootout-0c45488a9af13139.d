@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prefetcher_shootout-0c45488a9af13139.d: examples/prefetcher_shootout.rs
+
+/root/repo/target/debug/examples/prefetcher_shootout-0c45488a9af13139: examples/prefetcher_shootout.rs
+
+examples/prefetcher_shootout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/prefetcher_shootout-3729ed6e5f11b117.d: examples/prefetcher_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprefetcher_shootout-3729ed6e5f11b117.rmeta: examples/prefetcher_shootout.rs Cargo.toml
+
+examples/prefetcher_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

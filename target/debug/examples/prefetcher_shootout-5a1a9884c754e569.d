@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prefetcher_shootout-5a1a9884c754e569.d: examples/prefetcher_shootout.rs
+
+/root/repo/target/debug/examples/prefetcher_shootout-5a1a9884c754e569: examples/prefetcher_shootout.rs
+
+examples/prefetcher_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7349d98fe2cf9bb1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7349d98fe2cf9bb1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7ab21aefaf4fe765.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7ab21aefaf4fe765: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-b95b2ca10bfe557b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-b95b2ca10bfe557b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

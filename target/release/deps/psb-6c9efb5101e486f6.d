@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/psb-6c9efb5101e486f6.d: src/lib.rs
+
+/root/repo/target/release/deps/libpsb-6c9efb5101e486f6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpsb-6c9efb5101e486f6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/psb_bench-5fed3c042d742b45.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libpsb_bench-5fed3c042d742b45.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libpsb_bench-5fed3c042d742b45.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/psb_common-4afb78ef58c39fed.d: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/counter.rs crates/common/src/cycle.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+/root/repo/target/release/deps/libpsb_common-4afb78ef58c39fed.rlib: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/counter.rs crates/common/src/cycle.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+/root/repo/target/release/deps/libpsb_common-4afb78ef58c39fed.rmeta: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/counter.rs crates/common/src/cycle.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+crates/common/src/lib.rs:
+crates/common/src/addr.rs:
+crates/common/src/counter.rs:
+crates/common/src/cycle.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/psb_cpu-76589d942e7bf749.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/fu.rs crates/cpu/src/inst.rs crates/cpu/src/mem_iface.rs crates/cpu/src/pipeline.rs
+
+/root/repo/target/release/deps/libpsb_cpu-76589d942e7bf749.rlib: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/fu.rs crates/cpu/src/inst.rs crates/cpu/src/mem_iface.rs crates/cpu/src/pipeline.rs
+
+/root/repo/target/release/deps/libpsb_cpu-76589d942e7bf749.rmeta: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/fu.rs crates/cpu/src/inst.rs crates/cpu/src/mem_iface.rs crates/cpu/src/pipeline.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/fu.rs:
+crates/cpu/src/inst.rs:
+crates/cpu/src/mem_iface.rs:
+crates/cpu/src/pipeline.rs:

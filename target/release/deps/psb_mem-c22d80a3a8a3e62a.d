@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/psb_mem-c22d80a3a8a3e62a.d: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/l1.rs crates/mem/src/lower.rs crates/mem/src/mshr.rs crates/mem/src/pipe.rs crates/mem/src/tlb.rs crates/mem/src/victim.rs
+
+/root/repo/target/release/deps/libpsb_mem-c22d80a3a8a3e62a.rlib: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/l1.rs crates/mem/src/lower.rs crates/mem/src/mshr.rs crates/mem/src/pipe.rs crates/mem/src/tlb.rs crates/mem/src/victim.rs
+
+/root/repo/target/release/deps/libpsb_mem-c22d80a3a8a3e62a.rmeta: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/l1.rs crates/mem/src/lower.rs crates/mem/src/mshr.rs crates/mem/src/pipe.rs crates/mem/src/tlb.rs crates/mem/src/victim.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/l1.rs:
+crates/mem/src/lower.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/pipe.rs:
+crates/mem/src/tlb.rs:
+crates/mem/src/victim.rs:

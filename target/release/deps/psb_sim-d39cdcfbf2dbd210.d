@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/psb_sim-d39cdcfbf2dbd210.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/eventlog.rs crates/sim/src/experiment.rs crates/sim/src/memsys.rs crates/sim/src/report.rs crates/sim/src/simulator.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libpsb_sim-d39cdcfbf2dbd210.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/eventlog.rs crates/sim/src/experiment.rs crates/sim/src/memsys.rs crates/sim/src/report.rs crates/sim/src/simulator.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libpsb_sim-d39cdcfbf2dbd210.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/eventlog.rs crates/sim/src/experiment.rs crates/sim/src/memsys.rs crates/sim/src/report.rs crates/sim/src/simulator.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/eventlog.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/memsys.rs:
+crates/sim/src/report.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/psb_workloads-e0e9255819dc188c.d: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/burg.rs crates/workloads/src/deltablue.rs crates/workloads/src/gs.rs crates/workloads/src/health.rs crates/workloads/src/heap.rs crates/workloads/src/serial.rs crates/workloads/src/sis.rs crates/workloads/src/trace.rs crates/workloads/src/turb3d.rs
+
+/root/repo/target/release/deps/libpsb_workloads-e0e9255819dc188c.rlib: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/burg.rs crates/workloads/src/deltablue.rs crates/workloads/src/gs.rs crates/workloads/src/health.rs crates/workloads/src/heap.rs crates/workloads/src/serial.rs crates/workloads/src/sis.rs crates/workloads/src/trace.rs crates/workloads/src/turb3d.rs
+
+/root/repo/target/release/deps/libpsb_workloads-e0e9255819dc188c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/burg.rs crates/workloads/src/deltablue.rs crates/workloads/src/gs.rs crates/workloads/src/health.rs crates/workloads/src/heap.rs crates/workloads/src/serial.rs crates/workloads/src/sis.rs crates/workloads/src/trace.rs crates/workloads/src/turb3d.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmark.rs:
+crates/workloads/src/burg.rs:
+crates/workloads/src/deltablue.rs:
+crates/workloads/src/gs.rs:
+crates/workloads/src/health.rs:
+crates/workloads/src/heap.rs:
+crates/workloads/src/serial.rs:
+crates/workloads/src/sis.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/turb3d.rs:

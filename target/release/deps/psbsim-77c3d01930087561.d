@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/psbsim-77c3d01930087561.d: src/bin/psbsim.rs
+
+/root/repo/target/release/deps/psbsim-77c3d01930087561: src/bin/psbsim.rs
+
+src/bin/psbsim.rs:

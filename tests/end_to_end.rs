@@ -43,8 +43,7 @@ fn psb_beats_base_on_the_flagship_pointer_benchmark() {
     // full lap over health's patient lists before the streams pay off.
     let window = 130_000;
     let trace = Benchmark::Health.trace(1);
-    let base =
-        Simulation::new(MachineConfig::baseline(), trace.clone(), window).run();
+    let base = Simulation::new(MachineConfig::baseline(), trace.clone(), window).run();
     let psb = Simulation::new(
         MachineConfig::baseline().with_prefetcher(PrefetcherKind::PsbConfPriority),
         trace,
@@ -146,9 +145,8 @@ fn event_log_records_the_access_mix() {
     use psb::sim::{MemEventKind, MemLog};
     let log = MemLog::shared(500);
     let cfg = MachineConfig::baseline().with_prefetcher(PrefetcherKind::PsbConfPriority);
-    let _ = Simulation::new(cfg, Benchmark::Health.trace(1), 60_000)
-        .with_event_log(log.clone())
-        .run();
+    let _ =
+        Simulation::new(cfg, Benchmark::Health.trace(1), 60_000).with_event_log(log.clone()).run();
     let l = log.borrow();
     assert!(l.is_full(), "a 60k-instruction run must produce 500 events");
     let kinds: std::collections::HashSet<_> = l.events().iter().map(|e| e.kind).collect();

@@ -1,0 +1,469 @@
+//! Source-level lints, pure std, no syntax tree: line-oriented
+//! heuristics tuned to this workspace's idiom.
+//!
+//! Four rules:
+//!
+//! * `addr-arith` — raw wrapping/`as u64` arithmetic on addresses is
+//!   forbidden outside `crates/common/src/addr.rs`; go through
+//!   [`Addr::offset`]/[`Addr::delta`] so overflow semantics live in one
+//!   place.
+//! * `unwrap` — `.unwrap()` is forbidden in non-test code of the
+//!   hot-path crates (`mem`, `core`, `cpu`); `.expect(...)` is allowed
+//!   only when justified by an invariant comment (the word "invariant"
+//!   on the line, in the message, or in the two preceding lines).
+//! * `hashmap-report` — `HashMap` in `stats.rs`/`report.rs` files
+//!   feeds figure output in nondeterministic iteration order; use
+//!   `BTreeMap` or sort before emitting.
+//! * `missing-docs` — in crates that declare `#![warn(missing_docs)]`,
+//!   every `pub` item needs a doc comment even when the toolchain's
+//!   own `missing_docs` pass is unavailable offline.
+//!
+//! Any finding can be suppressed by putting `lint:allow(<rule>)` in a
+//! comment on the same line or the line above.
+
+use std::fmt;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `"addr-arith"`.
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Per-line context computed in one pass over a file.
+struct LineInfo {
+    /// The line with string literals blanked and `//` comments removed.
+    code: String,
+    /// The raw line (for allow-comment scanning).
+    raw: String,
+    /// Inside a `#[cfg(test)]` module (or other test-only region).
+    in_test: bool,
+    /// The line is entirely a comment (`//`, `///`, `//!`) or blank.
+    comment_only: bool,
+}
+
+/// Strip string literals and trailing `//` comments from a code line so
+/// pattern matches cannot fire inside literals or prose. Heuristic: no
+/// multi-line string tracking (none of the lint patterns appear in the
+/// workspace's few multi-line literals).
+fn strip_line(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '\\' {
+                chars.next();
+            } else if c == '"' {
+                in_str = false;
+                out.push('"');
+            }
+            continue;
+        }
+        if in_char {
+            if c == '\\' {
+                chars.next();
+            } else if c == '\'' {
+                in_char = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            // A lifetime ('a) is not a char literal; only treat a quote
+            // as opening a char literal when it closes within 2 chars.
+            '\'' => {
+                let rest: String = chars.clone().take(3).collect();
+                if rest.starts_with('\\') || rest.chars().nth(1) == Some('\'') {
+                    in_char = true;
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Annotate every line of a file with test-region and comment context.
+/// Test regions are `#[cfg(test)]`-attributed items: we track the brace
+/// depth where the region starts and leave it when the braces balance.
+fn classify(source: &str) -> Vec<LineInfo> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    // Depth at which the current #[cfg(test)] region opened, if any.
+    let mut test_depth: Option<i64> = None;
+    // Saw #[cfg(test)] and waiting for the region's opening brace.
+    let mut pending_test_attr = false;
+    for raw in source.lines() {
+        let trimmed = raw.trim_start();
+        let comment_only = trimmed.is_empty()
+            || trimmed.starts_with("//")
+            || trimmed.starts_with("#!")
+            || trimmed.starts_with("#[");
+        let code = if comment_only { String::new() } else { strip_line(raw) };
+        if trimmed.starts_with("#[cfg(test)") || trimmed.starts_with("#[test]") {
+            pending_test_attr = true;
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        let entering_test = pending_test_attr && opens > 0 && test_depth.is_none();
+        if entering_test {
+            test_depth = Some(depth);
+            pending_test_attr = false;
+        }
+        depth += opens - closes;
+        let in_test = test_depth.is_some();
+        out.push(LineInfo { code, raw: raw.to_string(), in_test, comment_only });
+        if let Some(td) = test_depth {
+            if depth <= td {
+                test_depth = None;
+            }
+        }
+    }
+    out
+}
+
+/// Whether `lines[idx]` is covered by a `lint:allow(rule)` comment on
+/// the same line or the line above.
+fn allowed(lines: &[LineInfo], idx: usize, rule: &str) -> bool {
+    let needle = format!("lint:allow({rule})");
+    lines[idx].raw.contains(&needle) || (idx > 0 && lines[idx - 1].raw.contains(&needle))
+}
+
+fn word_boundary_contains(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let after = at + needle.len();
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// Does this code line talk about an address? Matches the workspace's
+/// vocabulary: `addr`/`Addr` anywhere in an identifier, `pc` as a
+/// standalone word, or a `.raw()` accessor.
+fn mentions_address(code: &str) -> bool {
+    let lower = code.to_ascii_lowercase();
+    lower.contains("addr") || word_boundary_contains(&lower, "pc") || code.contains(".raw()")
+}
+
+/// Rule `addr-arith`: wrapping or raw-cast arithmetic on addresses
+/// outside the sanctioned `addr.rs`.
+pub fn lint_addr_arith(rel_path: &str, source: &str) -> Vec<Finding> {
+    if rel_path.ends_with("common/src/addr.rs") {
+        return Vec::new();
+    }
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test
+            || li.comment_only
+            || !mentions_address(&li.code)
+            || allowed(&lines, i, "addr-arith")
+        {
+            continue;
+        }
+        let wrapping = li.code.contains("wrapping_add(") || li.code.contains("wrapping_sub(");
+        let raw_cast_arith =
+            li.code.contains(" as u64") && (li.code.contains(" + ") || li.code.contains(" - "));
+        if wrapping || raw_cast_arith {
+            out.push(Finding {
+                rule: "addr-arith",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "raw wrapping/cast arithmetic on an address; use Addr::offset \
+                      / Addr::delta so overflow semantics live in addr.rs"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Crates whose non-test code may not `.unwrap()` and must justify
+/// `.expect(...)` with an invariant comment.
+pub const HOT_PATH_CRATES: [&str; 3] = ["crates/mem/", "crates/core/", "crates/cpu/"];
+
+/// Rule `unwrap`: panics in hot-path non-test code.
+pub fn lint_unwrap(rel_path: &str, source: &str) -> Vec<Finding> {
+    if !HOT_PATH_CRATES.iter().any(|c| rel_path.starts_with(c)) {
+        return Vec::new();
+    }
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test || li.comment_only {
+            continue;
+        }
+        if li.code.contains(".unwrap()") && !allowed(&lines, i, "unwrap") {
+            out.push(Finding {
+                rule: "unwrap",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: ".unwrap() in hot-path non-test code; return a typed error or \
+                      use .expect() with an invariant comment"
+                    .to_string(),
+            });
+        }
+        if li.code.contains(".expect(") && !allowed(&lines, i, "unwrap") {
+            // Justified when an invariant comment appears nearby or the
+            // message itself names the invariant. The raw line keeps the
+            // string literal, so check it rather than the stripped code.
+            let lo = i.saturating_sub(2);
+            let justified =
+                lines[lo..=i].iter().any(|l| l.raw.to_ascii_lowercase().contains("invariant"));
+            if !justified {
+                out.push(Finding {
+                    rule: "unwrap",
+                    file: rel_path.to_string(),
+                    line: i + 1,
+                    msg: ".expect() without an invariant justification; say why the \
+                          invariant holds in the message or a nearby comment"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule `hashmap-report`: nondeterministic iteration feeding figures.
+pub fn lint_hashmap_report(rel_path: &str, source: &str) -> Vec<Finding> {
+    let name = Path::new(rel_path).file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name != "stats.rs" && name != "report.rs" {
+        return Vec::new();
+    }
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test || li.comment_only || allowed(&lines, i, "hashmap-report") {
+            continue;
+        }
+        if li.code.contains("HashMap") {
+            out.push(Finding {
+                rule: "hashmap-report",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "HashMap in stats/report code iterates in nondeterministic \
+                      order; use BTreeMap or sort before emitting"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+const DOC_ITEMS: [&str; 8] =
+    ["fn ", "struct ", "enum ", "trait ", "type ", "const ", "static ", "mod "];
+
+/// Rule `missing-docs`: public items without a doc comment in crates
+/// that opted into `#![warn(missing_docs)]`. `pub use` re-exports and
+/// restricted visibility (`pub(crate)`, `pub(super)`) are exempt, as
+/// is anything inside a test region.
+pub fn lint_missing_docs(rel_path: &str, source: &str) -> Vec<Finding> {
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test || allowed(&lines, i, "missing-docs") {
+            continue;
+        }
+        let trimmed = li.raw.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        if !DOC_ITEMS.iter().any(|kw| rest.starts_with(kw)) && !rest.starts_with("unsafe fn ") {
+            continue;
+        }
+        // Walk backwards over attributes to the nearest doc comment.
+        let mut j = i;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let prev = lines[j].raw.trim_start();
+            if prev.starts_with("#[") || prev.ends_with("]") && prev.starts_with("#") {
+                continue;
+            }
+            documented = prev.starts_with("///") || prev.starts_with("#[doc");
+            break;
+        }
+        if !documented {
+            let item: String = rest.chars().take(40).collect();
+            out.push(Finding {
+                rule: "missing-docs",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: format!("public item `pub {item}…` has no doc comment"),
+            });
+        }
+    }
+    out
+}
+
+/// Whether a crate's `lib.rs`/`main.rs` opts into `missing_docs`.
+pub fn wants_missing_docs(lib_source: &str) -> bool {
+    lib_source.contains("#![warn(missing_docs)]") || lib_source.contains("#![deny(missing_docs)]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -- addr-arith -------------------------------------------------------
+
+    #[test]
+    fn addr_arith_fires_on_wrapping_pc_math() {
+        let src = "fn f(pc: u64, prev_pc: u64) -> u64 {\n    pc.wrapping_sub(prev_pc)\n}\n";
+        let f = lint_addr_arith("crates/workloads/src/serial.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn addr_arith_fires_on_raw_cast_sum() {
+        let src = "let next = base_addr + delta as u64 + 4;\n";
+        let f = lint_addr_arith("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn addr_arith_silent_in_addr_rs_and_on_non_address_math() {
+        let addr_src = "self.0.wrapping_add(delta as u64)\n";
+        assert!(lint_addr_arith("crates/common/src/addr.rs", addr_src).is_empty());
+        // Bit-mixing with no address vocabulary is fine.
+        let rng_src = "z = z.wrapping_add(0x9e3779b97f4a7c15);\n";
+        assert!(lint_addr_arith("crates/common/src/rng.rs", rng_src).is_empty());
+    }
+
+    #[test]
+    fn addr_arith_respects_allow_comment() {
+        let src = "// lint:allow(addr-arith) hashing, not address math\n\
+                   let h = pc.wrapping_add(seed);\n";
+        assert!(lint_addr_arith("crates/cpu/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn addr_arith_ignores_comments_and_strings() {
+        let src = "// pc.wrapping_add(4) would be wrong\n\
+                   let s = \"pc.wrapping_add(4)\";\n";
+        assert!(lint_addr_arith("crates/cpu/src/x.rs", src).is_empty());
+    }
+
+    // -- unwrap -----------------------------------------------------------
+
+    #[test]
+    fn unwrap_fires_in_hot_path_non_test_code() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let f = lint_unwrap("crates/mem/src/mshr.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_silent_outside_hot_path_crates() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_unwrap("crates/workloads/src/gen.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_silent_in_test_module() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { Some(1).unwrap(); }\n\
+                   }\n";
+        assert!(lint_unwrap("crates/mem/src/mshr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_requires_invariant_justification() {
+        let bare = "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\n";
+        assert_eq!(lint_unwrap("crates/core/src/x.rs", bare).len(), 1);
+
+        let justified = "fn f(x: Option<u32>) -> u32 {\n    \
+                         // Invariant: caller checked is_some().\n    \
+                         x.expect(\"checked by caller\")\n}\n";
+        assert!(lint_unwrap("crates/core/src/x.rs", justified).is_empty());
+
+        let in_message =
+            "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"invariant: caller checked\")\n}\n";
+        assert!(lint_unwrap("crates/core/src/x.rs", in_message).is_empty());
+    }
+
+    // -- hashmap-report ---------------------------------------------------
+
+    #[test]
+    fn hashmap_fires_only_in_stats_or_report_files() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint_hashmap_report("crates/sim/src/stats.rs", src).len(), 1);
+        assert_eq!(lint_hashmap_report("crates/sim/src/report.rs", src).len(), 1);
+        assert!(lint_hashmap_report("crates/sim/src/memsys.rs", src).is_empty());
+    }
+
+    // -- missing-docs -----------------------------------------------------
+
+    #[test]
+    fn missing_docs_fires_on_undocumented_pub_item() {
+        let src = "pub fn frob() {}\n";
+        let f = lint_missing_docs("crates/common/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn missing_docs_accepts_doc_comment_above_attributes() {
+        let src = "/// Frobnicates.\n#[inline]\npub fn frob() {}\n";
+        assert!(lint_missing_docs("crates/common/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn missing_docs_exempts_reexports_and_restricted_visibility() {
+        let src = "pub use crate::foo::Bar;\npub(crate) fn helper() {}\n";
+        assert!(lint_missing_docs("crates/common/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wants_missing_docs_detects_attribute() {
+        assert!(wants_missing_docs("#![warn(missing_docs)]\n"));
+        assert!(!wants_missing_docs("#![allow(dead_code)]\n"));
+    }
+
+    // -- region tracking --------------------------------------------------
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { Some(1).unwrap(); }\n\
+                   }\n\
+                   pub fn hot(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let f = lint_unwrap("crates/mem/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+}

@@ -1,0 +1,164 @@
+//! `cargo xtask` — workspace automation, pure std so it runs offline.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run `cargo fmt --check` and `cargo clippy -- -D warnings`
+//!   when those components are installed, then always run the
+//!   workspace's own source lints (see [`lints`]). Exits nonzero on any
+//!   finding, so it works as a CI gate.
+
+mod lints;
+
+use lints::Finding;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "lint" => lint(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--src-only]");
+            eprintln!();
+            eprintln!("  lint        run fmt + clippy (when available) and source lints");
+            eprintln!("  --src-only  skip the fmt/clippy toolchain passes");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Repo root: the parent of the directory containing this crate.
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().expect("xtask always lives one level below the repo root").to_path_buf()
+}
+
+fn lint(flags: &[String]) -> ExitCode {
+    let src_only = flags.iter().any(|f| f == "--src-only");
+    let root = repo_root();
+    let mut failed = false;
+
+    if !src_only {
+        failed |= !run_toolchain_pass(
+            &root,
+            "rustfmt",
+            &["fmt", "--version"],
+            &["fmt", "--all", "--check"],
+        );
+        failed |= !run_toolchain_pass(
+            &root,
+            "clippy",
+            &["clippy", "--version"],
+            &["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"],
+        );
+    }
+
+    let findings = lint_sources(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if !findings.is_empty() {
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        failed = true;
+    } else {
+        println!("xtask lint: source lints clean");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Run one `cargo <tool>` pass if the component is installed; returns
+/// false only when the tool ran and failed. A missing component is a
+/// warning, not a failure — offline containers often lack rustup.
+fn run_toolchain_pass(root: &Path, name: &str, probe: &[&str], args: &[&str]) -> bool {
+    let available = Command::new("cargo")
+        .args(probe)
+        .current_dir(root)
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false);
+    if !available {
+        eprintln!("xtask lint: {name} not installed, skipping");
+        return true;
+    }
+    println!("xtask lint: running cargo {}", args.join(" "));
+    let status = Command::new("cargo").args(args).current_dir(root).status();
+    match status {
+        Ok(s) if s.success() => true,
+        Ok(_) => {
+            eprintln!("xtask lint: cargo {} failed", args.join(" "));
+            false
+        }
+        Err(e) => {
+            eprintln!("xtask lint: could not spawn cargo: {e}");
+            false
+        }
+    }
+}
+
+/// Apply every source lint to the workspace's `src` trees.
+fn lint_sources(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for crate_dir in crate_dirs(root) {
+        let src = crate_dir.join("src");
+        let lib = std::fs::read_to_string(src.join("lib.rs"))
+            .or_else(|_| std::fs::read_to_string(src.join("main.rs")))
+            .unwrap_or_default();
+        let check_docs = lints::wants_missing_docs(&lib);
+        for file in rust_files(&src) {
+            let Ok(source) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+            findings.extend(lints::lint_addr_arith(&rel, &source));
+            findings.extend(lints::lint_unwrap(&rel, &source));
+            findings.extend(lints::lint_hashmap_report(&rel, &source));
+            if check_docs {
+                findings.extend(lints::lint_missing_docs(&rel, &source));
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// Every crate directory in the workspace: the root package, all
+/// `crates/*`, and xtask itself.
+fn crate_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.to_path_buf(), root.join("xtask")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                dirs.push(p);
+            }
+        }
+    }
+    dirs.sort();
+    dirs
+}
+
+/// All `.rs` files below `dir`, recursively.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
