@@ -20,4 +20,7 @@ fn main() {
         });
     }
     println!("(throughput basis: {window} committed instructions per iter)");
+    if let Err(e) = psb_bench::micro::write_json_default() {
+        eprintln!("{}: {e}", psb_bench::micro::BENCH_JSON);
+    }
 }

@@ -69,4 +69,7 @@ fn main() {
     bench_cache();
     bench_bus_and_lower();
     bench_l1_and_tlb();
+    if let Err(e) = psb_bench::micro::write_json_default() {
+        eprintln!("{}: {e}", psb_bench::micro::BENCH_JSON);
+    }
 }

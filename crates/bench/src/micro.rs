@@ -5,8 +5,45 @@
 //! `[[bench]]` binary's `main`, which calls [`bench`] per measurement.
 //! Numbers are indicative (no outlier rejection), which is all the
 //! repo needs for before/after comparisons on one machine.
+//!
+//! Every measurement is also recorded in a process-wide collector;
+//! call [`write_json`] at the end of `main` to merge the results into
+//! the workspace's `BENCH_psb.json` (schema `psb-bench-v1`, emitted
+//! through the same [`psb_obs::Json`] writer as the run artifacts).
 
+use psb_obs::{json, Json};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name, unique per measurement.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration of the final batch.
+    pub ns_per_iter: f64,
+    /// Iterations in the final (timed) batch — an exact count, taken
+    /// straight from the loop bound.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name.as_str())),
+            ("ns_per_iter", Json::f64(self.ns_per_iter)),
+            ("iters", Json::u64(self.iters)),
+        ])
+    }
+}
+
+/// Process-wide result collector, merged by name so re-running a
+/// measurement in one process keeps the latest number.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Artifact file name; [`write_json_default`] puts it at the workspace
+/// root regardless of the working directory `cargo bench` picked.
+pub const BENCH_JSON: &str = "BENCH_psb.json";
 
 /// Target wall-clock time for one measurement. Override with the
 /// `PSB_BENCH_MS` environment variable (e.g. `PSB_BENCH_MS=5` for a
@@ -17,8 +54,10 @@ fn budget() -> Duration {
 }
 
 /// Measure `f` by doubling the batch size until the batch fills the
-/// time budget, then report nanoseconds per iteration.
-pub fn bench(name: &str, mut f: impl FnMut()) {
+/// time budget, then report nanoseconds per iteration. The timed loop
+/// is allocation-free — a plain counted loop around `f` — so the
+/// iteration count divides out nothing but the workload itself.
+pub fn bench(name: &str, mut f: impl FnMut()) -> BenchResult {
     let budget = budget();
     let mut iters: u64 = 1;
     loop {
@@ -29,8 +68,11 @@ pub fn bench(name: &str, mut f: impl FnMut()) {
         let elapsed = start.elapsed();
         if elapsed >= budget || iters >= 1 << 32 {
             let ns = elapsed.as_nanos() as f64 / iters as f64;
+            // lint:allow(println) — bench harness console output.
             println!("{name:<32} {ns:>12.1} ns/iter  ({iters} iters)");
-            return;
+            let result = BenchResult { name: name.to_owned(), ns_per_iter: ns, iters };
+            record(result.clone());
+            return result;
         }
         // Aim straight for the budget once we have a signal; otherwise
         // keep doubling from the cold start.
@@ -46,5 +88,94 @@ pub fn bench(name: &str, mut f: impl FnMut()) {
 
 /// Print a group header so bench output stays scannable.
 pub fn group(name: &str) {
+    // lint:allow(println) — bench harness console output.
     println!("\n== {name} ==");
+}
+
+fn record(result: BenchResult) {
+    let mut all = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    match all.iter_mut().find(|b| b.name == result.name) {
+        Some(existing) => *existing = result,
+        None => all.push(result),
+    }
+}
+
+/// A copy of every result recorded so far in this process.
+pub fn results() -> Vec<BenchResult> {
+    RESULTS.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+fn result_from_json(v: &Json) -> Option<BenchResult> {
+    Some(BenchResult {
+        name: v.get("name")?.as_str()?.to_owned(),
+        ns_per_iter: v.get("ns_per_iter")?.as_f64()?,
+        iters: v.get("iters")?.as_u64()?,
+    })
+}
+
+/// Serializes `results` as a `psb-bench-v1` document.
+pub fn results_json(results: &[BenchResult]) -> Json {
+    Json::obj([
+        ("schema", Json::str("psb-bench-v1")),
+        ("results", Json::arr(results.iter().map(BenchResult::to_json))),
+    ])
+}
+
+/// Merges this process's results into the JSON artifact at `path`
+/// (usually [`BENCH_JSON`]): existing entries with the same name are
+/// replaced, everything else is preserved, so the three bench binaries
+/// build up one file across invocations.
+pub fn write_json(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut merged: Vec<BenchResult> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .and_then(|doc| {
+            let items = doc.get("results")?.as_arr()?;
+            Some(items.iter().filter_map(result_from_json).collect())
+        })
+        .unwrap_or_default();
+    for r in results() {
+        match merged.iter_mut().find(|b| b.name == r.name) {
+            Some(existing) => *existing = r,
+            None => merged.push(r),
+        }
+    }
+    std::fs::write(path, results_json(&merged).to_string())
+}
+
+/// [`write_json`] to [`BENCH_JSON`] at the workspace root (two levels
+/// up from this crate's manifest). Returns the path written.
+pub fn write_json_default() -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../").join(BENCH_JSON);
+    write_json(&path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_exact_iteration_count() {
+        let r = bench("micro_test_counter", || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(r.iters >= 1);
+        assert!(r.ns_per_iter >= 0.0);
+        assert!(results().iter().any(|b| b.name == "micro_test_counter"));
+    }
+
+    #[test]
+    fn results_json_round_trips_and_merges() {
+        let a = BenchResult { name: "a".into(), ns_per_iter: 12.5, iters: 1000 };
+        let b = BenchResult { name: "b".into(), ns_per_iter: 3.0, iters: 64 };
+        let doc = results_json(&[a.clone(), b.clone()]);
+        let back = json::parse(&doc.to_string()).unwrap();
+        assert_eq!(back.get("schema").and_then(Json::as_str), Some("psb-bench-v1"));
+        let items = back.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(result_from_json(&items[0]), Some(a));
+        assert_eq!(result_from_json(&items[1]), Some(b));
+    }
 }

@@ -89,6 +89,13 @@ pub trait StreamPredictor {
     /// At most one call per cycle is made across all stream buffers (the
     /// shared single-ported predictor).
     fn predict(&self, state: &mut StreamState) -> Option<Addr>;
+
+    /// Attaches the observability hub: predictors with internal stages
+    /// worth watching (e.g. the SFM's stride filter in front of its
+    /// Markov table) register counters here. The default is a no-op.
+    fn attach_obs(&mut self, obs: &psb_obs::Obs) {
+        let _ = obs;
+    }
 }
 
 /// Clamps a trained stride to something streamable: strides smaller than

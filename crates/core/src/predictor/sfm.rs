@@ -3,6 +3,7 @@
 
 use crate::predictor::{AllocInfo, MarkovTable, StreamPredictor, StreamState, StrideTable};
 use psb_common::Addr;
+use psb_obs::{Counter, Obs};
 
 /// A two-delta stride table in front of a differential Markov table
 /// (Figure 3 of the paper).
@@ -46,6 +47,10 @@ pub struct SfmPredictor {
     stride: StrideTable,
     markov: MarkovTable,
     block: u64,
+    /// Training updates the stride filter absorbed (kept out of Markov).
+    obs_stride_filtered: Option<Counter>,
+    /// Training updates that landed in the Markov table.
+    obs_markov_trained: Option<Counter>,
 }
 
 impl SfmPredictor {
@@ -63,7 +68,7 @@ impl SfmPredictor {
     /// Panics if `block` is not a power of two.
     pub fn new(stride: StrideTable, markov: MarkovTable, block: u64) -> Self {
         assert!(block.is_power_of_two(), "block size must be a power of two");
-        SfmPredictor { stride, markov, block }
+        SfmPredictor { stride, markov, block, obs_stride_filtered: None, obs_markov_trained: None }
     }
 
     /// Read-only access to the stride stage.
@@ -91,8 +96,15 @@ impl StreamPredictor for SfmPredictor {
         let prev_block = prev.block(self.block);
         let addr_block = addr.block(self.block);
         let markov_correct = self.markov.predict(prev_block) == Some(addr_block);
-        if !(out.stride_correct || out.repeat_stride) {
+        if out.stride_correct || out.repeat_stride {
+            if let Some(c) = &self.obs_stride_filtered {
+                c.inc();
+            }
+        } else {
             self.markov.update(prev_block, addr_block);
+            if let Some(c) = &self.obs_markov_trained {
+                c.inc();
+            }
         }
         self.stride.confirm(pc, out.stride_correct || markov_correct);
     }
@@ -119,6 +131,11 @@ impl StreamPredictor for SfmPredictor {
         state.history = state.last_addr.raw();
         state.last_addr = next;
         Some(next)
+    }
+
+    fn attach_obs(&mut self, obs: &Obs) {
+        self.obs_stride_filtered = Some(obs.counter("sfm.train.stride_filtered"));
+        self.obs_markov_trained = Some(obs.counter("sfm.train.markov_updates"));
     }
 }
 

@@ -110,6 +110,13 @@ pub trait Prefetcher {
         let _ = (now, pc);
     }
 
+    /// Attaches the observability hub: the engine registers its metric
+    /// handles and starts reporting prefetch-lifecycle events through
+    /// `obs`. The default ignores the hub (e.g. [`NoPrefetch`]).
+    fn attach_obs(&mut self, obs: &psb_obs::Obs) {
+        let _ = obs;
+    }
+
     /// Accumulated statistics.
     fn stats(&self) -> PrefetchStats;
 

@@ -196,15 +196,18 @@ impl StreamBuffer {
     }
 
     /// Converts in-flight entries whose data has arrived by `now` into
-    /// ready entries.
-    pub fn promote_arrived(&mut self, now: Cycle) {
+    /// ready entries. Returns the number of entries promoted.
+    pub fn promote_arrived(&mut self, now: Cycle) -> u32 {
+        let mut promoted = 0;
         for e in &mut self.entries {
             if let SbEntry::InFlight { block, ready } = *e {
                 if ready <= now {
                     *e = SbEntry::Ready { block };
+                    promoted += 1;
                 }
             }
         }
+        promoted
     }
 }
 
@@ -250,9 +253,9 @@ mod tests {
 
         b.set_entry(idx, SbEntry::InFlight { block: blk, ready: Cycle::new(100) });
         assert!(!b.can_prefetch());
-        b.promote_arrived(Cycle::new(99));
+        assert_eq!(b.promote_arrived(Cycle::new(99)), 0);
         assert!(matches!(b.entries()[idx], SbEntry::InFlight { .. }));
-        b.promote_arrived(Cycle::new(100));
+        assert_eq!(b.promote_arrived(Cycle::new(100)), 1);
         assert_eq!(b.entries()[idx], SbEntry::Ready { block: blk });
 
         b.set_entry(idx, SbEntry::Empty);

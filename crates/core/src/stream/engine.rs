@@ -6,6 +6,7 @@ use crate::predictor::{
 use crate::prefetcher::{PrefetchSink, PrefetchStats, Prefetcher, SbLookup};
 use crate::stream::{AllocFilter, SbConfig, SbEntry, Scheduler, StreamBuffer};
 use psb_common::{Addr, Cycle};
+use psb_obs::Obs;
 
 /// Which shared resource a buffer is competing for this cycle.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -54,6 +55,11 @@ pub struct StreamEngine<P> {
     rr_predict: usize,
     rr_prefetch: usize,
     name: String,
+    /// Observability hub, when attached; `None` costs nothing.
+    obs: Option<Obs>,
+    /// Cached at attach time: whether the hub wants per-block events
+    /// (tracing or lifecycle logging), which require extra entry scans.
+    obs_detail: bool,
 }
 
 /// The paper's Predictor-Directed Stream Buffer: a [`StreamEngine`]
@@ -126,6 +132,8 @@ impl<P: StreamPredictor> StreamEngine<P> {
             rr_predict: 0,
             rr_prefetch: 0,
             name,
+            obs: None,
+            obs_detail: false,
         }
     }
 
@@ -152,9 +160,53 @@ impl<P: StreamPredictor> StreamEngine<P> {
     }
 
     fn promote_all(&mut self, now: Cycle) {
-        for b in &mut self.buffers {
-            b.promote_arrived(now);
+        for (i, b) in self.buffers.iter_mut().enumerate() {
+            if self.obs_detail {
+                // Per-block fill events need the blocks about to be
+                // promoted; only scanned when tracing is on.
+                if let Some(obs) = &self.obs {
+                    for e in b.entries() {
+                        if let SbEntry::InFlight { block, ready } = *e {
+                            if ready <= now {
+                                obs.filled_block(now.raw(), i, block.base(self.config.block).raw());
+                            }
+                        }
+                    }
+                }
+            }
+            let promoted = b.promote_arrived(now);
+            if promoted > 0 {
+                if let Some(obs) = &self.obs {
+                    obs.filled(now.raw(), i, promoted as u64);
+                }
+            }
         }
+    }
+
+    /// Samples `buffer`'s occupancy counter track after a state change
+    /// (trace-only: a no-op unless per-block detail is on).
+    fn emit_occupancy(&self, now: Cycle, buffer: usize) {
+        if !self.obs_detail {
+            return;
+        }
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        let (mut ready, mut in_flight) = (0u64, 0u64);
+        for e in self.buffers[buffer].entries() {
+            match e {
+                SbEntry::Ready { .. } => ready += 1,
+                SbEntry::InFlight { .. } => in_flight += 1,
+                _ => {}
+            }
+        }
+        obs.buffer_occupancy(
+            now.raw(),
+            buffer,
+            ready,
+            in_flight,
+            self.buffers[buffer].priority() as u64,
+        );
     }
 
     /// Publishes the whole stream file to the invariant auditor
@@ -291,12 +343,20 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
                     self.buffers[i].set_entry(idx, SbEntry::Empty);
                     self.buffers[i].reward(bonus);
                     self.buffers[i].touch(stamp);
+                    if let Some(obs) = &self.obs {
+                        let late_by = ready.raw().saturating_sub(now.raw());
+                        obs.used(now.raw(), i, block.base(self.config.block).raw(), late_by);
+                        self.emit_occupancy(now, i);
+                    }
                     return SbLookup::Hit { ready };
                 }
                 SbEntry::Allocated { .. } => {
                     // Predicted but never prefetched: the demand access
                     // wins the race; free the entry and treat as a miss.
                     self.buffers[i].set_entry(idx, SbEntry::Empty);
+                    if let Some(obs) = &self.obs {
+                        obs.demand_raced(now.raw(), i, block.base(self.config.block).raw());
+                    }
                     return SbLookup::Miss;
                 }
                 SbEntry::Empty => unreachable!("find() never returns empty entries"),
@@ -309,7 +369,7 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
         self.predictor.train(pc, addr);
     }
 
-    fn allocate(&mut self, _now: Cycle, pc: Addr, addr: Addr) {
+    fn allocate(&mut self, now: Cycle, pc: Addr, addr: Addr) {
         // Aging: "after several allocation requests (i.e. data cache
         // misses that also miss in stream buffers) we decrement each
         // stream buffer's priority counter".
@@ -344,6 +404,23 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
         };
         let stride = normalize_stride(stride, self.config.block);
         let stamp = self.bump();
+        if let Some(obs) = self.obs.clone() {
+            // Entries holding fetched-but-unused data die here: the
+            // paper's "evicted unused" lifecycle terminus.
+            let displaced = self.buffers[victim]
+                .entries()
+                .iter()
+                .filter(|e| matches!(e, SbEntry::InFlight { .. } | SbEntry::Ready { .. }))
+                .count() as u64;
+            if self.obs_detail {
+                for e in self.buffers[victim].entries() {
+                    if let SbEntry::InFlight { block, .. } | SbEntry::Ready { block } = *e {
+                        obs.evicted_unused_block(now.raw(), victim, block.base(self.config.block).raw());
+                    }
+                }
+            }
+            obs.stream_allocated(now.raw(), victim, pc.raw(), confidence as u64, displaced);
+        }
         self.buffers[victim].reallocate(pc, addr, stride, confidence, stamp);
         // History-based predictors seed the stream's one-deep history
         // from the predictor's tables ("it copies its PC, current
@@ -371,6 +448,9 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
                         .first_empty()
                         .expect("invariant: can_predict verified a free entry");
                     self.buffers[i].set_entry(idx, SbEntry::Allocated { block });
+                    if let Some(obs) = &self.obs {
+                        obs.predicted(now.raw(), i, block.base(self.config.block).raw());
+                    }
                 }
             }
         }
@@ -393,11 +473,24 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
                 let ready = sink.fetch(now, block.base(self.config.block));
                 self.buffers[i].set_entry(idx, SbEntry::InFlight { block, ready });
                 self.stats.issued += 1;
+                if let Some(obs) = &self.obs {
+                    obs.issued(now.raw(), i, block.base(self.config.block).raw(), ready.raw());
+                    self.emit_occupancy(now, i);
+                }
             }
         }
 
         #[cfg(feature = "check")]
         self.audit_streams(now);
+    }
+
+    fn attach_obs(&mut self, obs: &Obs) {
+        self.obs_detail = obs.wants_block_events();
+        for i in 0..self.buffers.len() {
+            obs.name_buffer_track(i, &format!("stream-buffer-{i}"));
+        }
+        self.predictor.attach_obs(obs);
+        self.obs = Some(obs.clone());
     }
 
     fn stats(&self) -> PrefetchStats {
@@ -717,6 +810,68 @@ mod tests {
         // The prefetch stream must walk the chain in order.
         let want: Vec<Addr> = chain[1..].iter().map(|&a| Addr::new(a)).collect();
         assert_eq!(&sink.fetched[..4.min(sink.fetched.len())], &want[..], "{:?}", sink.fetched);
+    }
+
+    #[test]
+    fn obs_hooks_follow_the_lifecycle() {
+        let mut e = engine_with_stream(SbConfig::stride_baseline());
+        let obs = Obs::new();
+        obs.enable_trace(1024);
+        obs.enable_lifecycle_log();
+        e.attach_obs(&obs);
+        let mut sink = TestSink::new(5);
+        for c in 0..20 {
+            e.tick(Cycle::new(c), &mut sink);
+        }
+        // One on-time use, then a late use of a freshly issued block.
+        e.lookup(Cycle::new(30), Addr::new(0x10_0140));
+        e.tick(Cycle::new(31), &mut sink);
+        e.lookup(Cycle::new(32), Addr::new(0x10_0240));
+        let s = obs.lifecycle_stats();
+        assert!(s.predicted >= 4, "predicted = {}", s.predicted);
+        assert!(s.issued >= 4);
+        assert!(s.filled >= 4);
+        assert_eq!(s.used, 2);
+        assert_eq!(s.used_late, 1);
+        assert!(s.late_cycles.mean() > 0.0);
+        // Per-block lifecycle events were staged for the event log.
+        let staged = obs.drain_life_events();
+        assert!(staged.iter().any(|ev| ev.stage == psb_obs::LifeStage::Filled));
+        assert!(staged.iter().any(|ev| ev.stage == psb_obs::LifeStage::Late));
+        // The trace carries the buffer track plus lifecycle events.
+        let t = obs.trace_json().unwrap();
+        let events = t.get("traceEvents").and_then(psb_obs::Json::as_arr).unwrap();
+        assert!(events.len() > 8, "events = {}", events.len());
+    }
+
+    #[test]
+    fn obs_counts_evictions_at_reallocation() {
+        let mut config = SbConfig::stride_baseline();
+        config.buffers = 1;
+        let mut e =
+            StreamEngine::new(config, PcStridePredictor::paper_baseline(), "test".to_owned());
+        let obs = Obs::new();
+        e.attach_obs(&obs);
+        let pc = Addr::new(0x1000);
+        for i in 0..5u64 {
+            e.train(Cycle::ZERO, pc, Addr::new(0x10_0000 + 0x40 * i));
+        }
+        e.allocate(Cycle::ZERO, pc, Addr::new(0x10_0100));
+        let mut sink = TestSink::new(1);
+        for c in 0..10 {
+            e.tick(Cycle::new(c), &mut sink);
+        }
+        assert!(obs.lifecycle_stats().issued >= 1);
+        // A second trained PC steals the only buffer: everything fetched
+        // but never used dies as evicted-unused.
+        let pc2 = Addr::new(0x2000);
+        for i in 0..5u64 {
+            e.train(Cycle::ZERO, pc2, Addr::new(0x50_0000 + 0x40 * i));
+        }
+        e.allocate(Cycle::new(20), pc2, Addr::new(0x50_0100));
+        let s = obs.lifecycle_stats();
+        assert!(s.streams_allocated >= 2);
+        assert!(s.evicted_unused >= 1, "evicted_unused = {}", s.evicted_unused);
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub trait MemSystem {
     fn tick(&mut self, now: Cycle) {
         let _ = now;
     }
+
+    /// Observability sampling point, called once per simulated cycle
+    /// right after [`MemSystem::tick`] with the committed-instruction
+    /// count (which only the pipeline knows). The full simulator uses
+    /// this to drive interval time series; the default no-op compiles
+    /// away under static dispatch.
+    fn sample(&mut self, now: Cycle, committed: u64) {
+        let _ = (now, committed);
+    }
 }
 
 /// A memory system with a fixed load latency and instant fetches — the

@@ -190,6 +190,7 @@ impl Pipeline {
             self.dispatch();
             self.fetch(&mut trace, mem);
             mem.tick(self.now);
+            mem.sample(self.now, self.stats.committed);
 
             if self.stats.committed > committed_before {
                 last_commit_cycle = self.now;

@@ -1,6 +1,7 @@
 //! Single-occupancy, bandwidth-limited buses.
 
 use psb_common::Cycle;
+use psb_obs::Hist;
 
 /// A bus that carries one transaction at a time at a fixed bandwidth.
 ///
@@ -32,6 +33,8 @@ pub struct Bus {
     free_at: Cycle,
     busy_cycles: u64,
     transactions: u64,
+    /// Queueing delay (start − submit) per transaction, when attached.
+    obs_queue_delay: Option<Hist>,
 }
 
 impl Bus {
@@ -42,7 +45,19 @@ impl Bus {
     /// Panics if `bytes_per_cycle` is zero.
     pub fn new(bytes_per_cycle: u64) -> Self {
         assert!(bytes_per_cycle > 0, "a bus must move at least one byte per cycle");
-        Bus { bytes_per_cycle, free_at: Cycle::ZERO, busy_cycles: 0, transactions: 0 }
+        Bus {
+            bytes_per_cycle,
+            free_at: Cycle::ZERO,
+            busy_cycles: 0,
+            transactions: 0,
+            obs_queue_delay: None,
+        }
+    }
+
+    /// Attaches a histogram that receives each transaction's queueing
+    /// delay (cycles between submission and bus grant).
+    pub fn attach_obs(&mut self, queue_delay: Hist) {
+        self.obs_queue_delay = Some(queue_delay);
     }
 
     /// True if a new transaction could start exactly at `now`.
@@ -69,6 +84,9 @@ impl Bus {
         self.free_at = end;
         self.busy_cycles += end - start;
         self.transactions += 1;
+        if let Some(h) = &self.obs_queue_delay {
+            h.observe(start.since(now));
+        }
         #[cfg(feature = "check")]
         psb_check::audit(&psb_check::Snapshot::BusGrant { now, start, end });
         (start, end)
@@ -135,6 +153,19 @@ mod tests {
         assert!(!bus.is_free(Cycle::new(3)));
         assert!(bus.is_free(Cycle::new(4)));
         assert_eq!(bus.free_at(), Cycle::new(4));
+    }
+
+    #[test]
+    fn queue_delay_histogram_sees_waits() {
+        let mut bus = Bus::new(8);
+        let h = Hist::new();
+        bus.attach_obs(h.clone());
+        bus.acquire(Cycle::ZERO, 32); // starts immediately: delay 0
+        bus.acquire(Cycle::new(1), 32); // waits until cycle 4: delay 3
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 2);
+        assert_eq!(snap.bucket(0), 1); // the zero-delay grant
+        assert_eq!(snap.max(), Some(3));
     }
 
     #[test]

@@ -73,6 +73,13 @@ impl L1Cache {
         }
     }
 
+    /// Attaches observability handles to the MSHR file: occupancy gauge
+    /// and full-reject counter (named by the caller, e.g.
+    /// `l1d.mshr.occupancy`).
+    pub fn attach_obs(&mut self, occupancy: psb_obs::Gauge, full_rejects: psb_obs::Counter) {
+        self.mshr.attach_obs(occupancy, full_rejects);
+    }
+
     /// Block size in bytes.
     pub fn block_size(&self) -> u64 {
         self.cache.block_size()

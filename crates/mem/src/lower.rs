@@ -85,6 +85,13 @@ impl LowerMemory {
         }
     }
 
+    /// Attaches observability to both buses: each gets a queue-delay
+    /// histogram from the hub's registry.
+    pub fn attach_obs(&mut self, obs: &psb_obs::Obs) {
+        self.l1_l2_bus.attach_obs(obs.hist("bus.l1_l2.queue_delay"));
+        self.l2_mem_bus.attach_obs(obs.hist("bus.l2_mem.queue_delay"));
+    }
+
     /// True if the L1↔L2 bus is idle at `now` — the paper's gating
     /// condition for issuing a prefetch.
     pub fn l1_bus_free(&self, now: Cycle) -> bool {

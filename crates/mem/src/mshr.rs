@@ -1,6 +1,7 @@
 //! Miss status holding registers.
 
 use psb_common::{BlockAddr, Cycle};
+use psb_obs::{Counter, Gauge};
 use std::collections::HashMap;
 
 /// Why an MSHR allocation failed.
@@ -45,6 +46,10 @@ impl std::error::Error for MshrError {}
 pub struct Mshr {
     capacity: usize,
     pending: HashMap<BlockAddr, Cycle>,
+    /// Occupancy sampled after every allocation, when attached.
+    obs_occupancy: Option<Gauge>,
+    /// Allocations rejected because every register was busy.
+    obs_full_rejects: Option<Counter>,
 }
 
 impl Mshr {
@@ -55,7 +60,20 @@ impl Mshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "an MSHR file needs at least one register");
-        Mshr { capacity, pending: HashMap::with_capacity(capacity) }
+        Mshr {
+            capacity,
+            pending: HashMap::with_capacity(capacity),
+            obs_occupancy: None,
+            obs_full_rejects: None,
+        }
+    }
+
+    /// Attaches observability handles: `occupancy` is sampled after each
+    /// successful allocation, `full_rejects` counts allocations refused
+    /// because the file was full.
+    pub fn attach_obs(&mut self, occupancy: Gauge, full_rejects: Counter) {
+        self.obs_occupancy = Some(occupancy);
+        self.obs_full_rejects = Some(full_rejects);
     }
 
     /// Returns the completion time of an in-flight block, if any.
@@ -84,9 +102,15 @@ impl Mshr {
             return Ok(());
         }
         if self.pending.len() >= self.capacity {
+            if let Some(c) = &self.obs_full_rejects {
+                c.inc();
+            }
             return Err(MshrError::Full);
         }
         self.pending.insert(block, ready);
+        if let Some(g) = &self.obs_occupancy {
+            g.sample(self.pending.len() as u64);
+        }
         #[cfg(feature = "check")]
         self.audit(ready);
         Ok(())
@@ -182,6 +206,22 @@ mod tests {
         m.allocate(BlockAddr(3), Cycle::new(10)).expect("a register is free for this block");
         m.allocate(BlockAddr(4), Cycle::new(9)).expect("a register is free for this block");
         assert_eq!(m.drain_ready(Cycle::new(10)), vec![BlockAddr(4), BlockAddr(3), BlockAddr(5)]);
+    }
+
+    #[test]
+    fn obs_handles_track_occupancy_and_rejects() {
+        let mut m = Mshr::new(2);
+        let g = Gauge::new();
+        let c = Counter::new();
+        m.attach_obs(g.clone(), c.clone());
+        m.allocate(BlockAddr(1), Cycle::new(10)).expect("register free");
+        m.allocate(BlockAddr(2), Cycle::new(10)).expect("register free");
+        assert_eq!(m.allocate(BlockAddr(3), Cycle::new(10)), Err(MshrError::Full));
+        // Merges cost no register and are not re-sampled.
+        m.allocate(BlockAddr(1), Cycle::new(5)).expect("merge");
+        assert_eq!(g.snapshot().max(), Some(2));
+        assert_eq!(g.snapshot().samples(), 2);
+        assert_eq!(c.get(), 1);
     }
 
     #[test]

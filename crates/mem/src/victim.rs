@@ -8,6 +8,7 @@
 
 use crate::{Cache, CacheConfig};
 use psb_common::{Addr, BlockAddr};
+use psb_obs::Counter;
 
 /// Statistics for a victim cache.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -54,6 +55,8 @@ pub struct VictimCache {
     cache: Cache,
     latency: u64,
     stats: VictimStats,
+    /// Live rescue counter, when attached.
+    obs_rescues: Option<Counter>,
 }
 
 impl VictimCache {
@@ -68,7 +71,13 @@ impl VictimCache {
             cache: Cache::new(CacheConfig::new(entries as u64 * block, entries, block)),
             latency,
             stats: VictimStats::default(),
+            obs_rescues: None,
         }
+    }
+
+    /// Attaches a counter incremented on every rescued conflict miss.
+    pub fn attach_obs(&mut self, rescues: Counter) {
+        self.obs_rescues = Some(rescues);
     }
 
     /// Probes for the block containing `addr` after an L1 miss; a hit
@@ -77,6 +86,9 @@ impl VictimCache {
         self.stats.probes += 1;
         if self.cache.probe(addr) {
             self.stats.hits += 1;
+            if let Some(c) = &self.obs_rescues {
+                c.inc();
+            }
             self.cache.invalidate(addr);
             true
         } else {

@@ -1,0 +1,206 @@
+//! Chrome trace-event output (the JSON object format Perfetto loads).
+//!
+//! The sink accumulates events and serializes them as
+//! `{"traceEvents": [...]}`. Timestamps are simulated cycles reported in
+//! the format's microsecond field, so one trace microsecond equals one
+//! simulated cycle. Each stream buffer gets its own thread track (`tid`)
+//! via [`TraceSink::thread_name`], which emits the standard `M`
+//! (metadata) event.
+//!
+//! Event phases used here:
+//!
+//! * `X` — complete event with a duration (a prefetch in flight),
+//! * `i` — instant event (a demand hit, an eviction),
+//! * `C` — counter event (occupancy, priority over time),
+//! * `M` — metadata (process/thread names).
+//!
+//! # Example
+//!
+//! ```
+//! use psb_obs::trace::TraceSink;
+//!
+//! let mut t = TraceSink::new(1024);
+//! t.thread_name(0, "stream-buffer-0");
+//! t.complete("prefetch", "prefetch", 0, 100, 45, &[("block", 0x40)]);
+//! t.instant("used", "demand", 0, 150, &[("block", 0x40)]);
+//! let json = t.to_json();
+//! assert_eq!(json.get("traceEvents").and_then(|e| e.as_arr()).map(|a| a.len()), Some(3));
+//! ```
+
+use crate::json::Json;
+
+/// The process id every event reports; the trace models one simulator.
+pub const PID: u64 = 1;
+
+/// A bounded sink of Chrome trace events.
+///
+/// Events past the capacity are dropped (the drop count is reported in
+/// the serialized metadata) so tracing a long run cannot exhaust memory.
+#[derive(Debug)]
+pub struct TraceSink {
+    events: Vec<Json>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// Creates a sink that keeps at most `capacity` events.
+    pub fn new(capacity: usize) -> TraceSink {
+        TraceSink { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped after the sink filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn push(&mut self, event: Json) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+        } else {
+            self.events.push(event);
+        }
+    }
+
+    /// Names the thread track `tid` (phase `M` metadata event).
+    pub fn thread_name(&mut self, tid: u64, name: &str) {
+        self.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(PID)),
+            ("tid", Json::u64(tid)),
+            ("args", Json::obj([("name", Json::str(name))])),
+        ]));
+    }
+
+    /// A complete event (`X`): `name` on track `tid`, spanning
+    /// `[ts, ts + dur]` cycles, with numeric `args`.
+    pub fn complete(&mut self, name: &str, cat: &str, tid: u64, ts: u64, dur: u64, args: &[(&str, u64)]) {
+        self.push(Json::obj([
+            ("name", Json::str(name)),
+            ("cat", Json::str(cat)),
+            ("ph", Json::str("X")),
+            ("ts", Json::u64(ts)),
+            ("dur", Json::u64(dur)),
+            ("pid", Json::u64(PID)),
+            ("tid", Json::u64(tid)),
+            ("args", args_json(args)),
+        ]));
+    }
+
+    /// An instant event (`i`) on track `tid` at cycle `ts`.
+    pub fn instant(&mut self, name: &str, cat: &str, tid: u64, ts: u64, args: &[(&str, u64)]) {
+        self.push(Json::obj([
+            ("name", Json::str(name)),
+            ("cat", Json::str(cat)),
+            ("ph", Json::str("i")),
+            ("s", Json::str("t")),
+            ("ts", Json::u64(ts)),
+            ("pid", Json::u64(PID)),
+            ("tid", Json::u64(tid)),
+            ("args", args_json(args)),
+        ]));
+    }
+
+    /// A counter event (`C`): one or more named series sampled at `ts`.
+    pub fn counter(&mut self, name: &str, tid: u64, ts: u64, series: &[(&str, u64)]) {
+        self.push(Json::obj([
+            ("name", Json::str(name)),
+            ("ph", Json::str("C")),
+            ("ts", Json::u64(ts)),
+            ("pid", Json::u64(PID)),
+            ("tid", Json::u64(tid)),
+            ("args", args_json(series)),
+        ]));
+    }
+
+    /// Serializes the trace as a Chrome trace-event JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("traceEvents", Json::Arr(self.events.clone())),
+            ("displayTimeUnit", Json::str("ms")),
+            (
+                "otherData",
+                Json::obj([
+                    ("clock", Json::str("1 trace us = 1 simulated cycle")),
+                    ("dropped_events", Json::u64(self.dropped)),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn args_json(args: &[(&str, u64)]) -> Json {
+    Json::obj(args.iter().map(|&(k, v)| (k, Json::u64(v))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    /// The golden snippet: a prefetch lifecycle on one buffer track must
+    /// round-trip through the parser and carry the fields Perfetto
+    /// requires (name, ph, ts, pid, tid; dur for `X`).
+    #[test]
+    fn golden_trace_snippet_is_well_formed() {
+        let mut t = TraceSink::new(16);
+        t.thread_name(2, "stream-buffer-2");
+        t.complete("prefetch", "prefetch", 2, 1000, 36, &[("block", 0x1f40)]);
+        t.instant("used", "demand", 2, 1040, &[("block", 0x1f40), ("late_by", 0)]);
+        t.counter("occupancy", 2, 1040, &[("ready", 3), ("in_flight", 1)]);
+        let text = t.to_json().to_string();
+        let back = parse(&text).expect("trace must re-parse");
+        let events = back.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+        assert_eq!(events.len(), 4);
+        for e in events {
+            assert!(e.get("name").and_then(Json::as_str).is_some(), "every event has a name");
+            let ph = e.get("ph").and_then(Json::as_str).expect("every event has a phase");
+            assert!(e.get("pid").and_then(Json::as_u64).is_some());
+            assert!(e.get("tid").and_then(Json::as_u64).is_some());
+            if ph != "M" {
+                assert!(e.get("ts").and_then(Json::as_u64).is_some(), "{ph} event has ts");
+            }
+            if ph == "X" {
+                assert!(e.get("dur").and_then(Json::as_u64).is_some(), "X event has dur");
+            }
+        }
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(
+            events[1].get("args").and_then(|a| a.get("block")).and_then(Json::as_u64),
+            Some(0x1f40)
+        );
+    }
+
+    #[test]
+    fn sink_caps_and_counts_drops() {
+        let mut t = TraceSink::new(2);
+        for i in 0..5 {
+            t.instant("e", "c", 0, i, &[]);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let json = t.to_json();
+        let meta = json.get("otherData").unwrap();
+        assert_eq!(meta.get("dropped_events").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn empty_sink_serializes() {
+        let t = TraceSink::new(8);
+        assert!(t.is_empty());
+        let text = t.to_json().to_string();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.get("traceEvents").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Machine-readable run artifacts.
+//!
+//! Builds the `psb-run-v1` JSON document that `psbsim --json <path>`
+//! writes: aggregate statistics for the run, the prefetch-lifecycle
+//! accounting, the per-epoch interval time series and every metric
+//! registered with the observability hub — one self-describing file per
+//! run, consumable by scripts without scraping tables.
+
+use crate::SimStats;
+use psb_obs::{Json, Obs};
+
+/// Schema identifier stamped into every run artifact.
+pub const RUN_SCHEMA: &str = "psb-run-v1";
+
+fn cache_json(stats: &psb_mem::CacheStats) -> Json {
+    Json::obj(vec![
+        ("accesses", Json::u64(stats.accesses())),
+        ("hits", Json::u64(stats.hits)),
+        ("misses", Json::u64(stats.misses)),
+        ("miss_rate", Json::f64(stats.miss_rate())),
+    ])
+}
+
+/// Serializes the aggregate statistics of one run.
+fn aggregate_json(stats: &SimStats) -> Json {
+    Json::obj(vec![
+        ("cycles", Json::u64(stats.cpu.cycles)),
+        ("committed", Json::u64(stats.cpu.committed)),
+        ("ipc", Json::f64(stats.ipc())),
+        ("loads", Json::u64(stats.cpu.loads)),
+        ("stores", Json::u64(stats.cpu.stores)),
+        ("branches", Json::u64(stats.cpu.branches)),
+        ("forwarded_loads", Json::u64(stats.cpu.forwarded_loads)),
+        ("avg_load_latency", Json::f64(stats.avg_load_latency())),
+        ("bpred_accuracy", Json::f64(stats.cpu.bpred.accuracy())),
+        ("l1d", cache_json(&stats.l1d)),
+        ("l1i", cache_json(&stats.l1i)),
+        (
+            "l2",
+            Json::obj(vec![
+                ("hits", Json::u64(stats.lower.l2_hits)),
+                ("misses", Json::u64(stats.lower.l2_misses)),
+                ("miss_rate", Json::f64(stats.lower.l2_miss_rate())),
+            ]),
+        ),
+        (
+            "prefetch",
+            Json::obj(vec![
+                ("lookups", Json::u64(stats.prefetch.lookups)),
+                ("hits", Json::u64(stats.prefetch.hits)),
+                ("issued", Json::u64(stats.prefetch.issued)),
+                ("used", Json::u64(stats.prefetch.used)),
+                ("predictions", Json::u64(stats.prefetch.predictions)),
+                ("suppressed", Json::u64(stats.prefetch.suppressed)),
+                ("allocations", Json::u64(stats.prefetch.allocations)),
+                ("alloc_rejected", Json::u64(stats.prefetch.alloc_rejected)),
+                ("accuracy", Json::f64(stats.prefetch_accuracy())),
+            ]),
+        ),
+        (
+            "dtlb",
+            Json::obj(vec![
+                ("hits", Json::u64(stats.dtlb.hits)),
+                ("misses", Json::u64(stats.dtlb.misses)),
+                ("prefetch_misses", Json::u64(stats.dtlb.prefetch_misses)),
+            ]),
+        ),
+        (
+            "bus",
+            Json::obj(vec![
+                ("l1_l2_busy_cycles", Json::u64(stats.l1_l2_busy)),
+                ("l2_mem_busy_cycles", Json::u64(stats.l2_mem_busy)),
+                ("l1_l2_util_pct", Json::f64(stats.l1_l2_bus_percent())),
+                ("l2_mem_util_pct", Json::f64(stats.l2_mem_bus_percent())),
+            ]),
+        ),
+    ])
+}
+
+/// Builds the full `psb-run-v1` run artifact.
+///
+/// `benchmark` and `prefetcher` label the run; `obs`, when present,
+/// contributes the lifecycle accounting, the interval epochs and the
+/// metrics registry (all empty/absent-but-well-formed otherwise, so
+/// consumers can rely on the keys existing).
+pub fn json_report(benchmark: &str, prefetcher: &str, stats: &SimStats, obs: Option<&Obs>) -> Json {
+    let (lifecycle, epochs, metrics) = match obs {
+        Some(obs) => (obs.lifecycle_json(), obs.epochs_json(), obs.registry_json()),
+        None => (Json::Null, Json::Arr(Vec::new()), Json::Null),
+    };
+    Json::obj(vec![
+        ("schema", Json::str(RUN_SCHEMA)),
+        ("benchmark", Json::str(benchmark)),
+        ("prefetcher", Json::str(prefetcher)),
+        ("aggregate", aggregate_json(stats)),
+        ("lifecycle", lifecycle),
+        ("epochs", epochs),
+        ("metrics", metrics),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MachineConfig, PrefetcherKind, Simulation};
+    use psb_common::Addr;
+    use psb_obs::json;
+
+    fn tiny_stats(obs: Option<Obs>) -> SimStats {
+        let mut b = psb_workloads::TraceBuilder::new(Addr::new(0x40_0000));
+        for i in 0..2000u64 {
+            b.expect_pc(Addr::new(0x40_0000));
+            b.load(1, Some(1), Addr::new(0x1000_0000 + (i % 512) * 64));
+            b.alu(2, Some(1), None);
+            b.cond(Some(2), i + 1 < 2000, Addr::new(0x40_0000));
+        }
+        let config = MachineConfig::baseline().with_prefetcher(PrefetcherKind::PsbConfPriority);
+        let mut sim = Simulation::new(config, b.finish(), u64::MAX);
+        if let Some(obs) = obs {
+            sim = sim.with_obs(obs);
+        }
+        sim.run()
+    }
+
+    #[test]
+    fn artifact_round_trips_through_the_parser() {
+        let obs = Obs::default();
+        obs.enable_interval(500);
+        let stats = tiny_stats(Some(obs.clone()));
+        let doc = json_report("health", "conf-priority", &stats, Some(&obs));
+        let text = doc.to_string();
+        let back = json::parse(&text).expect("artifact must be valid JSON");
+        assert_eq!(back.get("schema").and_then(Json::as_str), Some(RUN_SCHEMA));
+        assert_eq!(back.get("benchmark").and_then(Json::as_str), Some("health"));
+        let agg = back.get("aggregate").expect("aggregate section");
+        assert!(agg.get("ipc").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(agg.get("l1d").unwrap().get("accesses").and_then(Json::as_u64).unwrap() > 0);
+        // Interval sampling was on: epochs must be non-empty and span
+        // the run from cycle zero.
+        let epochs = back.get("epochs").and_then(Json::as_arr).expect("epochs array");
+        assert!(!epochs.is_empty());
+        assert_eq!(epochs[0].get("start").and_then(Json::as_u64), Some(0));
+        // The metrics registry carries the component instruments.
+        let metrics = back.get("metrics").expect("metrics section");
+        assert!(metrics.get("gauges").unwrap().get("l1d.mshr.occupancy").is_some());
+        // Lifecycle counters are present and self-consistent.
+        let life = back.get("lifecycle").expect("lifecycle section");
+        let issued = life.get("issued").and_then(Json::as_u64).unwrap();
+        let used = life.get("used").and_then(Json::as_u64).unwrap();
+        assert!(issued >= used);
+    }
+
+    #[test]
+    fn artifact_without_obs_keeps_stable_shape() {
+        let stats = tiny_stats(None);
+        let doc = json_report("health", "conf-priority", &stats, None);
+        let back = json::parse(&doc.to_string()).unwrap();
+        assert!(matches!(back.get("lifecycle"), Some(Json::Null)));
+        assert_eq!(back.get("epochs").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+    }
+}

@@ -33,6 +33,15 @@ pub enum MemEventKind {
     Prefetch,
     /// Instruction-fetch miss.
     IFetchMiss,
+    /// Prefetched block arrived in its stream buffer (lifecycle event,
+    /// emitted only when observability tracing is attached).
+    PrefetchFilled,
+    /// Prefetched block was displaced by a stream reallocation before any
+    /// demand access touched it (a wasted prefetch).
+    PrefetchEvictedUnused,
+    /// Demand access consumed a prefetch that was still in flight — the
+    /// prefetch was useful but late.
+    PrefetchLate,
 }
 
 impl fmt::Display for MemEventKind {
@@ -48,6 +57,9 @@ impl fmt::Display for MemEventKind {
             MemEventKind::StoreMiss => "store-miss",
             MemEventKind::Prefetch => "prefetch",
             MemEventKind::IFetchMiss => "ifetch-miss",
+            MemEventKind::PrefetchFilled => "pf-filled",
+            MemEventKind::PrefetchEvictedUnused => "pf-evicted",
+            MemEventKind::PrefetchLate => "pf-late",
         };
         f.write_str(s)
     }
@@ -78,12 +90,34 @@ impl fmt::Display for MemEvent {
     }
 }
 
+/// Retention policy for a [`MemLog`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Retention {
+    /// Keep the first `capacity` events, then stop recording — good for
+    /// watching a run start up (`psbsim --log N`).
+    KeepFirst,
+    /// Keep the *last* `capacity` events in a ring, overwriting the
+    /// oldest — good for seeing what led up to the end of a run without
+    /// unbounded memory.
+    KeepLast,
+}
+
 /// A bounded event recorder, shared between the memory system's
 /// components via [`SharedMemLog`].
 #[derive(Debug)]
 pub struct MemLog {
     events: Vec<MemEvent>,
     capacity: usize,
+    retention: Retention,
+    /// Next overwrite slot in [`Retention::KeepLast`] mode.
+    head: usize,
+    /// Total events submitted, including those dropped or overwritten.
+    submitted: u64,
+    /// Cycle stamp of the most recently recorded event. The invariant
+    /// auditor compares against this rather than `events.last()` because
+    /// ring mode rotates storage order away from record order.
+    #[cfg(feature = "check")]
+    last_recorded: Option<Cycle>,
     /// Allowed backward cycle skew between consecutive entries, published
     /// to the invariant auditor: demand events are stamped after address
     /// translation, so a TLB miss can push one ahead of later same-cycle
@@ -96,14 +130,29 @@ pub struct MemLog {
 pub type SharedMemLog = Rc<RefCell<MemLog>>;
 
 impl MemLog {
-    /// Creates a log keeping the first `capacity` events.
-    pub fn shared(capacity: usize) -> SharedMemLog {
+    fn with_retention(capacity: usize, retention: Retention) -> SharedMemLog {
         Rc::new(RefCell::new(MemLog {
             events: Vec::new(),
             capacity,
+            retention,
+            head: 0,
+            submitted: 0,
+            #[cfg(feature = "check")]
+            last_recorded: None,
             #[cfg(feature = "check")]
             check_skew: 0,
         }))
+    }
+
+    /// Creates a log keeping the first `capacity` events.
+    pub fn shared(capacity: usize) -> SharedMemLog {
+        Self::with_retention(capacity, Retention::KeepFirst)
+    }
+
+    /// Creates a log keeping the *last* `capacity` events (a ring buffer
+    /// that overwrites the oldest entry once full).
+    pub fn shared_ring(capacity: usize) -> SharedMemLog {
+        Self::with_retention(capacity, Retention::KeepLast)
     }
 
     /// Declares the backward cycle skew the auditor should tolerate
@@ -114,26 +163,62 @@ impl MemLog {
         self.check_skew = skew;
     }
 
-    /// Records an event if capacity remains.
+    /// Records an event, subject to the retention policy.
     pub fn record(&mut self, event: MemEvent) {
-        if self.events.len() < self.capacity {
-            #[cfg(feature = "check")]
+        self.submitted += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        let keep = match self.retention {
+            Retention::KeepFirst => self.events.len() < self.capacity,
+            Retention::KeepLast => true,
+        };
+        if !keep {
+            return;
+        }
+        #[cfg(feature = "check")]
+        {
             psb_check::audit(&psb_check::Snapshot::Event {
-                prev_cycle: self.events.last().map_or(event.cycle, |e| e.cycle),
+                prev_cycle: self.last_recorded.unwrap_or(event.cycle),
                 cycle: event.cycle,
                 ready: Some(event.ready),
                 slack: self.check_skew,
             });
+            self.last_recorded = Some(event.cycle);
+        }
+        if self.events.len() < self.capacity {
             self.events.push(event);
+        } else {
+            // Ring mode, saturated: overwrite the oldest entry.
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
         }
     }
 
-    /// The recorded events, in order.
+    /// The recorded events in *storage* order. In keep-first mode this is
+    /// record order; in ring mode use [`MemLog::ordered`] for record
+    /// order once the ring has wrapped.
     pub fn events(&self) -> &[MemEvent] {
         &self.events
     }
 
-    /// True once the capacity is exhausted.
+    /// The recorded events in record (chronological-submission) order,
+    /// un-rotating the ring when necessary.
+    pub fn ordered(&self) -> Vec<MemEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Total events submitted, including any dropped (keep-first) or
+    /// overwritten (ring).
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// True once the capacity is exhausted. A keep-first log stops
+    /// recording at this point; a ring starts overwriting.
     pub fn is_full(&self) -> bool {
         self.events.len() >= self.capacity
     }
@@ -187,8 +272,43 @@ mod tests {
             MemEventKind::StoreMiss,
             MemEventKind::Prefetch,
             MemEventKind::IFetchMiss,
+            MemEventKind::PrefetchFilled,
+            MemEventKind::PrefetchEvictedUnused,
+            MemEventKind::PrefetchLate,
         ] {
             assert!(!k.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn ring_keeps_last_n_in_order() {
+        let log = MemLog::shared_ring(3);
+        for c in 1..=5u64 {
+            log.borrow_mut().record(ev(c, MemEventKind::L1Hit));
+        }
+        let l = log.borrow();
+        assert_eq!(l.submitted(), 5);
+        assert!(l.is_full());
+        let cycles: Vec<u64> = l.ordered().iter().map(|e| e.cycle.raw()).collect();
+        assert_eq!(cycles, vec![3, 4, 5], "ring keeps the most recent events");
+        // Storage order has rotated, but nothing is lost.
+        assert_eq!(l.events().len(), 3);
+    }
+
+    #[test]
+    fn ordered_matches_events_before_wrap() {
+        let log = MemLog::shared_ring(4);
+        log.borrow_mut().record(ev(1, MemEventKind::Prefetch));
+        log.borrow_mut().record(ev(2, MemEventKind::PrefetchFilled));
+        let l = log.borrow();
+        assert_eq!(l.ordered(), l.events().to_vec());
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_stores_nothing() {
+        let log = MemLog::shared_ring(0);
+        log.borrow_mut().record(ev(1, MemEventKind::L1Hit));
+        assert_eq!(log.borrow().submitted(), 1);
+        assert!(log.borrow().events().is_empty());
     }
 }

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod config;
 mod eventlog;
 mod experiment;
@@ -31,6 +32,7 @@ mod report;
 mod simulator;
 mod stats;
 
+pub use artifact::{json_report, RUN_SCHEMA};
 pub use config::{MachineConfig, PrefetcherKind};
 pub use eventlog::{MemEvent, MemEventKind, MemLog, SharedMemLog};
 pub use experiment::{

@@ -6,6 +6,7 @@ use psb_common::{Addr, Cycle};
 use psb_core::{PrefetchSink, Prefetcher, SbLookup};
 use psb_cpu::MemSystem;
 use psb_mem::{L1Access, L1Cache, LowerMemory, Tlb, VictimCache};
+use psb_obs::{IntervalSample, LifeStage, Obs};
 
 /// The lower world shared by demand misses and prefetches: the L2 +
 /// memory system and the data TLB. Split out so the prefetcher can borrow
@@ -71,6 +72,13 @@ pub struct SimMemory {
     prefetcher: Box<dyn Prefetcher>,
     victim: Option<VictimCache>,
     log: Option<SharedMemLog>,
+    obs: Option<Obs>,
+    /// Next cycle the interval sampler is due, or `u64::MAX` when
+    /// interval sampling is off — keeps the per-cycle
+    /// [`MemSystem::sample`] hook to a single compare.
+    next_sample: u64,
+    /// Epoch width in cycles (zero when interval sampling is off).
+    sample_every: u64,
 }
 
 impl SimMemory {
@@ -102,6 +110,9 @@ impl SimMemory {
             victim: (config.victim_entries > 0)
                 .then(|| VictimCache::new(config.victim_entries, mem.l1d.block, 1)),
             log: None,
+            obs: None,
+            next_sample: u64::MAX,
+            sample_every: 0,
         }
     }
 
@@ -112,6 +123,66 @@ impl SimMemory {
         log.borrow_mut().set_check_skew(self.inner.dtlb.miss_latency());
         self.inner.log = Some(log.clone());
         self.log = Some(log);
+        if let Some(obs) = &self.obs {
+            // With both a log and an obs hub attached, route the
+            // prefetch-lifecycle events into the log too; re-attach the
+            // prefetcher so it refreshes its cached event-detail flag.
+            obs.enable_lifecycle_log();
+            self.prefetcher.attach_obs(obs);
+        }
+    }
+
+    /// Attaches the observability hub: every component registers its
+    /// counters/histograms/gauges with the hub's registry, the stream
+    /// engine starts emitting lifecycle and trace events through it, and
+    /// (when the hub has an interval sampler) per-epoch time series are
+    /// recorded from [`MemSystem::sample`].
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.l1d.attach_obs(obs.gauge("l1d.mshr.occupancy"), obs.counter("l1d.mshr.full_rejects"));
+        self.l1i.attach_obs(obs.gauge("l1i.mshr.occupancy"), obs.counter("l1i.mshr.full_rejects"));
+        self.inner.lower.attach_obs(obs);
+        if let Some(victim) = &mut self.victim {
+            victim.attach_obs(obs.counter("victim.rescues"));
+        }
+        if self.log.is_some() {
+            // Must precede `prefetcher.attach_obs`: the stream engine
+            // caches whether block-level lifecycle events are wanted.
+            obs.enable_lifecycle_log();
+        }
+        self.prefetcher.attach_obs(obs);
+        if let Some(every) = obs.interval_every() {
+            self.sample_every = every;
+            self.next_sample = every;
+        }
+        self.obs = Some(obs.clone());
+    }
+
+    /// Builds the cumulative counter snapshot the interval sampler
+    /// differences into per-epoch rates.
+    fn interval_snapshot(&self, cycle: u64, committed: u64) -> IntervalSample {
+        let l1d = self.l1d.stats();
+        let pf = self.prefetcher.stats();
+        IntervalSample {
+            cycle,
+            committed,
+            l1d_accesses: l1d.accesses(),
+            l1d_misses: l1d.misses,
+            pf_issued: pf.issued,
+            pf_used: pf.used,
+            bus_busy: self.inner.lower.l1_l2_bus().busy_cycles(),
+        }
+    }
+
+    /// Flushes a final (possibly partial) epoch at the end of a run so
+    /// the time series covers every cycle. No-op when interval sampling
+    /// is off.
+    pub fn finish_sampling(&mut self, now: Cycle, committed: u64) {
+        if self.sample_every == 0 {
+            return;
+        }
+        if let Some(obs) = &self.obs {
+            obs.interval_record(self.interval_snapshot(now.raw(), committed));
+        }
     }
 
     fn record(&self, cycle: Cycle, pc: Option<Addr>, addr: Addr, ready: Cycle, kind: MemEventKind) {
@@ -263,6 +334,45 @@ impl MemSystem for SimMemory {
 
     fn tick(&mut self, now: Cycle) {
         self.prefetcher.tick(now, &mut self.inner);
+        // Route staged prefetch-lifecycle events (filled / evicted-unused
+        // / late) into the memory event log. The obs hub only stages them
+        // when `enable_lifecycle_log` was called, so this stays free for
+        // runs without both a log and an obs hub.
+        if let (Some(obs), Some(log)) = (&self.obs, &self.log) {
+            let events = obs.drain_life_events();
+            if !events.is_empty() {
+                let mut log = log.borrow_mut();
+                for e in events {
+                    let kind = match e.stage {
+                        LifeStage::Filled => MemEventKind::PrefetchFilled,
+                        LifeStage::EvictedUnused => MemEventKind::PrefetchEvictedUnused,
+                        LifeStage::Late => MemEventKind::PrefetchLate,
+                    };
+                    let cycle = Cycle::new(e.cycle);
+                    log.record(MemEvent {
+                        cycle,
+                        pc: None,
+                        addr: Addr::new(e.block_base),
+                        ready: cycle,
+                        kind,
+                    });
+                }
+            }
+        }
+    }
+
+    fn sample(&mut self, now: Cycle, committed: u64) {
+        let t = now.raw();
+        if t < self.next_sample {
+            return;
+        }
+        let snapshot = self.interval_snapshot(t, committed);
+        if let Some(obs) = &self.obs {
+            obs.interval_record(snapshot);
+        }
+        while self.next_sample <= t {
+            self.next_sample += self.sample_every;
+        }
     }
 
     fn fetched_load(&mut self, now: Cycle, pc: Addr) {

@@ -24,13 +24,14 @@ pub struct Simulation {
     max_commits: u64,
     engine: Option<Box<dyn psb_core::Prefetcher>>,
     log: Option<crate::SharedMemLog>,
+    obs: Option<psb_obs::Obs>,
 }
 
 impl Simulation {
     /// Creates a run over `trace`, committing at most `max_commits`
     /// instructions (use `u64::MAX` to drain the trace).
     pub fn new(config: MachineConfig, trace: Vec<DynInst>, max_commits: u64) -> Self {
-        Simulation { config, trace, max_commits, engine: None, log: None }
+        Simulation { config, trace, max_commits, engine: None, log: None, obs: None }
     }
 
     /// Attaches a shared memory event log (see
@@ -38,6 +39,16 @@ impl Simulation {
     /// into it until it fills.
     pub fn with_event_log(mut self, log: crate::SharedMemLog) -> Self {
         self.log = Some(log);
+        self
+    }
+
+    /// Attaches an observability hub (see [`psb_obs::Obs`]): the memory
+    /// system registers its metrics with it and, when the hub has tracing
+    /// or interval sampling enabled, emits lifecycle events and per-epoch
+    /// time series during the run. The caller keeps a clone to read the
+    /// results back after [`Simulation::run`].
+    pub fn with_obs(mut self, obs: psb_obs::Obs) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -70,7 +81,12 @@ impl Simulation {
         if let Some(log) = self.log {
             mem.attach_log(log);
         }
+        if let Some(obs) = &self.obs {
+            mem.attach_obs(obs);
+        }
         let cpu = Pipeline::new(self.config.cpu).run(self.trace, &mut mem, self.max_commits);
+        // Close out the interval time series with a final partial epoch.
+        mem.finish_sampling(psb_common::Cycle::new(cpu.cycles), cpu.committed);
         SimStats {
             l1d: mem.l1d().stats(),
             l1i: mem.l1i().stats(),

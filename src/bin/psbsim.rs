@@ -5,6 +5,7 @@
 //!
 //! ARGS:
 //!   <benchmark>      health | burg | deltablue | gs | sis | turb3d
+//!                    (also accepted as `--bench <benchmark>`)
 //!
 //! OPTIONS:
 //!   --prefetcher X   none | sequential | next-line | demand-markov |
@@ -21,6 +22,14 @@
 //!   --victim N       add an N-entry victim cache beside the L1D
 //!   --csv            emit machine-readable CSV instead of a table
 //!   --log N          print the first N memory events (debug/teaching)
+//!   --log-last N     print the last N memory events (ring buffer)
+//!   --json FILE      write the psb-run-v1 JSON artifact (aggregate
+//!                    stats, lifecycle counts, epochs, metrics)
+//!   --trace-out FILE write a Chrome trace-event file (load it in
+//!                    Perfetto / chrome://tracing; one track per
+//!                    stream buffer)
+//!   --interval N     sample the interval time series every N cycles
+//!                    (recorded into the --json artifact)
 //! ```
 
 use psb::cpu::Disambiguation;
@@ -31,12 +40,21 @@ use psb::workloads::Benchmark;
 fn usage() -> ! {
     eprintln!(
         "usage: psbsim [--prefetcher KIND] [--l1d GEOM] [--no-dis] \
-         [--scale N] [--max N] [--compare] <benchmark>\n\
+         [--scale N] [--max N] [--compare] [--json FILE] [--trace-out FILE] \
+         [--interval N] <benchmark>\n\
          kinds: none sequential next-line demand-markov fetch-directed pc-stride \
          2miss-rr 2miss-priority conf-rr conf-priority\n\
          benchmarks: health burg deltablue gs sis turb3d"
     );
     std::process::exit(2);
+}
+
+/// Writes `contents` to `path`, exiting with a message on failure.
+fn write_file(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn parse_kind(s: &str) -> Option<PrefetcherKind> {
@@ -80,6 +98,10 @@ fn main() {
     let mut victim = 0usize;
     let mut csv = false;
     let mut log_events = 0usize;
+    let mut log_last = 0usize;
+    let mut json_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut interval: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -110,7 +132,24 @@ fn main() {
             "--log" => {
                 log_events = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
+            "--log-last" => {
+                log_last = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--json" => json_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--interval" => {
+                interval = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
+            "--bench" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(b)) if bench.is_none() => bench = Some(b),
+                _ => usage(),
+            },
             other => match other.parse() {
                 Ok(b) if bench.is_none() => bench = Some(b),
                 _ => usage(),
@@ -152,17 +191,49 @@ fn main() {
         .with_disambiguation(dis)
         .with_victim_cache(victim);
 
+    // The observability hub rides along on every run; tracing and
+    // interval sampling only collect when their flags ask for them.
+    let obs = psb::obs::Obs::new();
+    if trace_out.is_some() {
+        obs.enable_trace(1 << 20);
+    }
+    if let Some(every) = interval {
+        obs.enable_interval(every);
+    }
+    let log = if log_events > 0 {
+        Some(psb::sim::MemLog::shared(log_events))
+    } else if log_last > 0 {
+        Some(psb::sim::MemLog::shared_ring(log_last))
+    } else {
+        None
+    };
+
+    let bench_label = bench.map_or_else(|| "trace".to_owned(), |b| b.to_string());
+    let mut sim = Simulation::new(config, trace.clone(), max).with_obs(obs.clone());
+    if let Some(log) = &log {
+        sim = sim.with_event_log(log.clone());
+    }
+    let main_stats = sim.run();
+
+    if let Some(path) = &json_out {
+        let doc = psb::sim::json_report(&bench_label, kind.label(), &main_stats, Some(&obs));
+        write_file(path, &doc.to_string());
+        eprintln!("wrote run artifact to {path}");
+    }
+    if let Some(path) = &trace_out {
+        let doc = obs.trace_json().expect("tracing was enabled above");
+        write_file(path, &doc.to_string());
+        eprintln!("wrote Chrome trace to {path}");
+    }
+
     if csv {
-        let stats = Simulation::new(config, trace, max).run();
         println!("{}", psb::sim::SimStats::CSV_HEADER);
-        println!("{}", stats.csv_row());
+        println!("{}", main_stats.csv_row());
         return;
     }
 
-    if log_events > 0 {
-        let log = psb::sim::MemLog::shared(log_events);
-        let _ = Simulation::new(config, trace, max).with_event_log(log.clone()).run();
-        for e in log.borrow().events() {
+    if let Some(log) = &log {
+        for e in log.borrow().ordered() {
             println!("{e}");
         }
         return;
@@ -174,7 +245,6 @@ fn main() {
             .map(|s| s.to_string())
             .collect(),
     );
-    let main_stats = Simulation::new(config, trace.clone(), max).run();
     if compare {
         let base = Simulation::new(config.with_prefetcher(PrefetcherKind::None), trace, max).run();
         t.row(report("base", &base));

@@ -10,6 +10,8 @@
 //!   predictor-directed stream buffers.
 //! * [`workloads`] — the synthetic benchmark suite.
 //! * [`sim`] — the full-system simulator and experiment harness.
+//! * [`obs`] — observability: metrics registry, prefetch-lifecycle
+//!   tracing, interval time series and JSON artifacts.
 //!
 //! # Quickstart
 //!
@@ -26,5 +28,6 @@ pub use psb_common as common;
 pub use psb_core as core;
 pub use psb_cpu as cpu;
 pub use psb_mem as mem;
+pub use psb_obs as obs;
 pub use psb_sim as sim;
 pub use psb_workloads as workloads;

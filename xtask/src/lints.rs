@@ -280,6 +280,36 @@ pub fn lint_hashmap_report(rel_path: &str, source: &str) -> Vec<Finding> {
     out
 }
 
+/// Rule `println`: console output from library crate code. All
+/// human-readable output belongs in the binaries (`src/bin`, the bench
+/// `benches/` targets, xtask) or behind the report/obs layer, so
+/// figure scripts never have to scrape stray prints out of stdout.
+pub fn lint_println(rel_path: &str, source: &str) -> Vec<Finding> {
+    let in_library =
+        rel_path.starts_with("crates/") && rel_path.contains("/src/") && !rel_path.contains("/src/bin/");
+    if !in_library {
+        return Vec::new();
+    }
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test || li.comment_only || allowed(&lines, i, "println") {
+            continue;
+        }
+        if ["println!", "print!", "eprintln!", "eprint!"].iter().any(|m| li.code.contains(m)) {
+            out.push(Finding {
+                rule: "println",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "console output in library code; route through the report/obs \
+                      layer (or move it into a binary)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
 const DOC_ITEMS: [&str; 8] =
     ["fn ", "struct ", "enum ", "trait ", "type ", "const ", "static ", "mod "];
 
@@ -424,6 +454,36 @@ mod tests {
         assert_eq!(lint_hashmap_report("crates/sim/src/stats.rs", src).len(), 1);
         assert_eq!(lint_hashmap_report("crates/sim/src/report.rs", src).len(), 1);
         assert!(lint_hashmap_report("crates/sim/src/memsys.rs", src).is_empty());
+    }
+
+    // -- println ----------------------------------------------------------
+
+    #[test]
+    fn println_fires_in_library_crate_code() {
+        let src = "pub fn noisy() {\n    println!(\"hi\");\n}\n";
+        let f = lint_println("crates/sim/src/memsys.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn println_silent_in_binaries_tests_and_comments() {
+        let src = "pub fn noisy() { println!(\"hi\"); }\n";
+        assert!(lint_println("src/bin/psbsim.rs", src).is_empty());
+        assert!(lint_println("crates/sim/src/bin/tool.rs", src).is_empty());
+        assert!(lint_println("xtask/src/main.rs", src).is_empty());
+
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"x\"); }\n}\n";
+        assert!(lint_println("crates/sim/src/memsys.rs", test_src).is_empty());
+
+        let doc_src = "//! println!(\"in a doc example\");\n";
+        assert!(lint_println("crates/sim/src/lib.rs", doc_src).is_empty());
+    }
+
+    #[test]
+    fn println_respects_allow_comment() {
+        let src = "// lint:allow(println) — harness output\nprintln!(\"ok\");\n";
+        assert!(lint_println("crates/bench/src/micro.rs", src).is_empty());
     }
 
     // -- missing-docs -----------------------------------------------------

@@ -6,8 +6,13 @@
 //!   when those components are installed, then always run the
 //!   workspace's own source lints (see [`lints`]). Exits nonzero on any
 //!   finding, so it works as a CI gate.
+//! * `validate-artifacts <file>...` — parse each emitted JSON artifact
+//!   (`psb-run-v1` reports, Chrome traces, `psb-bench-v1` results) and
+//!   check its shape, so CI catches a malformed writer before a human
+//!   loads the file into Perfetto or a plotting script.
 
 mod lints;
+mod validate;
 
 use lints::Finding;
 use std::path::{Path, PathBuf};
@@ -18,11 +23,14 @@ fn main() -> ExitCode {
     let cmd = args.first().map(String::as_str).unwrap_or("");
     match cmd {
         "lint" => lint(&args[1..]),
+        "validate-artifacts" => validate::validate_artifacts(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint [--src-only]");
+            eprintln!("usage: cargo xtask <lint [--src-only] | validate-artifacts FILE...>");
             eprintln!();
-            eprintln!("  lint        run fmt + clippy (when available) and source lints");
-            eprintln!("  --src-only  skip the fmt/clippy toolchain passes");
+            eprintln!("  lint                run fmt + clippy (when available) and source lints");
+            eprintln!("    --src-only        skip the fmt/clippy toolchain passes");
+            eprintln!("  validate-artifacts  parse and shape-check emitted JSON artifacts");
+            eprintln!("                      (run reports, Chrome traces, bench results)");
             ExitCode::from(2)
         }
     }
@@ -117,6 +125,7 @@ fn lint_sources(root: &Path) -> Vec<Finding> {
             findings.extend(lints::lint_addr_arith(&rel, &source));
             findings.extend(lints::lint_unwrap(&rel, &source));
             findings.extend(lints::lint_hashmap_report(&rel, &source));
+            findings.extend(lints::lint_println(&rel, &source));
             if check_docs {
                 findings.extend(lints::lint_missing_docs(&rel, &source));
             }

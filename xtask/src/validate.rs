@@ -1,0 +1,183 @@
+//! `cargo xtask validate-artifacts` — offline shape checks for every
+//! JSON artifact the workspace emits.
+//!
+//! Each file is parsed with the workspace's own [`psb_obs::json`]
+//! parser, sniffed by its top-level keys, and checked against the
+//! matching schema:
+//!
+//! * `psb-run-v1` — `psbsim --json`: aggregate stats, lifecycle
+//!   counts, epochs, metrics registry.
+//! * Chrome trace — `psbsim --trace-out`: a `traceEvents` array whose
+//!   entries carry the keys Perfetto requires per phase.
+//! * `psb-bench-v1` — the bench harness's `BENCH_psb.json`.
+
+use psb_obs::json::{self, Json};
+use std::process::ExitCode;
+
+/// Entry point for the subcommand: validate every path given.
+pub fn validate_artifacts(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("usage: cargo xtask validate-artifacts FILE...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in paths {
+        match validate_file(path) {
+            Ok(what) => println!("{path}: ok ({what})"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Parses one file and dispatches on its sniffed kind. Returns a short
+/// human-readable description of what was validated.
+fn validate_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("psb-run-v1") => validate_run(&doc),
+        Some("psb-bench-v1") => validate_bench(&doc),
+        Some(other) => Err(format!("unknown schema {other:?}")),
+        None if doc.get("traceEvents").is_some() => validate_trace(&doc),
+        None => Err("no `schema` key and no `traceEvents`: not a known artifact".to_string()),
+    }
+}
+
+fn require<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing key `{key}`"))
+}
+
+fn require_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    require(doc, key)?.as_u64().ok_or_else(|| format!("`{key}` is not an unsigned integer"))
+}
+
+fn validate_run(doc: &Json) -> Result<String, String> {
+    let agg = require(doc, "aggregate")?;
+    let cycles = require_u64(agg, "cycles")?;
+    if cycles == 0 {
+        return Err("aggregate.cycles is zero — empty run?".to_string());
+    }
+    require(agg, "ipc")?.as_f64().ok_or("aggregate.ipc is not a number")?;
+    for section in ["l1d", "l1i", "l2", "prefetch", "dtlb", "bus"] {
+        require(agg, section)?;
+    }
+    // Lifecycle is either null (no obs attached) or carries the
+    // used / evicted-unused / late accounting.
+    let lifecycle = require(doc, "lifecycle")?;
+    if !matches!(lifecycle, Json::Null) {
+        for key in ["predicted", "issued", "filled", "used", "used_late", "evicted_unused"] {
+            require_u64(lifecycle, key)?;
+        }
+    }
+    let epochs = require(doc, "epochs")?
+        .as_arr()
+        .ok_or("`epochs` is not an array")?;
+    for (i, e) in epochs.iter().enumerate() {
+        let start = require_u64(e, "start").map_err(|m| format!("epochs[{i}]: {m}"))?;
+        let end = require_u64(e, "end").map_err(|m| format!("epochs[{i}]: {m}"))?;
+        if end <= start {
+            return Err(format!("epochs[{i}]: end {end} <= start {start}"));
+        }
+    }
+    require(doc, "metrics")?;
+    Ok(format!("run report, {} epoch(s)", epochs.len()))
+}
+
+fn validate_trace(doc: &Json) -> Result<String, String> {
+    let events = require(doc, "traceEvents")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+    for (i, e) in events.iter().enumerate() {
+        let ph = require(e, "ph")
+            .and_then(|p| p.as_str().ok_or_else(|| "`ph` is not a string".to_string()))
+            .map_err(|m| format!("traceEvents[{i}]: {m}"))?;
+        let needed: &[&str] = match ph {
+            // Complete events also need a duration; counters a ts.
+            "X" => &["name", "pid", "tid", "ts", "dur"],
+            "i" | "C" => &["name", "pid", "tid", "ts"],
+            "M" => &["name", "pid", "tid"],
+            other => return Err(format!("traceEvents[{i}]: unexpected phase {other:?}")),
+        };
+        for key in needed {
+            require(e, key).map_err(|m| format!("traceEvents[{i}] (ph {ph}): {m}"))?;
+        }
+    }
+    Ok(format!("chrome trace, {} event(s)", events.len()))
+}
+
+fn validate_bench(doc: &Json) -> Result<String, String> {
+    let results = require(doc, "results")?
+        .as_arr()
+        .ok_or("`results` is not an array")?;
+    for (i, r) in results.iter().enumerate() {
+        require(r, "name")
+            .and_then(|n| n.as_str().ok_or_else(|| "`name` is not a string".to_string()))
+            .map_err(|m| format!("results[{i}]: {m}"))?;
+        require(r, "ns_per_iter")
+            .and_then(|n| n.as_f64().ok_or_else(|| "`ns_per_iter` is not a number".to_string()))
+            .map_err(|m| format!("results[{i}]: {m}"))?;
+        require_u64(r, "iters").map_err(|m| format!("results[{i}]: {m}"))?;
+    }
+    Ok(format!("bench results, {} entry(ies)", results.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_report_shape_is_enforced() {
+        let good = r#"{"schema":"psb-run-v1","benchmark":"health","prefetcher":"x",
+            "aggregate":{"cycles":100,"ipc":0.5,"l1d":{},"l1i":{},"l2":{},
+                         "prefetch":{},"dtlb":{},"bus":{}},
+            "lifecycle":null,"epochs":[{"start":0,"end":10}],"metrics":null}"#;
+        let doc = json::parse(good).unwrap();
+        assert!(validate_run(&doc).is_ok());
+
+        let bad = json::parse(&good.replace("\"end\":10", "\"end\":0")).unwrap();
+        assert!(validate_run(&bad).unwrap_err().contains("end 0 <= start 0"));
+    }
+
+    #[test]
+    fn trace_requires_phase_keys() {
+        let good = r#"{"traceEvents":[
+            {"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"sb-0"}},
+            {"ph":"X","name":"prefetch","pid":1,"tid":0,"ts":5,"dur":10}]}"#;
+        assert!(validate_trace(&json::parse(good).unwrap()).is_ok());
+
+        let missing_dur = r#"{"traceEvents":[{"ph":"X","name":"p","pid":1,"tid":0,"ts":5}]}"#;
+        let err = validate_trace(&json::parse(missing_dur).unwrap()).unwrap_err();
+        assert!(err.contains("dur"), "{err}");
+    }
+
+    #[test]
+    fn bench_results_are_checked() {
+        let good = r#"{"schema":"psb-bench-v1","results":[
+            {"name":"a","ns_per_iter":12.5,"iters":100}]}"#;
+        assert!(validate_bench(&json::parse(good).unwrap()).is_ok());
+
+        let bad = r#"{"schema":"psb-bench-v1","results":[{"name":"a"}]}"#;
+        assert!(validate_bench(&json::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn sniffing_rejects_unknown_documents() {
+        let doc = json::parse(r#"{"hello":1}"#).unwrap();
+        assert!(doc.get("schema").is_none());
+        // validate_file goes through the filesystem; exercise the sniff
+        // logic by writing a temp file.
+        let path = std::env::temp_dir().join("xtask_validate_unknown.json");
+        std::fs::write(&path, r#"{"hello":1}"#).unwrap();
+        let err = validate_file(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("not a known artifact"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}
