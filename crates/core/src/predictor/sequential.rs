@@ -42,6 +42,11 @@ impl SequentialPredictor {
         assert!(block.is_power_of_two(), "block size must be a power of two");
         SequentialPredictor { block, confidence }
     }
+
+    /// The confidence reported for every load.
+    pub fn confidence(&self) -> u32 {
+        self.confidence
+    }
 }
 
 impl StreamPredictor for SequentialPredictor {

@@ -105,11 +105,16 @@ impl StrideStreamBuffers {
 
 impl SequentialStreamBuffers {
     /// Builds Jouppi-style sequential stream buffers.
+    ///
+    /// The predictor's blanket confidence and the buffers' priority
+    /// ceiling both derive from `config.priority_max`, so a confidence
+    /// allocation filter (were one configured) could never see a load
+    /// outrank the cap the buffers themselves saturate at.
     pub fn sequential() -> Self {
         let config = SbConfig::sequential_baseline();
         StreamEngine::new(
             config,
-            SequentialPredictor::new(config.block, config.priority_max.min(7)),
+            SequentialPredictor::new(config.block, config.priority_max),
             "sequential".to_owned(),
         )
     }
@@ -415,7 +420,11 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
             if self.obs_detail {
                 for e in self.buffers[victim].entries() {
                     if let SbEntry::InFlight { block, .. } | SbEntry::Ready { block } = *e {
-                        obs.evicted_unused_block(now.raw(), victim, block.base(self.config.block).raw());
+                        obs.evicted_unused_block(
+                            now.raw(),
+                            victim,
+                            block.base(self.config.block).raw(),
+                        );
                     }
                 }
             }
@@ -872,6 +881,87 @@ mod tests {
         let s = obs.lifecycle_stats();
         assert!(s.streams_allocated >= 2);
         assert!(s.evicted_unused >= 1, "evicted_unused = {}", s.evicted_unused);
+    }
+
+    #[test]
+    fn sequential_engine_derives_one_priority_cap() {
+        // Regression: the predictor's blanket confidence used to be
+        // clamped to 7 while the buffers saturated at priority_max (12),
+        // so freshly allocated sequential streams could never reach the
+        // cap their own counters advertised.
+        let e = SequentialStreamBuffers::sequential();
+        let cap = e.config().priority_max;
+        assert_eq!(e.predictor().confidence(), cap);
+        let info = e.predictor().alloc_info(Addr::new(0x1000), Addr::new(0x8000)).unwrap();
+        assert_eq!(info.confidence, cap, "alloc_info must report the shared cap");
+        // And the seeded priority actually lands on the cap.
+        let mut e = e;
+        e.allocate(Cycle::ZERO, Addr::new(0x1000), Addr::new(0x8000));
+        assert_eq!(e.buffers()[0].priority(), cap);
+    }
+
+    #[test]
+    fn round_robin_rotates_ports_independently() {
+        let mut config = SbConfig::sequential_baseline();
+        config.buffers = 4;
+        let cap = config.priority_max;
+        let mut e = StreamEngine::new(config, SequentialPredictor::new(32, cap), "t".to_owned());
+        for (i, base) in [0x10_0000u64, 0x20_0000, 0x30_0000, 0x40_0000].into_iter().enumerate() {
+            e.allocate(Cycle::ZERO, Addr::new(0x1000 + i as u64 * 8), Addr::new(base));
+        }
+        let mut sink = TestSink::new(1);
+        // Phase 1: bus blocked, so only the predict port arbitrates. The
+        // cursor must visit every buffer once per lap, and the prefetch
+        // cursor must not move.
+        sink.bus_is_free = false;
+        let mut predict_winners = Vec::new();
+        for c in 0u64..16 {
+            e.tick(Cycle::new(c), &mut sink);
+            if c < 4 {
+                predict_winners.push(e.rr_predict);
+            }
+            assert_eq!(e.rr_prefetch, 0, "prefetch cursor must not move on a blocked bus");
+        }
+        assert_eq!(predict_winners, vec![1, 2, 3, 0], "predict port must rotate fairly");
+        // 16 predictions filled all 4x4 entries: the predict port idles.
+        let predict_cursor = e.rr_predict;
+        // Phase 2: bus free — the prefetch port now rotates on its own
+        // cursor while the starved predict port stays put.
+        sink.bus_is_free = true;
+        let mut prefetch_winners = Vec::new();
+        for c in 16u64..20 {
+            e.tick(Cycle::new(c), &mut sink);
+            prefetch_winners.push(e.rr_prefetch);
+            assert_eq!(e.rr_predict, predict_cursor, "idle predict port must not advance");
+        }
+        assert_eq!(prefetch_winners, vec![1, 2, 3, 0], "prefetch port must rotate fairly");
+    }
+
+    #[test]
+    fn priority_scheduler_breaks_ties_least_recently_serviced() {
+        let mut config = SbConfig::sequential_baseline().with_scheduler(Scheduler::Priority);
+        config.buffers = 3;
+        let mut e = StreamEngine::new(config, SequentialPredictor::new(32, 3), "t".to_owned());
+        for (i, base) in [0x10_0000u64, 0x20_0000, 0x30_0000].into_iter().enumerate() {
+            e.allocate(Cycle::ZERO, Addr::new(0x1000 + i as u64 * 8), Addr::new(base));
+        }
+        let mut sink = TestSink::new(1);
+        sink.bus_is_free = false;
+        // All three buffers sit at priority 3: the tie-break must hand the
+        // predictor to whichever was serviced longest ago, producing a
+        // fair rotation rather than starving the low-index buffers.
+        let mut winners = Vec::new();
+        for c in 0u64..6 {
+            e.tick(Cycle::new(c), &mut sink);
+            winners.push(e.rr_predict);
+        }
+        assert_eq!(winners, vec![2, 1, 0, 2, 1, 0], "equal priorities must rotate LRU");
+        // A priority edge overrides recency: the freshly rewarded buffer
+        // wins even though it was serviced most recently.
+        e.buffers[0].reward(2);
+        e.tick(Cycle::new(6), &mut sink);
+        e.tick(Cycle::new(7), &mut sink);
+        assert_eq!(e.rr_predict, 0, "higher priority must beat the LRU tie-break");
     }
 
     #[test]

@@ -166,7 +166,14 @@ impl Obs {
 
     /// A stream buffer was (re)allocated to a new stream. `displaced`
     /// counts the not-yet-used entries thrown away by the reallocation.
-    pub fn stream_allocated(&self, now: u64, buffer: usize, pc: u64, confidence: u64, displaced: u64) {
+    pub fn stream_allocated(
+        &self,
+        now: u64,
+        buffer: usize,
+        pc: u64,
+        confidence: u64,
+        displaced: u64,
+    ) {
         let mut core = self.inner.borrow_mut();
         core.lifecycle.streams_allocated += 1;
         core.lifecycle.evicted_unused += displaced;
@@ -185,7 +192,12 @@ impl Obs {
     /// aggregate count is carried by [`Obs::stream_allocated`]).
     pub fn evicted_unused_block(&self, now: u64, buffer: usize, block_base: u64) {
         let mut core = self.inner.borrow_mut();
-        core.push_pending(LifeEvent { cycle: now, buffer, block_base, stage: LifeStage::EvictedUnused });
+        core.push_pending(LifeEvent {
+            cycle: now,
+            buffer,
+            block_base,
+            stage: LifeStage::EvictedUnused,
+        });
         if let Some(t) = core.trace.as_mut() {
             t.instant("evicted-unused", "prefetch", buffer as u64, now, &[("block", block_base)]);
         }
@@ -263,7 +275,14 @@ impl Obs {
 
     /// Samples a buffer's occupancy/priority counter track (only
     /// recorded when tracing is enabled).
-    pub fn buffer_occupancy(&self, now: u64, buffer: usize, ready: u64, in_flight: u64, priority: u64) {
+    pub fn buffer_occupancy(
+        &self,
+        now: u64,
+        buffer: usize,
+        ready: u64,
+        in_flight: u64,
+        priority: u64,
+    ) {
         let mut core = self.inner.borrow_mut();
         if let Some(t) = core.trace.as_mut() {
             t.counter(

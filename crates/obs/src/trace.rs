@@ -85,7 +85,15 @@ impl TraceSink {
 
     /// A complete event (`X`): `name` on track `tid`, spanning
     /// `[ts, ts + dur]` cycles, with numeric `args`.
-    pub fn complete(&mut self, name: &str, cat: &str, tid: u64, ts: u64, dur: u64, args: &[(&str, u64)]) {
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        tid: u64,
+        ts: u64,
+        dur: u64,
+        args: &[(&str, u64)],
+    ) {
         self.push(Json::obj([
             ("name", Json::str(name)),
             ("cat", Json::str(cat)),

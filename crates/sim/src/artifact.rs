@@ -6,11 +6,15 @@
 //! registered with the observability hub — one self-describing file per
 //! run, consumable by scripts without scraping tables.
 
+use crate::sweep::{SweepCell, SweepOutcome};
 use crate::SimStats;
 use psb_obs::{Json, Obs};
 
 /// Schema identifier stamped into every run artifact.
 pub const RUN_SCHEMA: &str = "psb-run-v1";
+
+/// Schema identifier stamped into every merged sweep artifact.
+pub const SWEEP_SCHEMA: &str = "psb-sweep-v1";
 
 fn cache_json(stats: &psb_mem::CacheStats) -> Json {
     Json::obj(vec![
@@ -99,10 +103,39 @@ pub fn json_report(benchmark: &str, prefetcher: &str, stats: &SimStats, obs: Opt
     ])
 }
 
+/// Builds the merged `psb-sweep-v1` artifact for one sweep: one entry
+/// per cell, in submission order, each carrying the cell's coordinates
+/// (benchmark, config label, scale) and its aggregate statistics.
+///
+/// The document is fully deterministic — cell wall-clock timings are
+/// deliberately excluded — so sweeps of the same grid are byte-identical
+/// regardless of worker count (`psbsweep --threads N`).
+///
+/// # Panics
+///
+/// Panics if `cells` and `outcomes` disagree in length (they come from
+/// one [`crate::sweep::run_sweep`] call).
+pub fn sweep_report(cells: &[SweepCell], outcomes: &[SweepOutcome]) -> Json {
+    assert_eq!(cells.len(), outcomes.len(), "cells and outcomes must pair up");
+    let entries = cells
+        .iter()
+        .zip(outcomes)
+        .map(|(cell, out)| {
+            Json::obj(vec![
+                ("benchmark", Json::str(cell.bench.name())),
+                ("config", Json::str(cell.label())),
+                ("scale", Json::u64(cell.scale as u64)),
+                ("aggregate", aggregate_json(&out.stats)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("schema", Json::str(SWEEP_SCHEMA)), ("cells", Json::Arr(entries))])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MachineConfig, PrefetcherKind, Simulation};
+    use crate::{run_sweep, MachineConfig, PrefetcherKind, Simulation};
     use psb_common::Addr;
     use psb_obs::json;
 
@@ -148,6 +181,33 @@ mod tests {
         let issued = life.get("issued").and_then(Json::as_u64).unwrap();
         let used = life.get("used").and_then(Json::as_u64).unwrap();
         assert!(issued >= used);
+    }
+
+    #[test]
+    fn sweep_artifact_is_byte_identical_across_thread_counts() {
+        use psb_workloads::Benchmark;
+        let cells: Vec<_> = [PrefetcherKind::None, PrefetcherKind::PcStride]
+            .into_iter()
+            .flat_map(|k| {
+                [Benchmark::Turb3d, Benchmark::DeltaBlue].into_iter().map(move |b| {
+                    crate::sweep::SweepCell::new(b, MachineConfig::baseline().with_prefetcher(k), 1)
+                        .with_max_commits(15_000)
+                })
+            })
+            .collect();
+        let serial = sweep_report(&cells, &run_sweep(&cells, 1)).to_string();
+        let parallel = sweep_report(&cells, &run_sweep(&cells, 4)).to_string();
+        assert_eq!(serial, parallel, "sweep artifact must not depend on worker count");
+        let back = json::parse(&serial).expect("sweep artifact must be valid JSON");
+        assert_eq!(back.get("schema").and_then(Json::as_str), Some(SWEEP_SCHEMA));
+        let entries = back.get("cells").and_then(Json::as_arr).expect("cells array");
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].get("benchmark").and_then(Json::as_str), Some("turb3d"));
+        assert_eq!(entries[1].get("config").and_then(Json::as_str), Some("Base"));
+        assert!(
+            entries[0].get("aggregate").and_then(|a| a.get("cycles")).is_some(),
+            "each cell carries aggregate stats"
+        );
     }
 
     #[test]

@@ -61,6 +61,38 @@ impl PrefetcherKind {
         }
     }
 
+    /// The name the command-line front ends accept for this kind
+    /// (the inverse of the `FromStr` impl).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::Sequential => "sequential",
+            PrefetcherKind::NextLine => "next-line",
+            PrefetcherKind::DemandMarkov => "demand-markov",
+            PrefetcherKind::FetchDirected => "fetch-directed",
+            PrefetcherKind::PcStride => "pc-stride",
+            PrefetcherKind::Psb2MissRr => "2miss-rr",
+            PrefetcherKind::Psb2MissPriority => "2miss-priority",
+            PrefetcherKind::PsbConfRr => "conf-rr",
+            PrefetcherKind::PsbConfPriority => "conf-priority",
+        }
+    }
+
+    /// Every kind, in CLI/reporting order (for help text and `all`
+    /// grid specs).
+    pub const ALL: [PrefetcherKind; 10] = [
+        PrefetcherKind::None,
+        PrefetcherKind::Sequential,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::DemandMarkov,
+        PrefetcherKind::FetchDirected,
+        PrefetcherKind::PcStride,
+        PrefetcherKind::Psb2MissRr,
+        PrefetcherKind::Psb2MissPriority,
+        PrefetcherKind::PsbConfRr,
+        PrefetcherKind::PsbConfPriority,
+    ];
+
     /// Instantiates the prefetch engine.
     pub fn build(self) -> Box<dyn Prefetcher> {
         match self {
@@ -79,6 +111,36 @@ impl PrefetcherKind {
                 Box::new(PsbPrefetcher::psb(SbConfig::psb_conf_priority()))
             }
         }
+    }
+}
+
+/// Error returned when parsing an unknown prefetcher name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePrefetcherError(String);
+
+impl std::fmt::Display for ParsePrefetcherError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown prefetcher `{}` (expected one of ", self.0)?;
+        for (i, k) in PrefetcherKind::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(k.cli_name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for ParsePrefetcherError {}
+
+impl std::str::FromStr for PrefetcherKind {
+    type Err = ParsePrefetcherError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PrefetcherKind::ALL
+            .into_iter()
+            .find(|k| k.cli_name() == s)
+            .ok_or_else(|| ParsePrefetcherError(s.to_owned()))
     }
 }
 
@@ -165,6 +227,15 @@ mod tests {
         assert_eq!(PrefetcherKind::Psb2MissRr.build().name(), "psb-2miss-rr");
         assert_eq!(PrefetcherKind::PsbConfPriority.build().name(), "psb-confalloc-priority");
         assert_eq!(PrefetcherKind::Sequential.build().name(), "sequential");
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for k in PrefetcherKind::ALL {
+            assert_eq!(k.cli_name().parse::<PrefetcherKind>(), Ok(k));
+        }
+        let err = "bogus".parse::<PrefetcherKind>().unwrap_err();
+        assert!(err.to_string().contains("conf-priority"), "{err}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Helpers for running benchmark × configuration matrices.
 
+use crate::sweep::{run_sweep, SweepCell};
 use crate::{MachineConfig, PrefetcherKind, SimStats, Simulation};
 use psb_workloads::Benchmark;
 
@@ -8,9 +9,16 @@ use psb_workloads::Benchmark;
 /// steady-state laps of every benchmark's data structures).
 pub const DEFAULT_SCALE: u32 = 2;
 
-/// Runs one (benchmark, machine) point over a freshly generated trace.
+/// Smallest per-benchmark speedup factor admitted into the geometric
+/// mean: a cell can lose essentially everything (−100% and below clamps
+/// here) without poisoning the aggregate with a zero or negative factor.
+const MIN_SPEEDUP_FACTOR: f64 = 1e-6;
+
+/// Runs one (benchmark, machine) point. The trace comes from the shared
+/// cache ([`Benchmark::shared_trace`]), so repeated points on one
+/// benchmark pay for generation once.
 pub fn run_config(bench: Benchmark, config: MachineConfig, scale: u32) -> SimStats {
-    Simulation::new(config, bench.trace(scale), u64::MAX).run()
+    Simulation::new_shared(config, bench.shared_trace(scale), u64::MAX).run()
 }
 
 /// Runs one (benchmark, prefetcher) point on the baseline machine.
@@ -20,17 +28,34 @@ pub fn run_point(bench: Benchmark, kind: PrefetcherKind, scale: u32) -> SimStats
 
 /// Runs every paper configuration (Base, PC-stride, four PSB variants)
 /// for one benchmark, in Figure 5 order.
+///
+/// The six cells run in parallel on the [`crate::sweep`] work queue over
+/// one shared trace; results are deterministic and ordered regardless of
+/// worker count.
 pub fn run_paper_row(bench: Benchmark, scale: u32) -> Vec<(PrefetcherKind, SimStats)> {
-    PrefetcherKind::PAPER.into_iter().map(|k| (k, run_point(bench, k, scale))).collect()
+    let cells: Vec<SweepCell> = PrefetcherKind::PAPER
+        .into_iter()
+        .map(|k| SweepCell::new(bench, MachineConfig::baseline().with_prefetcher(k), scale))
+        .collect();
+    PrefetcherKind::PAPER
+        .into_iter()
+        .zip(run_sweep(&cells, 0))
+        .map(|(k, out)| (k, out.stats))
+        .collect()
 }
 
 /// Geometric-mean percent speedup across a set of per-benchmark speedups
 /// (how the paper aggregates "average speedup").
+///
+/// Each speedup is folded in as the factor `1 + s/100`, clamped to a
+/// small positive epsilon: a catastrophic cell (s ≤ −100%) contributes
+/// an (almost-)total loss instead of a zero or negative factor, whose
+/// fractional root would otherwise be `NaN` and poison the aggregate.
 pub fn average_speedup_percent(speedups: &[f64]) -> f64 {
     if speedups.is_empty() {
         return 0.0;
     }
-    let product: f64 = speedups.iter().map(|s| 1.0 + s / 100.0).product();
+    let product: f64 = speedups.iter().map(|s| (1.0 + s / 100.0).max(MIN_SPEEDUP_FACTOR)).product();
     (product.powf(1.0 / speedups.len() as f64) - 1.0) * 100.0
 }
 
@@ -44,6 +69,23 @@ mod tests {
         // 21% and 0%: geomean = sqrt(1.21) - 1 = 10%.
         let avg = average_speedup_percent(&[21.0, 0.0]);
         assert!((avg - 10.0).abs() < 1e-9, "{avg}");
+    }
+
+    #[test]
+    fn average_speedup_survives_total_losses() {
+        // Regression: a speedup at or below −100% used to make the
+        // product non-positive and the fractional power NaN.
+        for bad in [-100.0, -150.0, -1e6] {
+            let avg = average_speedup_percent(&[bad, 10.0]);
+            assert!(avg.is_finite(), "speedup {bad} must not poison the mean: {avg}");
+            assert!((-100.0..0.0).contains(&avg), "{avg}");
+        }
+        // A lone catastrophic cell reads as (almost) total loss.
+        let lone = average_speedup_percent(&[-250.0]);
+        assert!(lone.is_finite() && lone <= -99.9, "{lone}");
+        // And ordinary negatives are untouched by the clamp.
+        let mild = average_speedup_percent(&[-10.0, -10.0]);
+        assert!((mild + 10.0).abs() < 1e-9, "{mild}");
     }
 
     #[test]

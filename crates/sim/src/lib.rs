@@ -31,9 +31,11 @@ mod memsys;
 mod report;
 mod simulator;
 mod stats;
+/// Parallel sweep harness: deterministic grid runs over a worker pool.
+pub mod sweep;
 
-pub use artifact::{json_report, RUN_SCHEMA};
-pub use config::{MachineConfig, PrefetcherKind};
+pub use artifact::{json_report, sweep_report, RUN_SCHEMA, SWEEP_SCHEMA};
+pub use config::{MachineConfig, ParsePrefetcherError, PrefetcherKind};
 pub use eventlog::{MemEvent, MemEventKind, MemLog, SharedMemLog};
 pub use experiment::{
     average_speedup_percent, run_config, run_paper_row, run_point, DEFAULT_SCALE,
@@ -42,3 +44,4 @@ pub use memsys::SimMemory;
 pub use report::{f2, pct, Table};
 pub use simulator::Simulation;
 pub use stats::SimStats;
+pub use sweep::{paper_cells, run_sweep, run_sweep_with, SweepCell, SweepOutcome, SweepProgress};

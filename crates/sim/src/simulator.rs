@@ -20,7 +20,7 @@ use psb_cpu::{DynInst, Pipeline};
 /// ```
 pub struct Simulation {
     config: MachineConfig,
-    trace: Vec<DynInst>,
+    trace: std::sync::Arc<Vec<DynInst>>,
     max_commits: u64,
     engine: Option<Box<dyn psb_core::Prefetcher>>,
     log: Option<crate::SharedMemLog>,
@@ -31,6 +31,19 @@ impl Simulation {
     /// Creates a run over `trace`, committing at most `max_commits`
     /// instructions (use `u64::MAX` to drain the trace).
     pub fn new(config: MachineConfig, trace: Vec<DynInst>, max_commits: u64) -> Self {
+        Simulation::new_shared(config, std::sync::Arc::new(trace), max_commits)
+    }
+
+    /// Like [`Simulation::new`], but over a shared trace (see
+    /// [`psb_workloads::SharedTrace`](psb_workloads::Benchmark::shared_trace)):
+    /// the run reads the instructions in place, so N simulations of one
+    /// benchmark share a single generated trace instead of owning N
+    /// copies. Results are identical either way.
+    pub fn new_shared(
+        config: MachineConfig,
+        trace: std::sync::Arc<Vec<DynInst>>,
+        max_commits: u64,
+    ) -> Self {
         Simulation { config, trace, max_commits, engine: None, log: None, obs: None }
     }
 
@@ -84,7 +97,13 @@ impl Simulation {
         if let Some(obs) = &self.obs {
             mem.attach_obs(obs);
         }
-        let cpu = Pipeline::new(self.config.cpu).run(self.trace, &mut mem, self.max_commits);
+        // `DynInst` is `Copy`, so feeding the pipeline from the shared
+        // trace costs the same element-wise moves a `Vec` drain would.
+        let cpu = Pipeline::new(self.config.cpu).run(
+            self.trace.iter().copied(),
+            &mut mem,
+            self.max_commits,
+        );
         // Close out the interval time series with a final partial epoch.
         mem.finish_sampling(psb_common::Cycle::new(cpu.cycles), cpu.committed);
         SimStats {

@@ -1,0 +1,106 @@
+//! Process-wide cache of generated benchmark traces.
+//!
+//! Sweeps run many machine configurations over the same `(benchmark,
+//! scale)` trace, and regenerating several hundred thousand instructions
+//! per cell dominated the harness's wall-clock. This module hands every
+//! caller a shared, immutable [`Arc`] of the trace instead: N configs of
+//! one benchmark share one generation.
+//!
+//! Generation is deduplicated across threads: the map lock is only held
+//! to look up or insert a per-key cell, never during generation, so two
+//! sweep workers racing for the *same* key block on that key's
+//! [`OnceLock`] (one generates, the other waits) while workers on
+//! *different* keys generate concurrently.
+//!
+//! Traces are retained until [`clear_trace_cache`] is called; a sweep
+//! binary that walks many scales can drop the old generation between
+//! phases.
+
+use crate::Benchmark;
+use psb_cpu::DynInst;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// An immutable, shareable benchmark trace.
+pub type SharedTrace = Arc<Vec<DynInst>>;
+
+/// Per-key generation cell, cloned out of the map so the map lock is
+/// never held while a trace generator runs.
+type TraceCell = Arc<OnceLock<SharedTrace>>;
+
+fn cache() -> &'static Mutex<HashMap<(Benchmark, u32), TraceCell>> {
+    static CACHE: OnceLock<Mutex<HashMap<(Benchmark, u32), TraceCell>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, HashMap<(Benchmark, u32), TraceCell>> {
+    // A generator panic cannot poison the map (generation happens outside
+    // the lock), so a poisoned guard still holds a consistent map.
+    match cache().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Benchmark {
+    /// Returns this benchmark's trace at `scale`, generating it on first
+    /// use and serving the cached [`Arc`] afterwards.
+    ///
+    /// Traces are deterministic (fixed-seed generators), so every caller
+    /// observes the exact instruction stream [`Benchmark::trace`] would
+    /// have produced — sharing changes memory traffic, never results.
+    pub fn shared_trace(self, scale: u32) -> SharedTrace {
+        let cell = lock().entry((self, scale)).or_default().clone();
+        cell.get_or_init(|| Arc::new(self.trace(scale))).clone()
+    }
+}
+
+/// Number of generated traces currently cached (diagnostics and tests).
+pub fn trace_cache_len() -> usize {
+    lock().values().filter(|c| c.get().is_some()).count()
+}
+
+/// Drops every cached trace, releasing the memory. Traces handed out
+/// earlier stay alive through their own `Arc`s; later `shared_trace`
+/// calls regenerate.
+pub fn clear_trace_cache() {
+    lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The cache is process-global and the harness runs tests on multiple
+    // threads, so everything — including the destructive clear — lives in
+    // one sequential test body.
+
+    #[test]
+    fn cache_shares_dedups_and_clears() {
+        // Cached lookups observe the exact generated stream and share one
+        // allocation.
+        let a = Benchmark::Turb3d.shared_trace(1);
+        assert_eq!(*a, Benchmark::Turb3d.trace(1));
+        let b = Benchmark::Turb3d.shared_trace(1);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one trace");
+        assert!(trace_cache_len() >= 1);
+
+        // Racing threads on one uncached key generate exactly once.
+        let handles: Vec<_> =
+            (0..4).map(|_| std::thread::spawn(|| Benchmark::Gs.shared_trace(1))).collect();
+        let traces: Vec<SharedTrace> =
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t), "racing threads must share one generation");
+        }
+
+        // Clearing releases cache entries but never live hand-outs, and
+        // later lookups regenerate the identical stream.
+        clear_trace_cache();
+        assert_eq!(trace_cache_len(), 0);
+        assert!(a.len() >= 300_000, "cleared cache must not invalidate live traces");
+        let regenerated = Benchmark::Turb3d.shared_trace(1);
+        assert_eq!(*a, *regenerated);
+        assert!(!Arc::ptr_eq(&a, &regenerated), "post-clear lookups regenerate");
+    }
+}

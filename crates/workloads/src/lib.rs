@@ -35,6 +35,7 @@
 
 mod benchmark;
 mod burg;
+mod cache;
 mod deltablue;
 mod gs;
 mod health;
@@ -45,6 +46,7 @@ mod trace;
 mod turb3d;
 
 pub use benchmark::{Benchmark, ParseBenchmarkError};
+pub use cache::{clear_trace_cache, trace_cache_len, SharedTrace};
 pub use heap::SyntheticHeap;
 pub use serial::{read_trace, write_trace};
 pub use trace::{find_control_flow_violation, TraceBuilder, TraceMix};

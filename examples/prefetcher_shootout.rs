@@ -6,9 +6,12 @@
 //! ```
 //!
 //! `scale` multiplies trace length (default 1 ≈ 300k instructions per
-//! benchmark; the bench harness uses 2).
+//! benchmark; the bench harness uses 2). All 36 cells run concurrently on
+//! the sweep work queue (`psb::sim::run_sweep`), sharing one generated
+//! trace per benchmark; the printed table is identical to the old
+//! serial run.
 
-use psb::sim::{run_paper_row, PrefetcherKind, Table};
+use psb::sim::{paper_cells, run_sweep_with, PrefetcherKind, Table};
 use psb::workloads::Benchmark;
 
 fn main() {
@@ -18,13 +21,17 @@ fn main() {
     headers.extend(PrefetcherKind::PAPER.iter().skip(1).map(|k| k.label().to_owned()));
     let mut table = Table::new(headers);
 
-    for bench in Benchmark::ALL {
-        eprintln!("running {bench} (6 configurations)...");
-        let row = run_paper_row(bench, scale);
-        let base = &row[0].1;
+    let cells = paper_cells(&Benchmark::ALL, scale);
+    let outcomes = run_sweep_with(&cells, 0, None, |p| {
+        eprintln!("[{}/{}] {}/{}", p.done, p.total, p.cell.bench.name(), p.cell.label());
+    });
+
+    let per_row = PrefetcherKind::PAPER.len();
+    for (bench, row) in Benchmark::ALL.iter().zip(outcomes.chunks(per_row)) {
+        let base = &row[0].stats;
         let mut cells = vec![bench.name().to_owned()];
-        for (_, stats) in &row[1..] {
-            cells.push(format!("{:+.1}%", stats.speedup_percent_over(base)));
+        for out in &row[1..] {
+            cells.push(format!("{:+.1}%", out.stats.speedup_percent_over(base)));
         }
         table.row(cells);
     }

@@ -40,11 +40,13 @@ use psb::workloads::Benchmark;
 fn usage() -> ! {
     eprintln!(
         "usage: psbsim [--prefetcher KIND] [--l1d GEOM] [--no-dis] \
-         [--scale N] [--max N] [--compare] [--json FILE] [--trace-out FILE] \
-         [--interval N] <benchmark>\n\
+         [--scale N] [--max N] [--compare] [--dump FILE] [--load FILE] \
+         [--victim N] [--csv] [--log N] [--log-last N] [--json FILE] \
+         [--trace-out FILE] [--interval N] [--bench NAME | <benchmark>]\n\
          kinds: none sequential next-line demand-markov fetch-directed pc-stride \
          2miss-rr 2miss-priority conf-rr conf-priority\n\
-         benchmarks: health burg deltablue gs sis turb3d"
+         benchmarks: health burg deltablue gs sis turb3d\n\
+         l1d geometries: 32k4 32k2 16k4"
     );
     std::process::exit(2);
 }
@@ -55,22 +57,6 @@ fn write_file(path: &str, contents: &str) {
         eprintln!("{path}: {e}");
         std::process::exit(1);
     }
-}
-
-fn parse_kind(s: &str) -> Option<PrefetcherKind> {
-    Some(match s {
-        "none" => PrefetcherKind::None,
-        "sequential" => PrefetcherKind::Sequential,
-        "next-line" => PrefetcherKind::NextLine,
-        "fetch-directed" => PrefetcherKind::FetchDirected,
-        "demand-markov" => PrefetcherKind::DemandMarkov,
-        "pc-stride" => PrefetcherKind::PcStride,
-        "2miss-rr" => PrefetcherKind::Psb2MissRr,
-        "2miss-priority" => PrefetcherKind::Psb2MissPriority,
-        "conf-rr" => PrefetcherKind::PsbConfRr,
-        "conf-priority" => PrefetcherKind::PsbConfPriority,
-        _ => return None,
-    })
 }
 
 fn report(label: &str, s: &SimStats) -> Vec<String> {
@@ -107,7 +93,14 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--prefetcher" => {
-                kind = args.next().as_deref().and_then(parse_kind).unwrap_or_else(|| usage())
+                kind = match args.next().as_deref().map(str::parse) {
+                    Some(Ok(k)) => k,
+                    Some(Err(e)) => {
+                        eprintln!("psbsim: {e}");
+                        usage()
+                    }
+                    None => usage(),
+                }
             }
             "--l1d" => {
                 l1d = match args.next().as_deref() {
@@ -150,9 +143,22 @@ fn main() {
                 Some(Ok(b)) if bench.is_none() => bench = Some(b),
                 _ => usage(),
             },
+            // Unknown flags are errors, never benchmark names — a typo
+            // like `--pefetcher` must not fall through to trace lookup.
+            other if other.starts_with('-') => {
+                eprintln!("psbsim: unknown option `{other}`");
+                usage()
+            }
             other => match other.parse() {
                 Ok(b) if bench.is_none() => bench = Some(b),
-                _ => usage(),
+                Ok(_) => {
+                    eprintln!("psbsim: benchmark given more than once");
+                    usage()
+                }
+                Err(e) => {
+                    eprintln!("psbsim: {e}");
+                    usage()
+                }
             },
         }
     }

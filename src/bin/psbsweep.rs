@@ -1,0 +1,238 @@
+//! `psbsweep` — the parallel sweep front end: a (benchmark × prefetcher
+//! × L1D-geometry) grid fanned out over a worker pool with shared-trace
+//! caching.
+//!
+//! ```text
+//! psbsweep [OPTIONS]
+//!
+//! OPTIONS:
+//!   --bench LIST       comma-separated benchmarks, or `all`
+//!                      (health burg deltablue gs sis turb3d) [default: all]
+//!   --prefetcher LIST  comma-separated kinds, `paper` (the six Figure-5
+//!                      configs) or `all`               [default: paper]
+//!   --l1d LIST         comma-separated geometries: 32k4 | 32k2 | 16k4
+//!                                                   [default: 32k4]
+//!   --scale N          trace scale                   [default: 1]
+//!   --max N            commit at most N instructions per cell
+//!   --threads N        worker threads (0 = one per core) [default: 0]
+//!   --csv              emit machine-readable CSV instead of a table
+//!   --json FILE        write the merged psb-sweep-v1 artifact
+//!   --quiet            suppress per-cell progress lines
+//! ```
+//!
+//! Output rows follow grid (submission) order — benchmark-major, then
+//! prefetcher, then geometry — and are bit-identical for every
+//! `--threads` value; only the wall-clock changes. When the grid
+//! includes the `none` baseline, a per-row `speedup` column reports each
+//! cell's IPC gain over the same benchmark/geometry/scale baseline.
+
+use psb::mem::CacheConfig;
+use psb::sim::{
+    f2, pct, run_sweep_with, MachineConfig, PrefetcherKind, SimStats, SweepCell, Table,
+};
+use psb::workloads::Benchmark;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: psbsweep [--bench LIST|all] [--prefetcher LIST|paper|all] \
+         [--l1d LIST] [--scale N] [--max N] [--threads N] [--csv] \
+         [--json FILE] [--quiet]\n\
+         kinds: none sequential next-line demand-markov fetch-directed pc-stride \
+         2miss-rr 2miss-priority conf-rr conf-priority\n\
+         benchmarks: health burg deltablue gs sis turb3d\n\
+         l1d geometries: 32k4 32k2 16k4"
+    );
+    std::process::exit(2);
+}
+
+fn parse_benches(spec: &str) -> Vec<Benchmark> {
+    if spec == "all" {
+        return Benchmark::ALL.to_vec();
+    }
+    spec.split(',')
+        .map(|name| {
+            name.parse().unwrap_or_else(|e| {
+                eprintln!("psbsweep: {e}");
+                usage()
+            })
+        })
+        .collect()
+}
+
+fn parse_kinds(spec: &str) -> Vec<PrefetcherKind> {
+    match spec {
+        "paper" => PrefetcherKind::PAPER.to_vec(),
+        "all" => PrefetcherKind::ALL.to_vec(),
+        _ => spec
+            .split(',')
+            .map(|name| {
+                name.parse().unwrap_or_else(|e| {
+                    eprintln!("psbsweep: {e}");
+                    usage()
+                })
+            })
+            .collect(),
+    }
+}
+
+fn parse_geometries(spec: &str) -> Vec<CacheConfig> {
+    spec.split(',')
+        .map(|name| match name {
+            "32k4" => CacheConfig::l1d_32k_4way(),
+            "32k2" => CacheConfig::l1d_32k_2way(),
+            "16k4" => CacheConfig::l1d_16k_4way(),
+            other => {
+                eprintln!("psbsweep: unknown l1d geometry `{other}` (expected 32k4, 32k2, 16k4)");
+                usage()
+            }
+        })
+        .collect()
+}
+
+/// Index of the `none`-prefetcher cell sharing `cell`'s benchmark,
+/// geometry and scale, for the speedup column.
+fn baseline_index(cells: &[SweepCell], cell: &SweepCell) -> Option<usize> {
+    cells.iter().position(|c| {
+        c.bench == cell.bench
+            && c.scale == cell.scale
+            && c.config.mem.l1d == cell.config.mem.l1d
+            && c.config.prefetcher == PrefetcherKind::None
+    })
+}
+
+fn table_row(cell: &SweepCell, stats: &SimStats, speedup: Option<f64>) -> Vec<String> {
+    vec![
+        cell.bench.name().to_owned(),
+        cell.label(),
+        f2(stats.ipc()),
+        f2(stats.l1d_miss_rate()),
+        f2(stats.avg_load_latency()),
+        pct(stats.l1_l2_bus_percent()),
+        pct(stats.prefetch_accuracy() * 100.0),
+        speedup.map_or_else(|| "-".to_owned(), |s| format!("{s:+.1}%")),
+    ]
+}
+
+fn main() {
+    let mut benches = Benchmark::ALL.to_vec();
+    let mut kinds = PrefetcherKind::PAPER.to_vec();
+    let mut geometries = vec![CacheConfig::l1d_32k_4way()];
+    let mut scale = 1u32;
+    let mut max = u64::MAX;
+    let mut threads = 0usize;
+    let mut csv = false;
+    let mut json_out: Option<String> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bench" => benches = parse_benches(&args.next().unwrap_or_else(|| usage())),
+            "--prefetcher" => kinds = parse_kinds(&args.next().unwrap_or_else(|| usage())),
+            "--l1d" => geometries = parse_geometries(&args.next().unwrap_or_else(|| usage())),
+            "--scale" => {
+                scale = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--max" => max = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--threads" => {
+                threads = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--csv" => csv = true,
+            "--json" => json_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("psbsweep: unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+    if benches.is_empty() || kinds.is_empty() || geometries.is_empty() {
+        eprintln!("psbsweep: empty grid");
+        usage()
+    }
+
+    // Grid order: benchmark-major, then prefetcher, then geometry — the
+    // submission order the output keeps regardless of worker scheduling.
+    let mut cells = Vec::new();
+    for &bench in &benches {
+        for &kind in &kinds {
+            for &l1d in &geometries {
+                let config = MachineConfig::baseline().with_prefetcher(kind).with_l1d(l1d);
+                cells.push(SweepCell::new(bench, config, scale).with_max_commits(max));
+            }
+        }
+    }
+
+    let obs = psb::obs::Obs::new();
+    eprintln!(
+        "sweeping {} cells ({} benchmarks x {} configs)...",
+        cells.len(),
+        benches.len(),
+        kinds.len() * geometries.len()
+    );
+    let start = std::time::Instant::now();
+    let outcomes = run_sweep_with(&cells, threads, Some(&obs), |p| {
+        if !quiet {
+            eprintln!(
+                "[{}/{}] {}/{} done in {:.2}s",
+                p.done,
+                p.total,
+                p.cell.bench.name(),
+                p.cell.label(),
+                p.wall_micros as f64 / 1e6
+            );
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let cell_secs: f64 = outcomes.iter().map(|o| o.wall_micros as f64 / 1e6).sum();
+    eprintln!(
+        "sweep finished in {wall:.2}s wall ({cell_secs:.2}s of cell work, {} workers)",
+        obs.counter("sweep.workers").get()
+    );
+
+    if let Some(path) = &json_out {
+        let doc = psb::sim::sweep_report(&cells, &outcomes);
+        if let Err(e) = std::fs::write(path, doc.to_string()) {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote sweep artifact to {path}");
+    }
+
+    let speedups: Vec<Option<f64>> = cells
+        .iter()
+        .zip(&outcomes)
+        .map(|(cell, out)| {
+            baseline_index(&cells, cell)
+                .filter(|&b| cells[b].config.prefetcher != cell.config.prefetcher)
+                .map(|b| out.stats.speedup_percent_over(&outcomes[b].stats))
+        })
+        .collect();
+
+    if csv {
+        println!("benchmark,config,scale,speedup_pct,{}", SimStats::CSV_HEADER);
+        for ((cell, out), speedup) in cells.iter().zip(&outcomes).zip(&speedups) {
+            println!(
+                "{},{},{},{},{}",
+                cell.bench.name(),
+                cell.label(),
+                cell.scale,
+                speedup.map_or_else(String::new, |s| format!("{s:.4}")),
+                out.stats.csv_row()
+            );
+        }
+        return;
+    }
+
+    let mut t = Table::new(
+        ["benchmark", "config", "IPC", "L1D MR", "ld-lat", "L1-L2 bus", "pf acc", "speedup"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for ((cell, out), speedup) in cells.iter().zip(&outcomes).zip(&speedups) {
+        t.row(table_row(cell, &out.stats, *speedup));
+    }
+    print!("{t}");
+}

@@ -3,26 +3,36 @@
 //! These use short commit windows so the whole file stays fast in debug
 //! builds; the paper-scale runs live in the `psb-bench` binaries.
 
-use psb::sim::{MachineConfig, PrefetcherKind, Simulation};
+use psb::sim::{run_sweep, MachineConfig, PrefetcherKind, Simulation, SweepCell};
 use psb::workloads::Benchmark;
 
 const WINDOW: u64 = 40_000;
 
 fn run(bench: Benchmark, kind: PrefetcherKind) -> psb::sim::SimStats {
     let cfg = MachineConfig::baseline().with_prefetcher(kind);
-    Simulation::new(cfg, bench.trace(1), WINDOW).run()
+    Simulation::new_shared(cfg, bench.shared_trace(1), WINDOW).run()
 }
 
 #[test]
 fn every_benchmark_completes_on_every_prefetcher() {
-    for bench in Benchmark::ALL {
-        for kind in [PrefetcherKind::None, PrefetcherKind::PsbConfPriority] {
-            let s = run(bench, kind);
-            assert!(s.cpu.committed >= WINDOW, "{bench}/{kind:?}: {}", s.cpu.committed);
-            assert!(s.ipc() > 0.0 && s.ipc() <= 8.0, "{bench}/{kind:?}: ipc {}", s.ipc());
-            assert!(s.l1d.accesses() > 0, "{bench}: no memory traffic?");
-            assert!(s.cpu.bpred.accuracy() > 0.5, "{bench}: branch accuracy collapsed");
-        }
+    // The full 12-cell grid goes through the sweep work queue: every
+    // worker runs against the shared trace cache and the wall-clock is
+    // that of the slowest cell, not the sum.
+    let cells: Vec<SweepCell> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|bench| {
+            [PrefetcherKind::None, PrefetcherKind::PsbConfPriority].into_iter().map(move |kind| {
+                SweepCell::new(bench, MachineConfig::baseline().with_prefetcher(kind), 1)
+                    .with_max_commits(WINDOW)
+            })
+        })
+        .collect();
+    for (cell, out) in cells.iter().zip(run_sweep(&cells, 0)) {
+        let (bench, kind, s) = (cell.bench, cell.config.prefetcher, out.stats);
+        assert!(s.cpu.committed >= WINDOW, "{bench}/{kind:?}: {}", s.cpu.committed);
+        assert!(s.ipc() > 0.0 && s.ipc() <= 8.0, "{bench}/{kind:?}: ipc {}", s.ipc());
+        assert!(s.l1d.accesses() > 0, "{bench}: no memory traffic?");
+        assert!(s.cpu.bpred.accuracy() > 0.5, "{bench}: branch accuracy collapsed");
     }
 }
 
@@ -42,9 +52,9 @@ fn psb_beats_base_on_the_flagship_pointer_benchmark() {
     // A longer window than the other tests: the Markov predictor needs a
     // full lap over health's patient lists before the streams pay off.
     let window = 130_000;
-    let trace = Benchmark::Health.trace(1);
-    let base = Simulation::new(MachineConfig::baseline(), trace.clone(), window).run();
-    let psb = Simulation::new(
+    let trace = Benchmark::Health.shared_trace(1);
+    let base = Simulation::new_shared(MachineConfig::baseline(), trace.clone(), window).run();
+    let psb = Simulation::new_shared(
         MachineConfig::baseline().with_prefetcher(PrefetcherKind::PsbConfPriority),
         trace,
         window,
@@ -97,9 +107,9 @@ fn prefetching_consumes_more_bus_bandwidth() {
 #[test]
 fn disambiguation_policies_order_correctly() {
     use psb::cpu::Disambiguation;
-    let trace = Benchmark::DeltaBlue.trace(1);
-    let perfect = Simulation::new(MachineConfig::baseline(), trace.clone(), WINDOW).run();
-    let nodis = Simulation::new(
+    let trace = Benchmark::DeltaBlue.shared_trace(1);
+    let perfect = Simulation::new_shared(MachineConfig::baseline(), trace.clone(), WINDOW).run();
+    let nodis = Simulation::new_shared(
         MachineConfig::baseline().with_disambiguation(Disambiguation::WaitForStores),
         trace,
         WINDOW,
@@ -116,9 +126,9 @@ fn disambiguation_policies_order_correctly() {
 #[test]
 fn smaller_cache_misses_more() {
     use psb::mem::CacheConfig;
-    let trace = Benchmark::Health.trace(1);
-    let big = Simulation::new(MachineConfig::baseline(), trace.clone(), WINDOW).run();
-    let small = Simulation::new(
+    let trace = Benchmark::Health.shared_trace(1);
+    let big = Simulation::new_shared(MachineConfig::baseline(), trace.clone(), WINDOW).run();
+    let small = Simulation::new_shared(
         MachineConfig::baseline().with_l1d(CacheConfig::l1d_16k_4way()),
         trace,
         WINDOW,
@@ -134,7 +144,7 @@ fn smaller_cache_misses_more() {
 fn custom_engine_injection_works() {
     use psb::core::{PsbPrefetcher, SbConfig};
     let cfg = MachineConfig::baseline();
-    let s = Simulation::new(cfg, Benchmark::DeltaBlue.trace(1), WINDOW)
+    let s = Simulation::new_shared(cfg, Benchmark::DeltaBlue.shared_trace(1), WINDOW)
         .with_engine(Box::new(PsbPrefetcher::psb(SbConfig::psb_conf_priority())))
         .run();
     assert!(s.prefetch.issued > 0);
@@ -145,8 +155,9 @@ fn event_log_records_the_access_mix() {
     use psb::sim::{MemEventKind, MemLog};
     let log = MemLog::shared(500);
     let cfg = MachineConfig::baseline().with_prefetcher(PrefetcherKind::PsbConfPriority);
-    let _ =
-        Simulation::new(cfg, Benchmark::Health.trace(1), 60_000).with_event_log(log.clone()).run();
+    let _ = Simulation::new_shared(cfg, Benchmark::Health.shared_trace(1), 60_000)
+        .with_event_log(log.clone())
+        .run();
     let l = log.borrow();
     assert!(l.is_full(), "a 60k-instruction run must produce 500 events");
     let kinds: std::collections::HashSet<_> = l.events().iter().map(|e| e.kind).collect();
@@ -162,11 +173,11 @@ fn event_log_records_the_access_mix() {
 
 #[test]
 fn trace_serialization_round_trips_through_the_simulator() {
-    let trace = Benchmark::Gs.trace(1);
+    let trace = Benchmark::Gs.shared_trace(1);
     let mut buf = Vec::new();
     psb::workloads::write_trace(&mut buf, &trace).unwrap();
     let back = psb::workloads::read_trace(&buf[..]).unwrap();
-    let a = Simulation::new(MachineConfig::baseline(), trace, 30_000).run();
+    let a = Simulation::new_shared(MachineConfig::baseline(), trace, 30_000).run();
     let b = Simulation::new(MachineConfig::baseline(), back, 30_000).run();
     assert_eq!(a.cpu.cycles, b.cpu.cycles, "serialized trace must simulate identically");
 }

@@ -285,8 +285,9 @@ pub fn lint_hashmap_report(rel_path: &str, source: &str) -> Vec<Finding> {
 /// `benches/` targets, xtask) or behind the report/obs layer, so
 /// figure scripts never have to scrape stray prints out of stdout.
 pub fn lint_println(rel_path: &str, source: &str) -> Vec<Finding> {
-    let in_library =
-        rel_path.starts_with("crates/") && rel_path.contains("/src/") && !rel_path.contains("/src/bin/");
+    let in_library = rel_path.starts_with("crates/")
+        && rel_path.contains("/src/")
+        && !rel_path.contains("/src/bin/");
     if !in_library {
         return Vec::new();
     }

@@ -10,6 +10,8 @@
 //! * Chrome trace — `psbsim --trace-out`: a `traceEvents` array whose
 //!   entries carry the keys Perfetto requires per phase.
 //! * `psb-bench-v1` — the bench harness's `BENCH_psb.json`.
+//! * `psb-sweep-v1` — `psbsweep --json`: one entry per grid cell with
+//!   the cell's coordinates and aggregate statistics.
 
 use psb_obs::json::{self, Json};
 use std::process::ExitCode;
@@ -45,6 +47,7 @@ fn validate_file(path: &str) -> Result<String, String> {
     match doc.get("schema").and_then(Json::as_str) {
         Some("psb-run-v1") => validate_run(&doc),
         Some("psb-bench-v1") => validate_bench(&doc),
+        Some("psb-sweep-v1") => validate_sweep(&doc),
         Some(other) => Err(format!("unknown schema {other:?}")),
         None if doc.get("traceEvents").is_some() => validate_trace(&doc),
         None => Err("no `schema` key and no `traceEvents`: not a known artifact".to_string()),
@@ -77,9 +80,7 @@ fn validate_run(doc: &Json) -> Result<String, String> {
             require_u64(lifecycle, key)?;
         }
     }
-    let epochs = require(doc, "epochs")?
-        .as_arr()
-        .ok_or("`epochs` is not an array")?;
+    let epochs = require(doc, "epochs")?.as_arr().ok_or("`epochs` is not an array")?;
     for (i, e) in epochs.iter().enumerate() {
         let start = require_u64(e, "start").map_err(|m| format!("epochs[{i}]: {m}"))?;
         let end = require_u64(e, "end").map_err(|m| format!("epochs[{i}]: {m}"))?;
@@ -92,9 +93,7 @@ fn validate_run(doc: &Json) -> Result<String, String> {
 }
 
 fn validate_trace(doc: &Json) -> Result<String, String> {
-    let events = require(doc, "traceEvents")?
-        .as_arr()
-        .ok_or("`traceEvents` is not an array")?;
+    let events = require(doc, "traceEvents")?.as_arr().ok_or("`traceEvents` is not an array")?;
     for (i, e) in events.iter().enumerate() {
         let ph = require(e, "ph")
             .and_then(|p| p.as_str().ok_or_else(|| "`ph` is not a string".to_string()))
@@ -114,9 +113,7 @@ fn validate_trace(doc: &Json) -> Result<String, String> {
 }
 
 fn validate_bench(doc: &Json) -> Result<String, String> {
-    let results = require(doc, "results")?
-        .as_arr()
-        .ok_or("`results` is not an array")?;
+    let results = require(doc, "results")?.as_arr().ok_or("`results` is not an array")?;
     for (i, r) in results.iter().enumerate() {
         require(r, "name")
             .and_then(|n| n.as_str().ok_or_else(|| "`name` is not a string".to_string()))
@@ -127,6 +124,28 @@ fn validate_bench(doc: &Json) -> Result<String, String> {
         require_u64(r, "iters").map_err(|m| format!("results[{i}]: {m}"))?;
     }
     Ok(format!("bench results, {} entry(ies)", results.len()))
+}
+
+fn validate_sweep(doc: &Json) -> Result<String, String> {
+    let cells = require(doc, "cells")?.as_arr().ok_or("`cells` is not an array")?;
+    for (i, c) in cells.iter().enumerate() {
+        require(c, "benchmark")
+            .and_then(|b| b.as_str().ok_or_else(|| "`benchmark` is not a string".to_string()))
+            .map_err(|m| format!("cells[{i}]: {m}"))?;
+        require(c, "config")
+            .and_then(|b| b.as_str().ok_or_else(|| "`config` is not a string".to_string()))
+            .map_err(|m| format!("cells[{i}]: {m}"))?;
+        require_u64(c, "scale").map_err(|m| format!("cells[{i}]: {m}"))?;
+        let agg = require(c, "aggregate").map_err(|m| format!("cells[{i}]: {m}"))?;
+        let cycles = require_u64(agg, "cycles").map_err(|m| format!("cells[{i}]: {m}"))?;
+        if cycles == 0 {
+            return Err(format!("cells[{i}]: aggregate.cycles is zero — empty cell?"));
+        }
+        require(agg, "ipc")
+            .and_then(|v| v.as_f64().ok_or_else(|| "`ipc` is not a number".to_string()))
+            .map_err(|m| format!("cells[{i}]: {m}"))?;
+    }
+    Ok(format!("sweep report, {} cell(s)", cells.len()))
 }
 
 #[cfg(test)]
@@ -166,6 +185,21 @@ mod tests {
 
         let bad = r#"{"schema":"psb-bench-v1","results":[{"name":"a"}]}"#;
         assert!(validate_bench(&json::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn sweep_cells_are_checked() {
+        let good = r#"{"schema":"psb-sweep-v1","cells":[
+            {"benchmark":"health","config":"Base","scale":1,
+             "aggregate":{"cycles":100,"ipc":0.5}}]}"#;
+        assert!(validate_sweep(&json::parse(good).unwrap()).is_ok());
+
+        let zero = json::parse(&good.replace("\"cycles\":100", "\"cycles\":0")).unwrap();
+        assert!(validate_sweep(&zero).unwrap_err().contains("cycles is zero"));
+
+        let bad = r#"{"schema":"psb-sweep-v1","cells":[{"benchmark":"health"}]}"#;
+        let err = validate_sweep(&json::parse(bad).unwrap()).unwrap_err();
+        assert!(err.contains("config"), "{err}");
     }
 
     #[test]
