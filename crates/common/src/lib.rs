@@ -33,6 +33,8 @@
 mod addr;
 mod counter;
 mod cycle;
+/// Metric handles (counters, histograms, gauges) shared with `psb-obs`.
+pub mod metrics;
 mod rng;
 /// Streaming statistics: counters, ratios, running means, histograms.
 pub mod stats;

@@ -1,0 +1,133 @@
+//! Metric handles: counters, log2-bucketed histograms and sampled
+//! gauges behind cheap cloneable cells.
+//!
+//! These are the hot-path half of the observability layer. Components
+//! hold an `Option<Counter>`-style handle, acquired once at attach
+//! time, and update it inline — an `Rc<Cell<u64>>` increment for
+//! counters, a `RefCell` borrow for histograms and gauges. Components
+//! that are never attached pay nothing: their fields stay `None`.
+//!
+//! The handles live in `psb-common` (not `psb-obs`) so that core
+//! simulation crates can *report* metrics without depending on the
+//! observability hub; the registry that names, collects and serializes
+//! handles stays in `psb-obs` (`psb_obs::metrics::Registry`), which
+//! re-exports these types.
+
+use crate::stats::{GaugeStats, Log2Histogram};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A monotonically increasing counter handle. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// Creates a detached counter (not registered anywhere).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.set(self.cell.get() + 1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.set(self.cell.get() + n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.get()
+    }
+}
+
+/// A log2-bucketed histogram handle. Cloning shares the storage.
+#[derive(Clone, Debug, Default)]
+pub struct Hist {
+    inner: Rc<RefCell<Log2Histogram>>,
+}
+
+impl Hist {
+    /// Creates a detached histogram.
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, sample: u64) {
+        self.inner.borrow_mut().add(sample);
+    }
+
+    /// Copies out the underlying accumulator.
+    pub fn snapshot(&self) -> Log2Histogram {
+        self.inner.borrow().clone()
+    }
+}
+
+/// A sampled gauge handle. Cloning shares the storage.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    inner: Rc<RefCell<GaugeStats>>,
+}
+
+impl Gauge {
+    /// Creates a detached gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Records the gauge's current value.
+    #[inline]
+    pub fn sample(&self, value: u64) {
+        self.inner.borrow_mut().sample(value);
+    }
+
+    /// Copies out the underlying accumulator.
+    pub fn snapshot(&self) -> GaugeStats {
+        self.inner.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_clones_share_state() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    fn hist_snapshot_reflects_observations() {
+        let h = Hist::new();
+        h.observe(5);
+        h.observe(6);
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 2);
+        assert_eq!(snap.max(), Some(6));
+    }
+
+    #[test]
+    fn gauge_snapshot_tracks_extremes() {
+        let g = Gauge::new();
+        g.sample(3);
+        g.sample(1);
+        let snap = g.snapshot();
+        assert_eq!(snap.last(), Some(1));
+        assert_eq!(snap.max(), Some(3));
+        assert_eq!(snap.samples(), 2);
+    }
+}

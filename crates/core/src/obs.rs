@@ -1,0 +1,139 @@
+//! The observability interface *exported by* the prefetch engines.
+//!
+//! `psb-core` used to depend on the `psb-obs` hub directly, which put the
+//! whole observability stack (registry, tracing, lifecycle log) below the
+//! hardware model in the crate DAG. This module inverts that dependency:
+//! the engines report through the [`StreamObs`] trait, and whoever owns a
+//! concrete hub (the simulator) implements the trait as a thin bridge.
+//! Core itself now only depends on the metric *handles* in `psb-common`.
+//!
+//! Every method has a no-op default, so a consumer that only cares about
+//! one hook (say, counters) implements exactly that one.
+
+use psb_common::metrics::Counter;
+use std::rc::Rc;
+
+/// A sink for stream-engine observability events.
+///
+/// Methods mirror the prefetch lifecycle of the paper: a prediction is
+/// accepted ([`predicted`](StreamObs::predicted)), issued to the bus
+/// ([`issued`](StreamObs::issued)), arrives
+/// ([`filled`](StreamObs::filled) /
+/// [`filled_block`](StreamObs::filled_block)), and is either consumed
+/// ([`used`](StreamObs::used)), raced by the demand stream
+/// ([`demand_raced`](StreamObs::demand_raced)) or thrown away at
+/// reallocation ([`evicted_unused_block`](StreamObs::evicted_unused_block),
+/// with the aggregate count on
+/// [`stream_allocated`](StreamObs::stream_allocated)).
+///
+/// Cycles and addresses are plain `u64` so implementors need nothing
+/// beyond `psb-common`.
+pub trait StreamObs {
+    /// A counter handle for `name`. The default hands back a detached
+    /// counter that counts into the void.
+    fn counter(&self, name: &str) -> Counter {
+        let _ = name;
+        Counter::new()
+    }
+
+    /// True when the sink wants per-block events
+    /// ([`filled_block`](StreamObs::filled_block),
+    /// [`evicted_unused_block`](StreamObs::evicted_unused_block),
+    /// [`buffer_occupancy`](StreamObs::buffer_occupancy)), which cost the
+    /// engine extra entry scans. Cached at attach time.
+    fn wants_block_events(&self) -> bool {
+        false
+    }
+
+    /// Names the trace track of stream buffer `buffer`.
+    fn name_buffer_track(&self, buffer: usize, name: &str) {
+        let _ = (buffer, name);
+    }
+
+    /// A stream buffer was (re)allocated to a new stream. `displaced`
+    /// counts the not-yet-used entries thrown away by the reallocation.
+    fn stream_allocated(&self, now: u64, buffer: usize, pc: u64, confidence: u64, displaced: u64) {
+        let _ = (now, buffer, pc, confidence, displaced);
+    }
+
+    /// A block displaced unused at reallocation (per-block detail).
+    fn evicted_unused_block(&self, now: u64, buffer: usize, block_base: u64) {
+        let _ = (now, buffer, block_base);
+    }
+
+    /// A prediction was accepted into a stream-buffer entry.
+    fn predicted(&self, now: u64, buffer: usize, block_base: u64) {
+        let _ = (now, buffer, block_base);
+    }
+
+    /// A prefetch was issued at `now` and will arrive at `ready`.
+    fn issued(&self, now: u64, buffer: usize, block_base: u64, ready: u64) {
+        let _ = (now, buffer, block_base, ready);
+    }
+
+    /// `count` prefetched blocks arrived in `buffer` this cycle.
+    fn filled(&self, now: u64, buffer: usize, count: u64) {
+        let _ = (now, buffer, count);
+    }
+
+    /// A prefetched block arrived (per-block detail).
+    fn filled_block(&self, now: u64, buffer: usize, block_base: u64) {
+        let _ = (now, buffer, block_base);
+    }
+
+    /// A demand access consumed a prefetched block; `late_by` is the
+    /// residual fill latency it had to wait out.
+    fn used(&self, now: u64, buffer: usize, block_base: u64, late_by: u64) {
+        let _ = (now, buffer, block_base, late_by);
+    }
+
+    /// The demand stream reached an allocated entry before it issued.
+    fn demand_raced(&self, now: u64, buffer: usize, block_base: u64) {
+        let _ = (now, buffer, block_base);
+    }
+
+    /// Samples a buffer's occupancy/priority counters (per-block detail).
+    fn buffer_occupancy(&self, now: u64, buffer: usize, ready: u64, in_flight: u64, priority: u64) {
+        let _ = (now, buffer, ready, in_flight, priority);
+    }
+}
+
+impl std::fmt::Debug for dyn StreamObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn StreamObs")
+    }
+}
+
+/// A shared, cheaply-cloneable observability sink handle — the form the
+/// engines store. `Rc` (not `Arc`): the hub it typically bridges to is
+/// single-threaded by design, one per sweep worker.
+pub type SharedStreamObs = Rc<dyn StreamObs>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The defaults make an empty impl a complete, silent sink.
+    struct Null;
+    impl StreamObs for Null {}
+
+    #[test]
+    fn default_methods_are_silent_noops() {
+        let obs: SharedStreamObs = Rc::new(Null);
+        assert!(!obs.wants_block_events());
+        let c = obs.counter("anything");
+        c.inc();
+        assert_eq!(c.get(), 1, "detached counters still count locally");
+        obs.name_buffer_track(0, "sb-0");
+        obs.stream_allocated(1, 0, 0x1000, 3, 0);
+        obs.predicted(2, 0, 0x40);
+        obs.issued(3, 0, 0x40, 13);
+        obs.filled(13, 0, 1);
+        obs.filled_block(13, 0, 0x40);
+        obs.used(14, 0, 0x40, 0);
+        obs.demand_raced(15, 0, 0x80);
+        obs.evicted_unused_block(16, 0, 0xc0);
+        obs.buffer_occupancy(17, 0, 1, 2, 3);
+        assert_eq!(format!("{:?}", &*obs), "dyn StreamObs");
+    }
+}

@@ -90,10 +90,10 @@ pub trait StreamPredictor {
     /// shared single-ported predictor).
     fn predict(&self, state: &mut StreamState) -> Option<Addr>;
 
-    /// Attaches the observability hub: predictors with internal stages
+    /// Attaches an observability sink: predictors with internal stages
     /// worth watching (e.g. the SFM's stride filter in front of its
     /// Markov table) register counters here. The default is a no-op.
-    fn attach_obs(&mut self, obs: &psb_obs::Obs) {
+    fn attach_obs(&mut self, obs: &dyn crate::obs::StreamObs) {
         let _ = obs;
     }
 }

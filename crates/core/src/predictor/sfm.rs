@@ -1,9 +1,10 @@
 //! The Stride-Filtered Markov (SFM) predictor — the predictor the paper
 //! uses to direct its stream buffers.
 
+use crate::obs::StreamObs;
 use crate::predictor::{AllocInfo, MarkovTable, StreamPredictor, StreamState, StrideTable};
+use psb_common::metrics::Counter;
 use psb_common::Addr;
-use psb_obs::{Counter, Obs};
 
 /// A two-delta stride table in front of a differential Markov table
 /// (Figure 3 of the paper).
@@ -133,7 +134,7 @@ impl StreamPredictor for SfmPredictor {
         Some(next)
     }
 
-    fn attach_obs(&mut self, obs: &Obs) {
+    fn attach_obs(&mut self, obs: &dyn StreamObs) {
         self.obs_stride_filtered = Some(obs.counter("sfm.train.stride_filtered"));
         self.obs_markov_trained = Some(obs.counter("sfm.train.markov_updates"));
     }

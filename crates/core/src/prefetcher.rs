@@ -110,10 +110,10 @@ pub trait Prefetcher {
         let _ = (now, pc);
     }
 
-    /// Attaches the observability hub: the engine registers its metric
+    /// Attaches an observability sink: the engine registers its metric
     /// handles and starts reporting prefetch-lifecycle events through
-    /// `obs`. The default ignores the hub (e.g. [`NoPrefetch`]).
-    fn attach_obs(&mut self, obs: &psb_obs::Obs) {
+    /// `obs`. The default ignores the sink (e.g. [`NoPrefetch`]).
+    fn attach_obs(&mut self, obs: &crate::obs::SharedStreamObs) {
         let _ = obs;
     }
 

@@ -1,12 +1,12 @@
 //! The stream-buffer prefetch engine.
 
+use crate::obs::SharedStreamObs;
 use crate::predictor::{
     normalize_stride, PcStridePredictor, SequentialPredictor, SfmPredictor, StreamPredictor,
 };
 use crate::prefetcher::{PrefetchSink, PrefetchStats, Prefetcher, SbLookup};
 use crate::stream::{AllocFilter, SbConfig, SbEntry, Scheduler, StreamBuffer};
 use psb_common::{Addr, Cycle};
-use psb_obs::Obs;
 
 /// Which shared resource a buffer is competing for this cycle.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -55,8 +55,8 @@ pub struct StreamEngine<P> {
     rr_predict: usize,
     rr_prefetch: usize,
     name: String,
-    /// Observability hub, when attached; `None` costs nothing.
-    obs: Option<Obs>,
+    /// Observability sink, when attached; `None` costs nothing.
+    obs: Option<SharedStreamObs>,
     /// Cached at attach time: whether the hub wants per-block events
     /// (tracing or lifecycle logging), which require extra entry scans.
     obs_detail: bool,
@@ -493,12 +493,12 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
         self.audit_streams(now);
     }
 
-    fn attach_obs(&mut self, obs: &Obs) {
+    fn attach_obs(&mut self, obs: &SharedStreamObs) {
         self.obs_detail = obs.wants_block_events();
         for i in 0..self.buffers.len() {
             obs.name_buffer_track(i, &format!("stream-buffer-{i}"));
         }
-        self.predictor.attach_obs(obs);
+        self.predictor.attach_obs(obs.as_ref());
         self.obs = Some(obs.clone());
     }
 
@@ -514,7 +514,71 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::StreamObs;
     use crate::prefetcher::TestSink;
+    use psb_obs::Obs;
+    use std::rc::Rc;
+
+    /// Bridges the dev-only `psb_obs::Obs` hub onto the engine's sink
+    /// trait (production code uses the simulator's own bridge).
+    struct ObsBridge(Obs);
+
+    impl StreamObs for ObsBridge {
+        fn counter(&self, name: &str) -> psb_common::metrics::Counter {
+            self.0.counter(name)
+        }
+        fn wants_block_events(&self) -> bool {
+            self.0.wants_block_events()
+        }
+        fn name_buffer_track(&self, buffer: usize, name: &str) {
+            self.0.name_buffer_track(buffer, name);
+        }
+        fn stream_allocated(
+            &self,
+            now: u64,
+            buffer: usize,
+            pc: u64,
+            confidence: u64,
+            displaced: u64,
+        ) {
+            self.0.stream_allocated(now, buffer, pc, confidence, displaced);
+        }
+        fn evicted_unused_block(&self, now: u64, buffer: usize, block_base: u64) {
+            self.0.evicted_unused_block(now, buffer, block_base);
+        }
+        fn predicted(&self, now: u64, buffer: usize, block_base: u64) {
+            self.0.predicted(now, buffer, block_base);
+        }
+        fn issued(&self, now: u64, buffer: usize, block_base: u64, ready: u64) {
+            self.0.issued(now, buffer, block_base, ready);
+        }
+        fn filled(&self, now: u64, buffer: usize, count: u64) {
+            self.0.filled(now, buffer, count);
+        }
+        fn filled_block(&self, now: u64, buffer: usize, block_base: u64) {
+            self.0.filled_block(now, buffer, block_base);
+        }
+        fn used(&self, now: u64, buffer: usize, block_base: u64, late_by: u64) {
+            self.0.used(now, buffer, block_base, late_by);
+        }
+        fn demand_raced(&self, now: u64, buffer: usize, block_base: u64) {
+            self.0.demand_raced(now, buffer, block_base);
+        }
+        fn buffer_occupancy(
+            &self,
+            now: u64,
+            buffer: usize,
+            ready: u64,
+            in_flight: u64,
+            priority: u64,
+        ) {
+            self.0.buffer_occupancy(now, buffer, ready, in_flight, priority);
+        }
+    }
+
+    fn shared(obs: &Obs) -> SharedStreamObs {
+        Rc::new(ObsBridge(obs.clone()))
+    }
 
     /// Trains a strided PC enough to open every filter, then allocates.
     fn engine_with_stream(config: SbConfig) -> StrideStreamBuffers {
@@ -827,7 +891,7 @@ mod tests {
         let obs = Obs::new();
         obs.enable_trace(1024);
         obs.enable_lifecycle_log();
-        e.attach_obs(&obs);
+        e.attach_obs(&shared(&obs));
         let mut sink = TestSink::new(5);
         for c in 0..20 {
             e.tick(Cycle::new(c), &mut sink);
@@ -860,7 +924,7 @@ mod tests {
         let mut e =
             StreamEngine::new(config, PcStridePredictor::paper_baseline(), "test".to_owned());
         let obs = Obs::new();
-        e.attach_obs(&obs);
+        e.attach_obs(&shared(&obs));
         let pc = Addr::new(0x1000);
         for i in 0..5u64 {
             e.train(Cycle::ZERO, pc, Addr::new(0x10_0000 + 0x40 * i));

@@ -1,0 +1,146 @@
+//! Keyed exactly-once initialization: a map of lazily generated,
+//! shareable values where racing initializers for the *same* key block
+//! on one generation while *different* keys generate concurrently.
+//!
+//! This is the synchronization pattern behind the workloads trace cache
+//! (`Benchmark::shared_trace`): the map lock is only held to look up or
+//! insert a per-key cell, never while the (potentially expensive)
+//! generator runs. Because the implementation is written against the
+//! [`crate::sync`] shims, `cargo xtask model` explores its
+//! interleavings directly — the code being model-checked is the code
+//! production runs.
+//!
+//! The backing store is an insertion-ordered vector, not a `HashMap`:
+//! key counts are small (a handful of benchmark/scale pairs), the
+//! linear probe is cheaper than hashing at that size, iteration order
+//! is deterministic, and `new` stays `const` so a `KeyedOnce` can back
+//! a process-wide `static` directly.
+
+use crate::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::Arc;
+
+type Slot<K, V> = (K, Arc<OnceLock<V>>);
+
+/// A concurrent map from `K` to a value generated exactly once per key.
+///
+/// Values are handed out by clone; in practice `V` is an `Arc<...>` so
+/// a clone is a refcount bump and clearing the map never invalidates
+/// values already handed out.
+#[derive(Debug)]
+pub struct KeyedOnce<K, V> {
+    map: Mutex<Vec<Slot<K, V>>>,
+}
+
+impl<K: Eq + Clone, V: Clone> KeyedOnce<K, V> {
+    /// Creates an empty map. `const`, so a `KeyedOnce` can back a
+    /// process-wide `static` directly.
+    pub const fn new() -> KeyedOnce<K, V> {
+        KeyedOnce { map: Mutex::new(Vec::new()) }
+    }
+
+    /// The map lock. A generator panic cannot poison the map (generation
+    /// happens outside the lock), so a poisoned guard still holds a
+    /// consistent map and is safe to use.
+    fn lock(&self) -> MutexGuard<'_, Vec<Slot<K, V>>> {
+        match self.map.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns the value for `key`, running `init` to generate it if no
+    /// racing caller has. Racing callers for one key block on the key's
+    /// cell (one generates, the rest wait); callers for different keys
+    /// generate concurrently because the map lock is released before
+    /// `init` runs.
+    ///
+    /// If `init` panics the cell is left uninitialized and the next
+    /// caller retries, matching `std::sync::OnceLock` semantics.
+    pub fn get_or_init(&self, key: K, init: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut map = self.lock();
+            match map.iter().find(|(k, _)| *k == key) {
+                Some((_, cell)) => cell.clone(),
+                None => {
+                    let cell: Arc<OnceLock<V>> = Arc::new(OnceLock::new());
+                    map.push((key, cell.clone()));
+                    cell
+                }
+            }
+        };
+        cell.get_or_init(init).clone()
+    }
+
+    /// Number of keys whose value has finished generating (diagnostics
+    /// and tests; keys with an in-flight generation are not counted).
+    pub fn initialized_len(&self) -> usize {
+        self.lock().iter().filter(|(_, c)| c.get().is_some()).count()
+    }
+
+    /// Drops every cached entry. Values handed out earlier stay alive
+    /// through their own clones (for `V = Arc<...>`, their own
+    /// refcount); generations in flight complete against their
+    /// now-orphaned cell and later lookups regenerate.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+impl<K: Eq + Clone, V: Clone> Default for KeyedOnce<K, V> {
+    fn default() -> KeyedOnce<K, V> {
+        KeyedOnce::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_once_and_shares() {
+        let m: KeyedOnce<u32, Arc<u32>> = KeyedOnce::new();
+        let a = m.get_or_init(7, || Arc::new(70));
+        let b = m.get_or_init(7, || unreachable!("second init for a cached key"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(m.initialized_len(), 1);
+    }
+
+    #[test]
+    fn clear_preserves_live_values_and_regenerates() {
+        let m: KeyedOnce<u32, Arc<u32>> = KeyedOnce::new();
+        let a = m.get_or_init(1, || Arc::new(10));
+        m.clear();
+        assert_eq!(m.initialized_len(), 0);
+        assert_eq!(*a, 10, "clear must not invalidate live hand-outs");
+        let b = m.get_or_init(1, || Arc::new(10));
+        assert!(!Arc::ptr_eq(&a, &b), "post-clear lookups regenerate");
+    }
+
+    #[test]
+    fn panicking_init_leaves_key_retryable() {
+        let m: KeyedOnce<u32, u32> = KeyedOnce::new();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.get_or_init(3, || panic!("generator failed"))
+        }));
+        assert!(boom.is_err());
+        assert_eq!(m.initialized_len(), 0);
+        assert_eq!(m.get_or_init(3, || 33), 33);
+    }
+
+    #[test]
+    fn distinct_keys_are_independent() {
+        let m: KeyedOnce<(u8, u32), u64> = KeyedOnce::new();
+        assert_eq!(m.get_or_init((0, 1), || 1), 1);
+        assert_eq!(m.get_or_init((0, 2), || 2), 2);
+        assert_eq!(m.get_or_init((1, 1), || 3), 3);
+        assert_eq!(m.initialized_len(), 3);
+    }
+
+    #[test]
+    fn works_as_a_static() {
+        static S: KeyedOnce<u8, u8> = KeyedOnce::new();
+        assert_eq!(S.get_or_init(1, || 11), 11);
+        assert_eq!(S.get_or_init(1, || unreachable!()), 11);
+        S.clear();
+    }
+}

@@ -24,88 +24,12 @@
 //! ```
 
 use crate::json::Json;
-use psb_common::stats::{GaugeStats, Log2Histogram};
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use psb_common::stats::Log2Histogram;
 
-/// A monotonically increasing counter handle. Cloning shares the cell.
-#[derive(Clone, Debug, Default)]
-pub struct Counter {
-    cell: Rc<Cell<u64>>,
-}
-
-impl Counter {
-    /// Creates a detached counter (not registered anywhere).
-    pub fn new() -> Counter {
-        Counter::default()
-    }
-
-    /// Adds one.
-    #[inline]
-    pub fn inc(&self) {
-        self.cell.set(self.cell.get() + 1);
-    }
-
-    /// Adds `n`.
-    #[inline]
-    pub fn add(&self, n: u64) {
-        self.cell.set(self.cell.get() + n);
-    }
-
-    /// Current value.
-    #[inline]
-    pub fn get(&self) -> u64 {
-        self.cell.get()
-    }
-}
-
-/// A log2-bucketed histogram handle. Cloning shares the storage.
-#[derive(Clone, Debug, Default)]
-pub struct Hist {
-    inner: Rc<RefCell<Log2Histogram>>,
-}
-
-impl Hist {
-    /// Creates a detached histogram.
-    pub fn new() -> Hist {
-        Hist::default()
-    }
-
-    /// Records one sample.
-    #[inline]
-    pub fn observe(&self, sample: u64) {
-        self.inner.borrow_mut().add(sample);
-    }
-
-    /// Copies out the underlying accumulator.
-    pub fn snapshot(&self) -> Log2Histogram {
-        self.inner.borrow().clone()
-    }
-}
-
-/// A sampled gauge handle. Cloning shares the storage.
-#[derive(Clone, Debug, Default)]
-pub struct Gauge {
-    inner: Rc<RefCell<GaugeStats>>,
-}
-
-impl Gauge {
-    /// Creates a detached gauge.
-    pub fn new() -> Gauge {
-        Gauge::default()
-    }
-
-    /// Records the gauge's current value.
-    #[inline]
-    pub fn sample(&self, value: u64) {
-        self.inner.borrow_mut().sample(value);
-    }
-
-    /// Copies out the underlying accumulator.
-    pub fn snapshot(&self) -> GaugeStats {
-        self.inner.borrow().clone()
-    }
-}
+// The handle types live in psb-common so core crates can report metrics
+// without depending on this hub; re-exported here to keep existing
+// `psb_obs::metrics::{Counter, Hist, Gauge}` paths working.
+pub use psb_common::metrics::{Counter, Gauge, Hist};
 
 /// A named, insertion-ordered collection of metric handles.
 ///

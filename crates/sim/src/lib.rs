@@ -28,6 +28,8 @@ mod config;
 mod eventlog;
 mod experiment;
 mod memsys;
+/// Generic ordered worker pool (model-checked via `cargo xtask model`).
+pub mod pool;
 mod report;
 mod simulator;
 mod stats;
@@ -41,7 +43,11 @@ pub use experiment::{
     average_speedup_percent, run_config, run_paper_row, run_point, DEFAULT_SCALE,
 };
 pub use memsys::SimMemory;
+pub use pool::{run_ordered, PoolPanic};
 pub use report::{f2, pct, Table};
 pub use simulator::Simulation;
 pub use stats::SimStats;
-pub use sweep::{paper_cells, run_sweep, run_sweep_with, SweepCell, SweepOutcome, SweepProgress};
+pub use sweep::{
+    paper_cells, run_sweep, run_sweep_with, try_run_sweep_with, SweepCell, SweepError,
+    SweepOutcome, SweepProgress,
+};

@@ -3,10 +3,61 @@
 use crate::eventlog::{MemEvent, MemEventKind, SharedMemLog};
 use crate::MachineConfig;
 use psb_common::{Addr, Cycle};
-use psb_core::{PrefetchSink, Prefetcher, SbLookup};
+use psb_core::{PrefetchSink, Prefetcher, SbLookup, SharedStreamObs, StreamObs};
 use psb_cpu::MemSystem;
 use psb_mem::{L1Access, L1Cache, LowerMemory, Tlb, VictimCache};
 use psb_obs::{IntervalSample, LifeStage, Obs};
+use std::rc::Rc;
+
+/// Bridges the observability hub onto the core engines' [`StreamObs`]
+/// sink trait. Core crates no longer depend on `psb-obs` (layering:
+/// hardware model below observability); this newtype is where the
+/// simulator reconnects the two.
+struct ObsBridge(Obs);
+
+impl StreamObs for ObsBridge {
+    fn counter(&self, name: &str) -> psb_common::metrics::Counter {
+        self.0.counter(name)
+    }
+    fn wants_block_events(&self) -> bool {
+        self.0.wants_block_events()
+    }
+    fn name_buffer_track(&self, buffer: usize, name: &str) {
+        self.0.name_buffer_track(buffer, name);
+    }
+    fn stream_allocated(&self, now: u64, buffer: usize, pc: u64, confidence: u64, displaced: u64) {
+        self.0.stream_allocated(now, buffer, pc, confidence, displaced);
+    }
+    fn evicted_unused_block(&self, now: u64, buffer: usize, block_base: u64) {
+        self.0.evicted_unused_block(now, buffer, block_base);
+    }
+    fn predicted(&self, now: u64, buffer: usize, block_base: u64) {
+        self.0.predicted(now, buffer, block_base);
+    }
+    fn issued(&self, now: u64, buffer: usize, block_base: u64, ready: u64) {
+        self.0.issued(now, buffer, block_base, ready);
+    }
+    fn filled(&self, now: u64, buffer: usize, count: u64) {
+        self.0.filled(now, buffer, count);
+    }
+    fn filled_block(&self, now: u64, buffer: usize, block_base: u64) {
+        self.0.filled_block(now, buffer, block_base);
+    }
+    fn used(&self, now: u64, buffer: usize, block_base: u64, late_by: u64) {
+        self.0.used(now, buffer, block_base, late_by);
+    }
+    fn demand_raced(&self, now: u64, buffer: usize, block_base: u64) {
+        self.0.demand_raced(now, buffer, block_base);
+    }
+    fn buffer_occupancy(&self, now: u64, buffer: usize, ready: u64, in_flight: u64, priority: u64) {
+        self.0.buffer_occupancy(now, buffer, ready, in_flight, priority);
+    }
+}
+
+/// Wraps the hub in a shareable [`StreamObs`] handle for the engines.
+fn stream_obs(obs: &Obs) -> SharedStreamObs {
+    Rc::new(ObsBridge(obs.clone()))
+}
 
 /// The lower world shared by demand misses and prefetches: the L2 +
 /// memory system and the data TLB. Split out so the prefetcher can borrow
@@ -128,7 +179,7 @@ impl SimMemory {
             // prefetch-lifecycle events into the log too; re-attach the
             // prefetcher so it refreshes its cached event-detail flag.
             obs.enable_lifecycle_log();
-            self.prefetcher.attach_obs(obs);
+            self.prefetcher.attach_obs(&stream_obs(obs));
         }
     }
 
@@ -149,7 +200,7 @@ impl SimMemory {
             // caches whether block-level lifecycle events are wanted.
             obs.enable_lifecycle_log();
         }
-        self.prefetcher.attach_obs(obs);
+        self.prefetcher.attach_obs(&stream_obs(obs));
         if let Some(every) = obs.interval_every() {
             self.sample_every = every;
             self.next_sample = every;

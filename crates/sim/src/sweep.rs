@@ -6,11 +6,11 @@
 //! benchmark's trace once per cell and leaves every core but one idle.
 //! This module fixes both:
 //!
-//! * **Work queue.** [`run_sweep`] fans the cells out across a pool of
-//!   `std::thread` workers (one per available core by default). Workers
-//!   claim cells from a shared atomic cursor, so the pool stays busy
-//!   even when cell costs are wildly uneven (a `sis` run costs ~10× a
-//!   `turb3d` run at equal scale).
+//! * **Work queue.** [`run_sweep`] fans the cells out across the
+//!   ordered worker pool in [`crate::pool`] (one worker per available
+//!   core by default). Workers claim cells from a shared atomic cursor,
+//!   so the pool stays busy even when cell costs are wildly uneven (a
+//!   `sis` run costs ~10× a `turb3d` run at equal scale).
 //! * **Trace sharing.** Workers fetch traces through
 //!   [`Benchmark::shared_trace`], so N configurations of one benchmark
 //!   share a single generated trace instead of regenerating it N times.
@@ -22,12 +22,17 @@
 //! including 1; only the wall-clock (and the [`SweepOutcome::wall_micros`]
 //! timings, which are reported for progress display but deliberately
 //! kept out of the `psb-sweep-v1` artifact) varies between runs.
+//!
+//! **Failure.** A panicking cell (a deadlocked or asserting simulation
+//! is a bug, never a legal outcome) does not hang or silently kill the
+//! sweep: [`try_run_sweep_with`] drains the remaining cells, joins
+//! every worker, and returns a [`SweepError`] naming the cell —
+//! benchmark, machine label and scale — that died.
 
+use crate::pool::run_ordered;
 use crate::{MachineConfig, PrefetcherKind, SimStats, Simulation};
 use psb_obs::Obs;
 use psb_workloads::Benchmark;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// One point of a sweep grid: a benchmark, a full machine configuration
 /// and a trace scale, plus an optional commit cap for test-sized runs.
@@ -102,6 +107,39 @@ pub struct SweepProgress<'a> {
     pub wall_micros: u64,
 }
 
+/// A sweep cell whose simulation panicked, with enough identity to
+/// reproduce it: `psbsweep --benches <bench> --prefetchers <label>` at
+/// the reported scale re-runs exactly this cell.
+#[derive(Clone, Debug)]
+pub struct SweepError {
+    /// Submission index of the failing cell.
+    pub index: usize,
+    /// The cell's workload.
+    pub bench: Benchmark,
+    /// The cell's machine label (see [`SweepCell::label`]).
+    pub label: String,
+    /// The cell's trace scale.
+    pub scale: u32,
+    /// The worker's panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep cell {} ({}/{}, scale {}) panicked: {}",
+            self.index,
+            self.bench.name(),
+            self.label,
+            self.scale,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for SweepError {}
+
 /// The paper grid for `benches`: every [`PrefetcherKind::PAPER`]
 /// configuration of every benchmark, in Figure 5 order (benchmark-major).
 pub fn paper_cells(benches: &[Benchmark], scale: u32) -> Vec<SweepCell> {
@@ -118,7 +156,8 @@ pub fn paper_cells(benches: &[Benchmark], scale: u32) -> Vec<SweepCell> {
 /// Resolves a requested worker count: 0 means one worker per available
 /// core, and the pool never exceeds the number of cells.
 fn effective_threads(requested: usize, cells: usize) -> usize {
-    let auto = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let auto =
+        psb_model::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
     let wanted = if requested == 0 { auto } else { requested };
     wanted.clamp(1, cells.max(1))
 }
@@ -140,17 +179,43 @@ pub fn run_sweep(cells: &[SweepCell], threads: usize) -> Vec<SweepOutcome> {
 ///
 /// # Panics
 ///
-/// Propagates panics from worker threads (a deadlocked or asserting
-/// simulation is a bug, never a legal outcome).
+/// Panics with the formatted [`SweepError`] when a worker panics; use
+/// [`try_run_sweep_with`] to handle that case (and exit non-zero with a
+/// message naming the cell, as `psbsweep` does).
 pub fn run_sweep_with(
     cells: &[SweepCell],
     threads: usize,
     obs: Option<&Obs>,
-    mut on_done: impl FnMut(SweepProgress<'_>),
+    on_done: impl FnMut(SweepProgress<'_>),
 ) -> Vec<SweepOutcome> {
+    try_run_sweep_with(cells, threads, obs, on_done).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_sweep_with`] returning a [`SweepError`] instead of panicking
+/// when a cell's simulation panics. The sweep still drains every
+/// remaining cell and joins every worker before reporting; with several
+/// failures the smallest submission index wins deterministically.
+pub fn try_run_sweep_with(
+    cells: &[SweepCell],
+    threads: usize,
+    obs: Option<&Obs>,
+    on_done: impl FnMut(SweepProgress<'_>),
+) -> Result<Vec<SweepOutcome>, SweepError> {
+    sweep_with_runner(cells, threads, obs, on_done, &|cell| cell.run())
+}
+
+/// The sweep engine, parameterized over the per-cell runner so tests
+/// can inject panicking cells without building a broken simulation.
+fn sweep_with_runner(
+    cells: &[SweepCell],
+    threads: usize,
+    obs: Option<&Obs>,
+    mut on_done: impl FnMut(SweepProgress<'_>),
+    runner: &(dyn Fn(&SweepCell) -> SimStats + Sync),
+) -> Result<Vec<SweepOutcome>, SweepError> {
     let total = cells.len();
     if total == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let workers = effective_threads(threads, total);
     if let Some(obs) = obs {
@@ -160,58 +225,45 @@ pub fn run_sweep_with(
     let completed = obs.map(|o| o.counter("sweep.cells_completed"));
     let cell_micros = obs.map(|o| o.hist("sweep.cell_micros"));
 
-    // Submission-order slots: worker completion order decides nothing
-    // but the progress display.
-    let mut slots: Vec<Option<SweepOutcome>> = (0..total).map(|_| None).collect();
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, SweepOutcome)>();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
-                let start = std::time::Instant::now();
-                let stats = cell.run();
-                let wall_micros = start.elapsed().as_micros() as u64;
-                if tx.send((i, SweepOutcome { stats, wall_micros })).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-
-        // The coordinator aggregates on the caller's thread: `Obs` is a
-        // single-threaded handle, so all instrumentation happens here.
-        for (done, (index, outcome)) in rx.into_iter().enumerate() {
+    let mut done = 0;
+    run_ordered(
+        cells,
+        workers,
+        |_, cell| {
+            // Host wall-clock for telemetry only; the lint allowlists
+            // this file because the timing feeds a progress histogram,
+            // never the deterministic artifact. lint:allow(determinism)
+            let start = std::time::Instant::now();
+            let stats = runner(cell);
+            SweepOutcome { stats, wall_micros: start.elapsed().as_micros() as u64 }
+        },
+        |index, outcome| {
             if let Some(c) = &completed {
                 c.inc();
             }
             if let Some(h) = &cell_micros {
                 h.observe(outcome.wall_micros);
             }
+            done += 1;
             on_done(SweepProgress {
                 index,
-                done: done + 1,
+                done,
                 total,
                 cell: &cells[index],
                 wall_micros: outcome.wall_micros,
             });
-            slots[index] = Some(outcome);
+        },
+    )
+    .map_err(|p| {
+        let cell = &cells[p.index];
+        SweepError {
+            index: p.index,
+            bench: cell.bench,
+            label: cell.label(),
+            scale: cell.scale,
+            message: p.message,
         }
-    });
-
-    slots
-        .into_iter()
-        .map(|s| {
-            // Invariant: the scope above joins every worker, and a worker
-            // either sends each claimed index or panics (propagated by
-            // the scope), so every slot is filled here.
-            s.expect("invariant: scope join guarantees every cell reported")
-        })
-        .collect()
+    })
 }
 
 #[cfg(test)]
@@ -286,6 +338,31 @@ mod tests {
     #[test]
     fn empty_grid_is_a_noop() {
         assert!(run_sweep(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn panicking_cell_reports_bench_label_and_scale() {
+        let cells = small_grid();
+        let boom: &(dyn Fn(&SweepCell) -> SimStats + Sync) = &|cell| {
+            if cell.bench == Benchmark::DeltaBlue
+                && cell.config.prefetcher == PrefetcherKind::PsbConfPriority
+            {
+                panic!("injected cell failure");
+            }
+            cell.run()
+        };
+        let err = sweep_with_runner(&cells, 2, None, |_| {}, boom)
+            .expect_err("the injected panic must surface");
+        assert_eq!(err.index, 3);
+        assert_eq!(err.bench, Benchmark::DeltaBlue);
+        assert_eq!(err.label, "ConfAlloc-Priority");
+        assert_eq!(err.scale, 1);
+        assert!(err.message.contains("injected cell failure"), "got: {}", err.message);
+        let shown = err.to_string();
+        assert!(
+            shown.contains("deltablue") && shown.contains("ConfAlloc-Priority"),
+            "error display must name the cell: {shown}"
+        );
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Regression test for the sweep determinism contract: the merged
+//! `psb-sweep-v1` artifact must be byte-identical for every worker
+//! count. Worker scheduling may only change wall-clock, never results —
+//! outcomes land in submission-order slots and host timings are kept
+//! out of the artifact by construction.
+
+use psb_sim::{paper_cells, run_sweep, sweep_report, SweepCell};
+use psb_workloads::Benchmark;
+
+#[test]
+fn sweep_artifact_is_byte_identical_across_thread_counts() {
+    // A small but non-trivial grid: two benchmarks across the six paper
+    // configurations, commit-capped for debug-build speed. Uneven cell
+    // costs make completion order differ from submission order at >1
+    // workers, which is exactly what the artifact must not reflect.
+    let cells: Vec<SweepCell> = paper_cells(&[Benchmark::Turb3d, Benchmark::DeltaBlue], 1)
+        .into_iter()
+        .map(|c| c.with_max_commits(15_000))
+        .collect();
+
+    let reference = sweep_report(&cells, &run_sweep(&cells, 1)).to_string();
+    assert!(reference.contains("psb-sweep-v1"), "the artifact must carry its schema marker");
+
+    for threads in [2, 4] {
+        let artifact = sweep_report(&cells, &run_sweep(&cells, threads)).to_string();
+        assert_eq!(
+            artifact, reference,
+            "psb-sweep-v1 artifact differs between --threads 1 and --threads {threads}"
+        );
+    }
+}

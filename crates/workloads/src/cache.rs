@@ -6,11 +6,14 @@
 //! caller a shared, immutable [`Arc`] of the trace instead: N configs of
 //! one benchmark share one generation.
 //!
-//! Generation is deduplicated across threads: the map lock is only held
-//! to look up or insert a per-key cell, never during generation, so two
-//! sweep workers racing for the *same* key block on that key's
-//! [`OnceLock`] (one generates, the other waits) while workers on
-//! *different* keys generate concurrently.
+//! The synchronization is [`psb_model::keyed::KeyedOnce`]: generation is
+//! deduplicated across threads, the map lock is only held to look up or
+//! insert a per-key cell (never during generation), so two sweep workers
+//! racing for the *same* key block on that key's cell while workers on
+//! *different* keys generate concurrently. Because `KeyedOnce` is built
+//! on the psb-model shims, `cargo xtask model` explores this cache's
+//! interleavings directly — including `clear_trace_cache` racing
+//! `shared_trace`.
 //!
 //! Traces are retained until [`clear_trace_cache`] is called; a sweep
 //! binary that walks many scales can drop the old generation between
@@ -18,29 +21,13 @@
 
 use crate::Benchmark;
 use psb_cpu::DynInst;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use psb_model::keyed::KeyedOnce;
+use std::sync::Arc;
 
 /// An immutable, shareable benchmark trace.
 pub type SharedTrace = Arc<Vec<DynInst>>;
 
-/// Per-key generation cell, cloned out of the map so the map lock is
-/// never held while a trace generator runs.
-type TraceCell = Arc<OnceLock<SharedTrace>>;
-
-fn cache() -> &'static Mutex<HashMap<(Benchmark, u32), TraceCell>> {
-    static CACHE: OnceLock<Mutex<HashMap<(Benchmark, u32), TraceCell>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-fn lock() -> std::sync::MutexGuard<'static, HashMap<(Benchmark, u32), TraceCell>> {
-    // A generator panic cannot poison the map (generation happens outside
-    // the lock), so a poisoned guard still holds a consistent map.
-    match cache().lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
+static CACHE: KeyedOnce<(Benchmark, u32), SharedTrace> = KeyedOnce::new();
 
 impl Benchmark {
     /// Returns this benchmark's trace at `scale`, generating it on first
@@ -50,21 +37,20 @@ impl Benchmark {
     /// observes the exact instruction stream [`Benchmark::trace`] would
     /// have produced — sharing changes memory traffic, never results.
     pub fn shared_trace(self, scale: u32) -> SharedTrace {
-        let cell = lock().entry((self, scale)).or_default().clone();
-        cell.get_or_init(|| Arc::new(self.trace(scale))).clone()
+        CACHE.get_or_init((self, scale), || Arc::new(self.trace(scale)))
     }
 }
 
 /// Number of generated traces currently cached (diagnostics and tests).
 pub fn trace_cache_len() -> usize {
-    lock().values().filter(|c| c.get().is_some()).count()
+    CACHE.initialized_len()
 }
 
 /// Drops every cached trace, releasing the memory. Traces handed out
 /// earlier stay alive through their own `Arc`s; later `shared_trace`
 /// calls regenerate.
 pub fn clear_trace_cache() {
-    lock().clear();
+    CACHE.clear();
 }
 
 #[cfg(test)]
@@ -92,6 +78,28 @@ mod tests {
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
         for t in &traces[1..] {
             assert!(Arc::ptr_eq(&traces[0], t), "racing threads must share one generation");
+        }
+
+        // A clear racing in-flight lookups must neither wedge nor corrupt:
+        // every lookup still yields the full deterministic trace, whether
+        // it won (pre-clear cell) or lost (regenerated) the race. The
+        // exhaustive version of this race runs under `cargo xtask model`;
+        // this is the live-threads smoke test.
+        let expected_len = Benchmark::DeltaBlue.shared_trace(1).len();
+        clear_trace_cache();
+        let racers: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    if i % 2 == 0 {
+                        clear_trace_cache();
+                    }
+                    Benchmark::DeltaBlue.shared_trace(1)
+                })
+            })
+            .collect();
+        for h in racers {
+            let t = h.join().expect("racer panicked");
+            assert_eq!(t.len(), expected_len, "clear/lookup race returned a torn trace");
         }
 
         // Clearing releases cache entries but never live hand-outs, and

@@ -1,0 +1,117 @@
+//! Model-checked tests for the trace cache's synchronization.
+//!
+//! This file only compiles under `--cfg psb_model` (run it through
+//! `cargo xtask model`); in normal builds it is an empty test crate.
+//!
+//! The production cache (`Benchmark::shared_trace` /
+//! `clear_trace_cache`) is a thin wrapper over
+//! `psb_model::keyed::KeyedOnce<(Benchmark, u32), SharedTrace>`, so
+//! these tests explore that exact type with cheap generators standing
+//! in for trace generation — the synchronization being checked is the
+//! synchronization production runs, without paying for a 300k-entry
+//! trace in every one of thousands of explored interleavings.
+
+#![cfg(psb_model)]
+
+use psb_model::keyed::KeyedOnce;
+use psb_model::sched::{explore, ModelConfig};
+use psb_model::sync::atomic::{AtomicUsize, Ordering};
+use psb_model::thread;
+use std::sync::Arc;
+
+fn cfg(max_dfs: usize, random: usize) -> ModelConfig {
+    ModelConfig { max_dfs, random, ..ModelConfig::default() }.from_env()
+}
+
+/// Mirror of the cache's key/value shape: `(benchmark, scale)` to a
+/// shared immutable payload.
+type Cache = KeyedOnce<(u8, u32), Arc<Vec<u32>>>;
+
+/// Racing `shared_trace` callers for one `(benchmark, scale)` key:
+/// the generator runs exactly once and everyone shares its value —
+/// under every explored interleaving.
+#[test]
+fn racing_shared_trace_callers_generate_once() {
+    explore("trace_cache_once", &cfg(4000, 400), || {
+        let cache: Arc<Cache> = Arc::new(KeyedOnce::new());
+        let gens = Arc::new(AtomicUsize::new(0));
+        thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let cache = cache.clone();
+                let gens = gens.clone();
+                handles.push(s.spawn(move || {
+                    cache.get_or_init((1, 2), || {
+                        gens.fetch_add(1, Ordering::SeqCst);
+                        Arc::new(vec![10, 20, 30])
+                    })
+                }));
+            }
+            let traces: Vec<Arc<Vec<u32>>> =
+                handles.into_iter().map(|h| h.join().expect("no panic")).collect();
+            assert!(
+                Arc::ptr_eq(&traces[0], &traces[1]),
+                "racing callers must share one generation"
+            );
+            assert_eq!(*traces[0], vec![10, 20, 30]);
+        });
+        assert_eq!(gens.load(Ordering::SeqCst), 1, "the generator must run exactly once");
+        assert_eq!(cache.initialized_len(), 1);
+    });
+}
+
+/// Distinct keys generate independently and never serialize on each
+/// other's cell (two scales of one benchmark, as a sweep would race).
+#[test]
+fn distinct_scales_generate_independently() {
+    explore("trace_cache_two_keys", &cfg(3000, 300), || {
+        let cache: Arc<Cache> = Arc::new(KeyedOnce::new());
+        thread::scope(|s| {
+            for scale in 1..=2u32 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    let t = cache.get_or_init((1, scale), || Arc::new(vec![scale; 3]));
+                    assert_eq!(*t, vec![scale; 3]);
+                });
+            }
+        });
+        assert_eq!(cache.initialized_len(), 2);
+    });
+}
+
+/// `clear_trace_cache` racing `shared_trace`: under every interleaving
+/// the lookup returns a complete value (won the race on the pre-clear
+/// cell, or regenerated post-clear), nothing deadlocks, and the cache
+/// stays usable afterwards.
+#[test]
+fn clear_racing_lookup_never_tears_or_wedges() {
+    explore("trace_cache_clear_race", &cfg(4000, 400), || {
+        let cache: Arc<Cache> = Arc::new(KeyedOnce::new());
+        let gens = Arc::new(AtomicUsize::new(0));
+        let got = thread::scope(|s| {
+            let looker = {
+                let cache = cache.clone();
+                let gens = gens.clone();
+                s.spawn(move || {
+                    cache.get_or_init((3, 1), || {
+                        gens.fetch_add(1, Ordering::SeqCst);
+                        Arc::new(vec![7, 8, 9])
+                    })
+                })
+            };
+            {
+                let cache = cache.clone();
+                s.spawn(move || cache.clear());
+            }
+            looker.join().expect("lookup must not panic")
+        });
+        // The hand-out is complete whether or not its cell survived.
+        assert_eq!(*got, vec![7, 8, 9], "clear must never tear a hand-out");
+        let runs = gens.load(Ordering::SeqCst);
+        assert!(runs >= 1 && runs <= 2, "generator runs once, or twice across a clear");
+        // The cache still works after the dust settles.
+        let again = cache.get_or_init((3, 1), || Arc::new(vec![7, 8, 9]));
+        assert_eq!(*again, vec![7, 8, 9]);
+        assert_eq!(cache.initialized_len(), 1);
+    });
+}

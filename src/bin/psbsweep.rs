@@ -28,7 +28,7 @@
 
 use psb::mem::CacheConfig;
 use psb::sim::{
-    f2, pct, run_sweep_with, MachineConfig, PrefetcherKind, SimStats, SweepCell, Table,
+    f2, pct, try_run_sweep_with, MachineConfig, PrefetcherKind, SimStats, SweepCell, Table,
 };
 use psb::workloads::Benchmark;
 
@@ -172,7 +172,7 @@ fn main() {
         kinds.len() * geometries.len()
     );
     let start = std::time::Instant::now();
-    let outcomes = run_sweep_with(&cells, threads, Some(&obs), |p| {
+    let sweep = try_run_sweep_with(&cells, threads, Some(&obs), |p| {
         if !quiet {
             eprintln!(
                 "[{}/{}] {}/{} done in {:.2}s",
@@ -184,6 +184,16 @@ fn main() {
             );
         }
     });
+    // A panicking cell must not exit zero with partial output (or no
+    // output at all): name the cell — benchmark, config label, scale —
+    // and fail loudly so scripts and CI catch it.
+    let outcomes = match sweep {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            eprintln!("psbsweep: {e}");
+            std::process::exit(1);
+        }
+    };
     let wall = start.elapsed().as_secs_f64();
     let cell_secs: f64 = outcomes.iter().map(|o| o.wall_micros as f64 / 1e6).sum();
     eprintln!(

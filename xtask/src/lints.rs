@@ -1,7 +1,7 @@
 //! Source-level lints, pure std, no syntax tree: line-oriented
 //! heuristics tuned to this workspace's idiom.
 //!
-//! Four rules:
+//! The rules:
 //!
 //! * `addr-arith` — raw wrapping/`as u64` arithmetic on addresses is
 //!   forbidden outside `crates/common/src/addr.rs`; go through
@@ -17,6 +17,14 @@
 //! * `missing-docs` — in crates that declare `#![warn(missing_docs)]`,
 //!   every `pub` item needs a doc comment even when the toolchain's
 //!   own `missing_docs` pass is unavailable offline.
+//! * `determinism` — `Instant::now`/`SystemTime` in simulation-result
+//!   crates: host wall-clock must never reach a result artifact, which
+//!   has to be byte-identical across `--threads` counts.
+//! * `sync-shims` — raw `std::sync`/`std::thread` in the model-checked
+//!   crates (`sim`, `workloads`); concurrency there goes through the
+//!   `psb_model` shims so `cargo xtask model` explores the real code.
+//!
+//! The crate-layering pass lives in [`crate::layering`].
 //!
 //! Any finding can be suppressed by putting `lint:allow(<rule>)` in a
 //! comment on the same line or the line above.
@@ -311,6 +319,90 @@ pub fn lint_println(rel_path: &str, source: &str) -> Vec<Finding> {
     out
 }
 
+/// Crates whose library code feeds simulation results and must stay
+/// bit-reproducible: no host wall-clock may flow into anything a result
+/// artifact could carry.
+pub const DETERMINISTIC_CRATES: [&str; 5] =
+    ["crates/sim/", "crates/core/", "crates/mem/", "crates/cpu/", "crates/workloads/"];
+
+/// Rule `determinism`: host time sources in simulation-result crates.
+///
+/// `Instant::now()` / `SystemTime` readings differ run to run, so a
+/// value derived from one that leaks into a result path breaks the
+/// sweep's byte-identical-across-`--threads` contract. Timing that is
+/// *presentation only* (the sweep coordinator's progress/wall-clock
+/// lines, which are kept out of the artifact by construction) carries a
+/// `lint:allow(determinism)` comment stating exactly that.
+pub fn lint_determinism(rel_path: &str, source: &str) -> Vec<Finding> {
+    if !DETERMINISTIC_CRATES.iter().any(|c| rel_path.starts_with(c)) {
+        return Vec::new();
+    }
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test || li.comment_only || allowed(&lines, i, "determinism") {
+            continue;
+        }
+        let wall_clock = li.code.contains("Instant::now")
+            || li.code.contains("SystemTime")
+            || li.code.contains("UNIX_EPOCH");
+        if wall_clock {
+            out.push(Finding {
+                rule: "determinism",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "host wall-clock in a simulation-result crate; results must be \
+                      bit-reproducible — derive times from simulated cycles, or mark \
+                      presentation-only timing with lint:allow(determinism)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Crates whose concurrency runs under the model checker: every
+/// synchronization primitive must come from the `psb-model` shims so
+/// `cargo xtask model` exercises the *same* code paths production runs.
+pub const MODEL_CHECKED_CRATES: [&str; 2] = ["crates/sim/", "crates/workloads/"];
+
+/// `std::sync`/`std::thread` items that have a `psb_model` shim and are
+/// therefore banned in model-checked crates. `Arc` is exempt: it is pure
+/// reference counting with no blocking or ordering decisions to explore.
+const SHIMMED_SYNC: [&str; 10] = [
+    "Mutex", "RwLock", "OnceLock", "Once", "Condvar", "Barrier", "mpsc", "atomic", "Atomic",
+    "LazyLock",
+];
+
+/// Rule `sync-shims`: raw std synchronization in model-checked crates.
+pub fn lint_sync_shims(rel_path: &str, source: &str) -> Vec<Finding> {
+    if !MODEL_CHECKED_CRATES.iter().any(|c| rel_path.starts_with(c)) {
+        return Vec::new();
+    }
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test || li.comment_only || allowed(&lines, i, "sync-shims") {
+            continue;
+        }
+        let raw_sync =
+            li.code.contains("std::sync") && SHIMMED_SYNC.iter().any(|t| li.code.contains(t));
+        let raw_thread = li.code.contains("std::thread");
+        if raw_sync || raw_thread {
+            out.push(Finding {
+                rule: "sync-shims",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "raw std synchronization in a model-checked crate; use the \
+                      psb_model::{sync, thread} shims so `cargo xtask model` explores \
+                      this code (Arc is exempt)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
 const DOC_ITEMS: [&str; 8] =
     ["fn ", "struct ", "enum ", "trait ", "type ", "const ", "static ", "mod "];
 
@@ -485,6 +577,54 @@ mod tests {
     fn println_respects_allow_comment() {
         let src = "// lint:allow(println) — harness output\nprintln!(\"ok\");\n";
         assert!(lint_println("crates/bench/src/micro.rs", src).is_empty());
+    }
+
+    // -- determinism ------------------------------------------------------
+
+    #[test]
+    fn determinism_fires_on_wall_clock_in_result_crates() {
+        let src = "let start = std::time::Instant::now();\n";
+        assert_eq!(lint_determinism("crates/sim/src/runner.rs", src).len(), 1);
+        let sys = "let stamp = SystemTime::now();\n";
+        assert_eq!(lint_determinism("crates/core/src/x.rs", sys).len(), 1);
+    }
+
+    #[test]
+    fn determinism_silent_outside_result_crates_tests_and_allows() {
+        let src = "let start = std::time::Instant::now();\n";
+        assert!(lint_determinism("crates/obs/src/trace.rs", src).is_empty());
+        assert!(lint_determinism("src/bin/psbsweep.rs", src).is_empty());
+        let allowed_src = "// presentation only; lint:allow(determinism)\n\
+                           let start = std::time::Instant::now();\n";
+        assert!(lint_determinism("crates/sim/src/sweep.rs", allowed_src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    \
+                        fn t() { let _ = std::time::Instant::now(); }\n}\n";
+        assert!(lint_determinism("crates/sim/src/x.rs", test_src).is_empty());
+    }
+
+    // -- sync-shims -------------------------------------------------------
+
+    #[test]
+    fn sync_shims_fires_on_raw_std_primitives() {
+        let m = "use std::sync::Mutex;\n";
+        assert_eq!(lint_sync_shims("crates/sim/src/pool.rs", m).len(), 1);
+        let grouped = "use std::sync::{Arc, OnceLock};\n";
+        assert_eq!(lint_sync_shims("crates/workloads/src/cache.rs", grouped).len(), 1);
+        let th = "std::thread::spawn(|| {});\n";
+        assert_eq!(lint_sync_shims("crates/sim/src/sweep.rs", th).len(), 1);
+    }
+
+    #[test]
+    fn sync_shims_exempts_arc_shims_tests_and_other_crates() {
+        let arc = "use std::sync::Arc;\n";
+        assert!(lint_sync_shims("crates/workloads/src/cache.rs", arc).is_empty());
+        let shim = "use psb_model::sync::{mpsc, Mutex};\nuse psb_model::thread;\n";
+        assert!(lint_sync_shims("crates/sim/src/pool.rs", shim).is_empty());
+        let other = "use std::sync::Mutex;\n";
+        assert!(lint_sync_shims("crates/mem/src/x.rs", other).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    \
+                        fn t() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(lint_sync_shims("crates/sim/src/pool.rs", test_src).is_empty());
     }
 
     // -- missing-docs -----------------------------------------------------

@@ -4,13 +4,23 @@
 //!
 //! * `lint` — run `cargo fmt --check` and `cargo clippy -- -D warnings`
 //!   when those components are installed, then always run the
-//!   workspace's own source lints (see [`lints`]). Exits nonzero on any
-//!   finding, so it works as a CI gate.
+//!   workspace's own source lints (see [`lints`]) and the crate-layering
+//!   checker (see [`layering`]). Exits nonzero on any finding, so it
+//!   works as a CI gate.
+//! * `model` — build the workspace with `--cfg psb_model` and run the
+//!   concurrency model-checker suites (`tests/model.rs` in `psb-model`,
+//!   `psb-sim` and `psb-workloads`): the sweep worker pool and the trace
+//!   cache are explored across thousands of thread interleavings,
+//!   failing with a replayable schedule string on any deadlock, lost
+//!   update or panic. Tune with `PSB_MODEL_DFS` / `PSB_MODEL_RANDOM` /
+//!   `PSB_MODEL_PREEMPTIONS` / `PSB_MODEL_SEED`; pin one interleaving
+//!   with `PSB_MODEL_REPLAY=<schedule>`.
 //! * `validate-artifacts <file>...` — parse each emitted JSON artifact
 //!   (`psb-run-v1` reports, Chrome traces, `psb-bench-v1` results) and
 //!   check its shape, so CI catches a malformed writer before a human
 //!   loads the file into Perfetto or a plotting script.
 
+mod layering;
 mod lints;
 mod validate;
 
@@ -23,12 +33,20 @@ fn main() -> ExitCode {
     let cmd = args.first().map(String::as_str).unwrap_or("");
     match cmd {
         "lint" => lint(&args[1..]),
+        "model" => model(&args[1..]),
         "validate-artifacts" => validate::validate_artifacts(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint [--src-only] | validate-artifacts FILE...>");
+            eprintln!(
+                "usage: cargo xtask <lint [--src-only] | model [TESTARGS...] | \
+                 validate-artifacts FILE...>"
+            );
             eprintln!();
-            eprintln!("  lint                run fmt + clippy (when available) and source lints");
+            eprintln!("  lint                run fmt + clippy (when available), source lints");
+            eprintln!("                      and the crate-layering checker");
             eprintln!("    --src-only        skip the fmt/clippy toolchain passes");
+            eprintln!("  model               run the concurrency model checker (--cfg psb_model)");
+            eprintln!("                      over the sweep pool and trace cache; extra args go");
+            eprintln!("                      to the test binaries (e.g. --nocapture)");
             eprintln!("  validate-artifacts  parse and shape-check emitted JSON artifacts");
             eprintln!("                      (run reports, Chrome traces, bench results)");
             ExitCode::from(2)
@@ -62,7 +80,8 @@ fn lint(flags: &[String]) -> ExitCode {
         );
     }
 
-    let findings = lint_sources(&root);
+    let mut findings = lint_sources(&root);
+    findings.extend(layering::check_layering(&root));
     for f in &findings {
         println!("{f}");
     }
@@ -76,6 +95,48 @@ fn lint(flags: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// The model-checked packages: the checker itself (self-tests including
+/// a seeded-bug detection test), the sweep worker pool, and the shared
+/// trace cache.
+const MODEL_PACKAGES: [&str; 3] = ["psb-model", "psb-sim", "psb-workloads"];
+
+/// `cargo xtask model` — run the `tests/model.rs` suites under
+/// `--cfg psb_model`, serializing test execution (the scheduler uses
+/// process-global state, one exploration at a time).
+fn model(extra: &[String]) -> ExitCode {
+    let root = repo_root();
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.split_whitespace().any(|f| f == "psb_model") {
+        rustflags.push_str(" --cfg psb_model");
+    }
+    let mut cmd = Command::new("cargo");
+    cmd.arg("test");
+    for p in MODEL_PACKAGES {
+        cmd.args(["-p", p]);
+    }
+    cmd.args(["--test", "model", "--", "--test-threads=1"]);
+    cmd.args(extra);
+    cmd.env("RUSTFLAGS", rustflags.trim()).current_dir(&root);
+    println!("xtask model: exploring interleavings (RUSTFLAGS=--cfg psb_model)");
+    match cmd.status() {
+        Ok(s) if s.success() => {
+            println!("xtask model: all model suites clean");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => {
+            eprintln!(
+                "xtask model: violation found — rerun the printed schedule with \
+                 PSB_MODEL_REPLAY=<schedule> cargo xtask model -- --nocapture"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask model: could not spawn cargo: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -126,6 +187,8 @@ fn lint_sources(root: &Path) -> Vec<Finding> {
             findings.extend(lints::lint_unwrap(&rel, &source));
             findings.extend(lints::lint_hashmap_report(&rel, &source));
             findings.extend(lints::lint_println(&rel, &source));
+            findings.extend(lints::lint_determinism(&rel, &source));
+            findings.extend(lints::lint_sync_shims(&rel, &source));
             if check_docs {
                 findings.extend(lints::lint_missing_docs(&rel, &source));
             }
