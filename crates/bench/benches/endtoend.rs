@@ -1,7 +1,7 @@
 //! End-to-end benchmark: full-system simulated instructions per second
 //! under each prefetcher configuration.
 
-use psb_bench::micro::{bench, group};
+use psb_bench::micro::{bench_run, group};
 use psb_sim::{MachineConfig, PrefetcherKind, Simulation};
 use psb_workloads::Benchmark;
 use std::hint::black_box;
@@ -13,7 +13,7 @@ fn main() {
     let window = 60_000u64;
 
     for kind in [PrefetcherKind::None, PrefetcherKind::PcStride, PrefetcherKind::PsbConfPriority] {
-        bench(kind.label(), || {
+        bench_run(kind.label(), || {
             let cfg = MachineConfig::baseline().with_prefetcher(kind);
             let stats = Simulation::new(cfg, black_box(trace.clone()), window).run();
             black_box(stats.ipc());

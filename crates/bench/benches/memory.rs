@@ -35,7 +35,11 @@ fn bench_bus_and_lower() {
     let mut rng = SplitMix64::new(4);
     let mut now = Cycle::ZERO;
     bench("lower_fetch_block", || {
-        now += 8;
+        // The arrival interval must exceed the per-miss bus occupancy
+        // (~16 cycles for a 64 B block) or the in-flight map grows
+        // without bound and the measurement becomes a function of how
+        // many iterations ran, not of per-fetch cost.
+        now += 64;
         let addr = Addr::new(rng.below(1 << 22) * 32);
         black_box(lower.fetch_block(now, addr, 32));
     });

@@ -205,9 +205,17 @@ impl Histogram {
     }
 
     /// Fraction of samples `<= i` (a CDF point). 0.0 when empty.
+    ///
+    /// Overflow samples live in the half-open range `[len, ∞)`; the only
+    /// index at which their contribution is exact is `i >= len`, where
+    /// every sample — exact and overflow — is covered, so the CDF
+    /// reaches 1.0 instead of silently plateauing below it.
     pub fn cdf(&self, i: usize) -> f64 {
         if self.total == 0 {
             return 0.0;
+        }
+        if i >= self.buckets.len() {
+            return 1.0;
         }
         let cum: u64 = self.buckets.iter().take(i + 1).sum();
         cum as f64 / self.total as f64
@@ -517,6 +525,28 @@ mod tests {
         assert!((h.cdf(3) - 5.0 / 6.0).abs() < 1e-12);
         assert_eq!(h.len(), 4);
         assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn histogram_cdf_covers_overflow_at_the_boundary() {
+        let mut h = Histogram::new(4);
+        for s in [0, 1, 1, 2, 3, 9, 100] {
+            h.add(s);
+        }
+        assert_eq!(h.overflow(), 2);
+        // The last exact bucket excludes the overflow samples (they are
+        // all >= len)...
+        assert!((h.cdf(3) - 5.0 / 7.0).abs() < 1e-12);
+        // ...but at and beyond the bucket range every sample is <= i,
+        // so the CDF must reach 1.0 instead of plateauing at 5/7.
+        assert_eq!(h.cdf(4), 1.0);
+        assert_eq!(h.cdf(usize::MAX), 1.0);
+
+        // Overflow-only histogram: nothing below len, everything at it.
+        let mut o = Histogram::new(2);
+        o.add(50);
+        assert_eq!(o.cdf(1), 0.0);
+        assert_eq!(o.cdf(2), 1.0);
     }
 
     #[test]

@@ -33,15 +33,27 @@ use psb_common::BlockAddr;
 /// ```
 #[derive(Clone, Debug)]
 pub struct MarkovTable {
-    deltas: Vec<i32>,
-    tags: Vec<u8>,
-    valid: Vec<bool>,
+    /// One packed word per entry — delta in the low 32 bits (two's
+    /// complement), the 8-bit partial tag above it, and a valid bit on
+    /// top — so a predict touches exactly one cache line per probe
+    /// instead of three parallel arrays.
+    slots: Vec<u64>,
     entries: usize,
     delta_bits: u32,
+    /// `log2(entries)` when the capacity is a power of two (the paper's
+    /// 2K baseline qualifies), enabling mask/shift indexing.
+    entry_shift: Option<u32>,
     delta_width_hist: Histogram,
     updates: u64,
     dropped: u64,
 }
+
+/// Bit offset of the partial tag inside a packed slot.
+const TAG_SHIFT: u64 = 32;
+/// Mask of the partial-tag field inside a packed slot.
+const TAG_MASK: u64 = 0xff << TAG_SHIFT;
+/// Valid bit of a packed slot.
+const VALID: u64 = 1 << 40;
 
 impl MarkovTable {
     /// The paper's 2K-entry table with 16-bit block deltas (4 KB of data
@@ -60,27 +72,28 @@ impl MarkovTable {
         assert!(entries > 0, "zero-sized Markov table");
         assert!((1..=32).contains(&delta_bits), "delta width {delta_bits} out of range");
         MarkovTable {
-            deltas: vec![0; entries],
-            tags: vec![0; entries],
-            valid: vec![false; entries],
+            slots: vec![0; entries],
             entries,
             delta_bits,
+            entry_shift: entries.is_power_of_two().then(|| entries.trailing_zeros()),
             delta_width_hist: Histogram::new(33),
             updates: 0,
             dropped: 0,
         }
     }
 
-    fn index_and_tag(&self, block: BlockAddr) -> (usize, u8) {
+    fn index_and_tag(&self, block: BlockAddr) -> (usize, u64) {
         // XOR-fold the upper bits into the index so that regularly
         // aligned structures (e.g. 64-byte nodes, whose block numbers are
         // all even) spread over the whole table instead of aliasing into
-        // a fraction of it.
+        // a fraction of it. The partial tag comes from the bits above the
+        // index.
         let folded = block.0 ^ (block.0 >> 11) ^ (block.0 >> 22);
-        let idx = (folded as usize) % self.entries;
-        // Partial tag from the bits above the index.
-        let tag = ((block.0 / self.entries as u64) & 0xff) as u8;
-        (idx, tag)
+        let (idx, tag) = match self.entry_shift {
+            Some(shift) => ((folded as usize) & (self.entries - 1), (block.0 >> shift) & 0xff),
+            None => ((folded as usize) % self.entries, (block.0 / self.entries as u64) & 0xff),
+        };
+        (idx, tag << TAG_SHIFT)
     }
 
     /// Number of bits required to represent `delta` in two's complement.
@@ -111,16 +124,15 @@ impl MarkovTable {
             return;
         }
         let (idx, tag) = self.index_and_tag(prev);
-        self.deltas[idx] = delta as i32;
-        self.tags[idx] = tag;
-        self.valid[idx] = true;
+        self.slots[idx] = VALID | tag | (delta as i32 as u32 as u64);
     }
 
     /// Predicts the block that followed `block` last time, if the table
     /// holds a transition for it.
     pub fn predict(&self, block: BlockAddr) -> Option<BlockAddr> {
         let (idx, tag) = self.index_and_tag(block);
-        (self.valid[idx] && self.tags[idx] == tag).then(|| block.offset(self.deltas[idx] as i64))
+        let slot = self.slots[idx];
+        (slot & (VALID | TAG_MASK) == VALID | tag).then(|| block.offset(slot as u32 as i32 as i64))
     }
 
     /// Histogram of the signed bit-width needed by every observed

@@ -85,6 +85,15 @@ pub struct StrideTable {
     assoc: usize,
     confidence_max: u32,
     stamp: u64,
+    /// `log2(num_sets)` when the set count is a power of two, letting
+    /// indexing use mask/shift instead of division (every standard
+    /// geometry qualifies; odd set counts fall back to `%` / `/`).
+    set_shift: Option<u32>,
+    /// Slot written by the most recent [`StrideTable::train`], keyed by
+    /// the trained PC. [`StrideTable::confirm`] is documented to follow
+    /// `train` for the same PC, so this turns its tag search into a
+    /// single compare; it falls back to a full find on any other PC.
+    last_trained: Option<(u64, usize)>,
 }
 
 impl StrideTable {
@@ -122,12 +131,17 @@ impl StrideTable {
             assoc,
             confidence_max,
             stamp: 0,
+            set_shift: num_sets.is_power_of_two().then(|| num_sets.trailing_zeros()),
+            last_trained: None,
         }
     }
 
     fn set_and_tag(&self, pc: Addr) -> (usize, u64) {
         let idx = (pc.raw() >> 2) as usize;
-        (idx % self.num_sets, (idx / self.num_sets) as u64)
+        match self.set_shift {
+            Some(shift) => (idx & (self.num_sets - 1), (idx >> shift) as u64),
+            None => (idx % self.num_sets, (idx / self.num_sets) as u64),
+        }
     }
 
     fn find(&self, pc: Addr) -> Option<usize> {
@@ -146,6 +160,7 @@ impl StrideTable {
         let stamp = self.stamp;
 
         if let Some(i) = self.find(pc) {
+            self.last_trained = Some((pc.raw(), i));
             let e = &mut self.sets[i];
             let prev = e.last_addr;
             let new_stride = addr.delta(prev);
@@ -169,6 +184,7 @@ impl StrideTable {
             let victim = (base..base + self.assoc)
                 .min_by_key(|&i| (self.sets[i].valid, self.sets[i].lru))
                 .expect("invariant: assoc >= 1 gives every set at least one way");
+            self.last_trained = Some((pc.raw(), victim));
             self.sets[victim] = Entry {
                 tag,
                 last_addr: addr,
@@ -195,7 +211,13 @@ impl StrideTable {
     ///
     /// Call immediately after [`StrideTable::train`] for the same `pc`.
     pub fn confirm(&mut self, pc: Addr, predicted_correctly: bool) {
-        if let Some(i) = self.find(pc) {
+        // A train() for this PC always leaves it resident at the cached
+        // slot, so the common train-then-confirm sequence skips the scan.
+        let slot = match self.last_trained {
+            Some((raw, i)) if raw == pc.raw() => Some(i),
+            _ => self.find(pc),
+        };
+        if let Some(i) = slot {
             let e = &mut self.sets[i];
             if predicted_correctly {
                 e.confidence.inc();

@@ -103,6 +103,17 @@ pub trait Prefetcher {
     /// one prefetch (if the bus is free).
     fn tick(&mut self, now: Cycle, sink: &mut dyn PrefetchSink);
 
+    /// True if [`Prefetcher::tick`] is guaranteed to be an externally
+    /// observable no-op until the next [`Prefetcher::lookup`],
+    /// [`Prefetcher::allocate`] or [`Prefetcher::observe_fetch`] call —
+    /// no prediction can be made, no prefetch can be issued, and no
+    /// counter or event can change. The simulator uses this to skip the
+    /// per-cycle virtual dispatch while the engine is idle. The
+    /// conservative default says "never", which is always sound.
+    fn quiescent(&self) -> bool {
+        false
+    }
+
     /// Observes a load entering the *fetch* stage (its address is not yet
     /// known). Only fetch-stream prefetchers react; the default is a
     /// no-op.
@@ -148,6 +159,11 @@ impl Prefetcher for NoPrefetch {
     fn allocate(&mut self, _now: Cycle, _pc: Addr, _addr: Addr) {}
 
     fn tick(&mut self, _now: Cycle, _sink: &mut dyn PrefetchSink) {}
+
+    fn quiescent(&self) -> bool {
+        // `tick` is unconditionally empty.
+        true
+    }
 
     fn stats(&self) -> PrefetchStats {
         self.stats

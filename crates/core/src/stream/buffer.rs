@@ -1,4 +1,16 @@
 //! A single stream buffer.
+//!
+//! The entry file is arena-flattened: instead of a `Vec<SbEntry>` enum
+//! array that every hot-path query scans, the buffer keeps per-slot
+//! block numbers and fill times in flat arrays and tracks each slot's
+//! lifecycle stage in three bitmasks (`allocated`, `in_flight`,
+//! `ready`; empty is the complement). Queries the engine issues every
+//! cycle — "is there a free slot", "is there a pending prefetch",
+//! "which slot holds block B" — collapse to mask tests and
+//! `trailing_zeros`, with no branches over enum discriminants.
+//! [`SbEntry`] remains the public *view* type; [`StreamBuffer::entry`]
+//! reconstructs it on demand and [`StreamBuffer::entries`] materializes
+//! the whole file for cold paths (auditing, tracing, tests).
 
 use crate::predictor::StreamState;
 use psb_common::{Addr, BlockAddr, Cycle, SatCounter};
@@ -60,7 +72,18 @@ pub struct StreamBuffer {
     state: StreamState,
     /// The priority counter used for scheduling and allocation decisions.
     priority: SatCounter,
-    entries: Vec<SbEntry>,
+    /// Per-slot block number (meaningful when the slot is non-empty).
+    blocks: Box<[u64]>,
+    /// Per-slot fill-completion cycle (meaningful when in flight).
+    fill_at: Box<[u64]>,
+    /// Bit `i` set: slot `i` holds a prediction awaiting its prefetch.
+    allocated: u64,
+    /// Bit `i` set: slot `i`'s prefetch is in flight.
+    in_flight: u64,
+    /// Bit `i` set: slot `i` holds resident data awaiting a lookup.
+    ready: u64,
+    /// All `entries` low bits set; empty slots are `all & !occupied()`.
+    all: u64,
     /// Stamp of the last lookup hit or allocation (for LRU victim choice).
     last_touch: u64,
     /// Stamp of the last (re)allocation (for FIFO victim choice).
@@ -75,15 +98,27 @@ impl StreamBuffer {
     /// counter saturating at `priority_max`.
     pub fn new(entries: usize, priority_max: u32) -> Self {
         assert!(entries > 0, "a stream buffer needs at least one entry");
+        assert!(entries <= 64, "the flattened entry file tracks at most 64 slots per buffer");
         StreamBuffer {
             active: false,
             state: StreamState::new(Addr::new(0), Addr::new(0), 0),
             priority: SatCounter::new(priority_max),
-            entries: vec![SbEntry::Empty; entries],
+            blocks: vec![0; entries].into_boxed_slice(),
+            fill_at: vec![0; entries].into_boxed_slice(),
+            allocated: 0,
+            in_flight: 0,
+            ready: 0,
+            all: if entries == 64 { u64::MAX } else { (1u64 << entries) - 1 },
             last_touch: 0,
             last_alloc: 0,
             last_service: 0,
         }
+    }
+
+    /// Bitmask of slots in any non-empty state.
+    #[inline]
+    fn occupied(&self) -> u64 {
+        self.allocated | self.in_flight | self.ready
     }
 
     /// (Re)allocates the buffer to a new stream: clears all entries, sets
@@ -95,7 +130,9 @@ impl StreamBuffer {
         self.active = true;
         self.state = StreamState::new(pc, addr, stride);
         self.priority.set(confidence);
-        self.entries.fill(SbEntry::Empty);
+        self.allocated = 0;
+        self.in_flight = 0;
+        self.ready = 0;
         self.last_touch = stamp;
         self.last_alloc = stamp;
     }
@@ -156,34 +193,124 @@ impl StreamBuffer {
         self.last_service = stamp;
     }
 
-    /// The entries.
-    pub fn entries(&self) -> &[SbEntry] {
-        &self.entries
+    /// Reconstructs the lifecycle view of slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn entry(&self, idx: usize) -> SbEntry {
+        assert!(idx < self.blocks.len(), "entry index {idx} out of range");
+        let bit = 1u64 << idx;
+        let block = BlockAddr(self.blocks[idx]);
+        if self.ready & bit != 0 {
+            SbEntry::Ready { block }
+        } else if self.in_flight & bit != 0 {
+            SbEntry::InFlight { block, ready: Cycle::new(self.fill_at[idx]) }
+        } else if self.allocated & bit != 0 {
+            SbEntry::Allocated { block }
+        } else {
+            SbEntry::Empty
+        }
+    }
+
+    /// Materializes the whole entry file as lifecycle views — a cold
+    /// path for auditing, tracing and tests; hot paths use the bitmask
+    /// accessors instead.
+    pub fn entries(&self) -> Vec<SbEntry> {
+        (0..self.blocks.len()).map(|i| self.entry(i)).collect()
+    }
+
+    /// Number of entry slots.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the buffer has no entry slots (never: construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block slot `idx` tracks (meaningful only for non-empty slots).
+    #[inline]
+    pub fn block_at(&self, idx: usize) -> BlockAddr {
+        BlockAddr(self.blocks[idx])
+    }
+
+    /// Fill-completion cycle of slot `idx` (meaningful only in flight).
+    #[inline]
+    pub fn fill_ready_at(&self, idx: usize) -> Cycle {
+        Cycle::new(self.fill_at[idx])
+    }
+
+    /// True if slot `idx` holds resident (ready) data.
+    #[inline]
+    pub fn is_ready(&self, idx: usize) -> bool {
+        self.ready & (1u64 << idx) != 0
+    }
+
+    /// True if slot `idx` has a prefetch in flight.
+    #[inline]
+    pub fn is_in_flight(&self, idx: usize) -> bool {
+        self.in_flight & (1u64 << idx) != 0
+    }
+
+    /// True if slot `idx` holds a not-yet-prefetched prediction.
+    #[inline]
+    pub fn is_allocated(&self, idx: usize) -> bool {
+        self.allocated & (1u64 << idx) != 0
+    }
+
+    /// Count of slots holding fetched-but-unused data (in flight or
+    /// ready) — the entries that die as "evicted unused" on reallocation.
+    pub fn fetched_unused(&self) -> u32 {
+        (self.in_flight | self.ready).count_ones()
     }
 
     /// Index of the first empty entry, if any.
+    #[inline]
     pub fn first_empty(&self) -> Option<usize> {
-        self.entries.iter().position(SbEntry::is_empty)
+        let empty = self.all & !self.occupied();
+        (empty != 0).then(|| empty.trailing_zeros() as usize)
     }
 
     /// Index of the first entry awaiting a prefetch, if any.
+    #[inline]
     pub fn first_allocated(&self) -> Option<usize> {
-        self.entries.iter().position(|e| matches!(e, SbEntry::Allocated { .. }))
+        (self.allocated != 0).then(|| self.allocated.trailing_zeros() as usize)
     }
 
     /// True if the buffer can accept a new prediction.
+    #[inline]
     pub fn can_predict(&self) -> bool {
-        self.active && self.first_empty().is_some()
+        self.active && self.occupied() != self.all
     }
 
     /// True if the buffer has a prediction waiting to be prefetched.
+    #[inline]
     pub fn can_prefetch(&self) -> bool {
-        self.active && self.first_allocated().is_some()
+        self.active && self.allocated != 0
+    }
+
+    /// True if the buffer has neither a free slot to predict into nor a
+    /// pending prefetch — nothing for the per-cycle ports to do.
+    #[inline]
+    pub fn is_quiescent(&self) -> bool {
+        !self.can_predict() && !self.can_prefetch()
     }
 
     /// Finds the entry holding `block`, if any.
+    #[inline]
     pub fn find(&self, block: BlockAddr) -> Option<usize> {
-        self.entries.iter().position(|e| e.block() == Some(block))
+        let mut occ = self.occupied();
+        while occ != 0 {
+            let idx = occ.trailing_zeros() as usize;
+            if self.blocks[idx] == block.0 {
+                return Some(idx);
+            }
+            occ &= occ - 1;
+        }
+        None
     }
 
     /// Overwrites entry `idx`.
@@ -192,22 +319,52 @@ impl StreamBuffer {
     ///
     /// Panics if `idx` is out of range.
     pub fn set_entry(&mut self, idx: usize, entry: SbEntry) {
-        self.entries[idx] = entry;
+        assert!(idx < self.blocks.len(), "entry index {idx} out of range");
+        let bit = 1u64 << idx;
+        self.allocated &= !bit;
+        self.in_flight &= !bit;
+        self.ready &= !bit;
+        match entry {
+            SbEntry::Empty => {}
+            SbEntry::Allocated { block } => {
+                self.blocks[idx] = block.0;
+                self.allocated |= bit;
+            }
+            SbEntry::InFlight { block, ready } => {
+                self.blocks[idx] = block.0;
+                self.fill_at[idx] = ready.raw();
+                self.in_flight |= bit;
+            }
+            SbEntry::Ready { block } => {
+                self.blocks[idx] = block.0;
+                self.ready |= bit;
+            }
+        }
     }
 
     /// Converts in-flight entries whose data has arrived by `now` into
     /// ready entries. Returns the number of entries promoted.
     pub fn promote_arrived(&mut self, now: Cycle) -> u32 {
+        let mut pending = self.in_flight;
         let mut promoted = 0;
-        for e in &mut self.entries {
-            if let SbEntry::InFlight { block, ready } = *e {
-                if ready <= now {
-                    *e = SbEntry::Ready { block };
-                    promoted += 1;
-                }
+        while pending != 0 {
+            let idx = pending.trailing_zeros() as usize;
+            let bit = 1u64 << idx;
+            if self.fill_at[idx] <= now.raw() {
+                self.in_flight &= !bit;
+                self.ready |= bit;
+                promoted += 1;
             }
+            pending &= pending - 1;
         }
         promoted
+    }
+
+    /// True if any prefetch is currently in flight (used to skip the
+    /// per-cycle promotion scan for idle buffers).
+    #[inline]
+    pub fn has_in_flight(&self) -> bool {
+        self.in_flight != 0
     }
 }
 
@@ -308,8 +465,66 @@ mod tests {
     }
 
     #[test]
+    fn mask_accessors_mirror_entry_views() {
+        let mut b = buf();
+        b.reallocate(Addr::new(0), Addr::new(0), 32, 0, 0);
+        b.set_entry(0, SbEntry::Allocated { block: BlockAddr(10) });
+        b.set_entry(1, SbEntry::InFlight { block: BlockAddr(11), ready: Cycle::new(50) });
+        b.set_entry(2, SbEntry::Ready { block: BlockAddr(12) });
+        assert!(b.is_allocated(0) && !b.is_in_flight(0) && !b.is_ready(0));
+        assert!(b.is_in_flight(1) && b.has_in_flight());
+        assert!(b.is_ready(2));
+        assert_eq!(b.block_at(1), BlockAddr(11));
+        assert_eq!(b.fill_ready_at(1), Cycle::new(50));
+        assert_eq!(b.fetched_unused(), 2);
+        assert_eq!(b.first_empty(), Some(3));
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        for i in 0..4 {
+            assert_eq!(b.entry(i), b.entries()[i]);
+        }
+    }
+
+    #[test]
+    fn quiescence_tracks_port_work() {
+        let mut b = buf();
+        assert!(b.is_quiescent(), "inactive buffers are quiescent");
+        b.reallocate(Addr::new(0), Addr::new(0), 32, 0, 0);
+        assert!(!b.is_quiescent(), "empty slots invite predictions");
+        for i in 0..4u64 {
+            let idx = b.first_empty().unwrap();
+            b.set_entry(idx, SbEntry::InFlight { block: BlockAddr(i), ready: Cycle::new(9) });
+        }
+        assert!(b.is_quiescent(), "all slots in flight: nothing for the ports");
+        b.promote_arrived(Cycle::new(9));
+        assert!(b.is_quiescent(), "ready slots wait on lookups, not ports");
+        b.set_entry(0, SbEntry::Empty);
+        assert!(!b.is_quiescent(), "a freed slot reopens the predict port");
+    }
+
+    #[test]
+    fn sixty_four_entry_buffer_masks_work() {
+        let mut b = StreamBuffer::new(64, 7);
+        b.reallocate(Addr::new(0), Addr::new(0), 32, 0, 0);
+        for i in 0..64u64 {
+            let idx = b.first_empty().unwrap();
+            assert_eq!(idx as u64, i);
+            b.set_entry(idx, SbEntry::Allocated { block: BlockAddr(1000 + i) });
+        }
+        assert!(!b.can_predict());
+        assert_eq!(b.find(BlockAddr(1063)), Some(63));
+        assert_eq!(b.first_allocated(), Some(0));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_panics() {
         StreamBuffer::new(0, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn oversized_entry_file_panics() {
+        StreamBuffer::new(65, 12);
     }
 }

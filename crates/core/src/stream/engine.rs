@@ -166,12 +166,17 @@ impl<P: StreamPredictor> StreamEngine<P> {
 
     fn promote_all(&mut self, now: Cycle) {
         for (i, b) in self.buffers.iter_mut().enumerate() {
+            // Idle buffers (nothing in flight) take the early exit before
+            // any per-entry work.
+            if !b.has_in_flight() {
+                continue;
+            }
             if self.obs_detail {
                 // Per-block fill events need the blocks about to be
                 // promoted; only scanned when tracing is on.
                 if let Some(obs) = &self.obs {
                     for e in b.entries() {
-                        if let SbEntry::InFlight { block, ready } = *e {
+                        if let SbEntry::InFlight { block, ready } = e {
                             if ready <= now {
                                 obs.filled_block(now.raw(), i, block.base(self.config.block).raw());
                             }
@@ -197,12 +202,13 @@ impl<P: StreamPredictor> StreamEngine<P> {
         let Some(obs) = &self.obs else {
             return;
         };
+        let b = &self.buffers[buffer];
         let (mut ready, mut in_flight) = (0u64, 0u64);
-        for e in self.buffers[buffer].entries() {
-            match e {
-                SbEntry::Ready { .. } => ready += 1,
-                SbEntry::InFlight { .. } => in_flight += 1,
-                _ => {}
+        for i in 0..b.len() {
+            if b.is_ready(i) {
+                ready += 1;
+            } else if b.is_in_flight(i) {
+                in_flight += 1;
             }
         }
         obs.buffer_occupancy(
@@ -334,38 +340,35 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
             let Some(idx) = self.buffers[i].find(block) else {
                 continue;
             };
-            let entry = self.buffers[i].entries()[idx];
-            match entry {
-                SbEntry::Ready { .. } | SbEntry::InFlight { .. } => {
-                    let ready = match entry {
-                        SbEntry::InFlight { ready, .. } => ready,
-                        _ => now,
-                    };
-                    self.stats.hits += 1;
-                    self.stats.used += 1;
-                    let bonus = self.config.hit_bonus;
-                    let stamp = self.bump();
-                    self.buffers[i].set_entry(idx, SbEntry::Empty);
-                    self.buffers[i].reward(bonus);
-                    self.buffers[i].touch(stamp);
-                    if let Some(obs) = &self.obs {
-                        let late_by = ready.raw().saturating_sub(now.raw());
-                        obs.used(now.raw(), i, block.base(self.config.block).raw(), late_by);
-                        self.emit_occupancy(now, i);
-                    }
-                    return SbLookup::Hit { ready };
+            if self.buffers[i].is_allocated(idx) {
+                // Predicted but never prefetched: the demand access
+                // wins the race; free the entry and treat as a miss.
+                self.buffers[i].set_entry(idx, SbEntry::Empty);
+                if let Some(obs) = &self.obs {
+                    obs.demand_raced(now.raw(), i, block.base(self.config.block).raw());
                 }
-                SbEntry::Allocated { .. } => {
-                    // Predicted but never prefetched: the demand access
-                    // wins the race; free the entry and treat as a miss.
-                    self.buffers[i].set_entry(idx, SbEntry::Empty);
-                    if let Some(obs) = &self.obs {
-                        obs.demand_raced(now.raw(), i, block.base(self.config.block).raw());
-                    }
-                    return SbLookup::Miss;
-                }
-                SbEntry::Empty => unreachable!("find() never returns empty entries"),
+                return SbLookup::Miss;
             }
+            // In flight or ready (find() never returns empty slots):
+            // the buffer hit; in-flight data arrives at its fill time.
+            let ready = if self.buffers[i].is_in_flight(idx) {
+                self.buffers[i].fill_ready_at(idx)
+            } else {
+                now
+            };
+            self.stats.hits += 1;
+            self.stats.used += 1;
+            let bonus = self.config.hit_bonus;
+            let stamp = self.bump();
+            self.buffers[i].set_entry(idx, SbEntry::Empty);
+            self.buffers[i].reward(bonus);
+            self.buffers[i].touch(stamp);
+            if let Some(obs) = &self.obs {
+                let late_by = ready.raw().saturating_sub(now.raw());
+                obs.used(now.raw(), i, block.base(self.config.block).raw(), late_by);
+                self.emit_occupancy(now, i);
+            }
+            return SbLookup::Hit { ready };
         }
         SbLookup::Miss
     }
@@ -412,14 +415,10 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
         if let Some(obs) = self.obs.clone() {
             // Entries holding fetched-but-unused data die here: the
             // paper's "evicted unused" lifecycle terminus.
-            let displaced = self.buffers[victim]
-                .entries()
-                .iter()
-                .filter(|e| matches!(e, SbEntry::InFlight { .. } | SbEntry::Ready { .. }))
-                .count() as u64;
+            let displaced = self.buffers[victim].fetched_unused() as u64;
             if self.obs_detail {
                 for e in self.buffers[victim].entries() {
-                    if let SbEntry::InFlight { block, .. } | SbEntry::Ready { block } = *e {
+                    if let SbEntry::InFlight { block, .. } | SbEntry::Ready { block } = e {
                         obs.evicted_unused_block(
                             now.raw(),
                             victim,
@@ -470,9 +469,7 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
                 let idx = self.buffers[i]
                     .first_allocated()
                     .expect("invariant: can_prefetch verified an allocated entry");
-                let block = self.buffers[i].entries()[idx]
-                    .block()
-                    .expect("invariant: Allocated entries always carry a block");
+                let block = self.buffers[i].block_at(idx);
                 #[cfg(feature = "check")]
                 psb_check::audit(&psb_check::Snapshot::PrefetchIssue {
                     now,
@@ -491,6 +488,25 @@ impl<P: StreamPredictor> Prefetcher for StreamEngine<P> {
 
         #[cfg(feature = "check")]
         self.audit_streams(now);
+    }
+
+    /// The engine's [`Prefetcher::tick`] is externally a no-op exactly
+    /// when neither per-cycle port has work: no buffer can accept a
+    /// prediction and none holds a pending prefetch. Promotion of
+    /// in-flight fills may be deferred safely — it never changes port
+    /// eligibility, and [`Prefetcher::lookup`] promotes on its own before
+    /// probing — so in-flight entries do not block quiescence. With an
+    /// observer attached the fast path is disabled: fill events must be
+    /// emitted on the exact promotion cycle. (Under the `check` feature
+    /// quiescence is also disabled so the per-cycle invariant audits keep
+    /// their full coverage.)
+    fn quiescent(&self) -> bool {
+        #[cfg(feature = "check")]
+        return false;
+        #[cfg(not(feature = "check"))]
+        {
+            self.obs.is_none() && self.buffers.iter().all(StreamBuffer::is_quiescent)
+        }
     }
 
     fn attach_obs(&mut self, obs: &SharedStreamObs) {

@@ -1,0 +1,422 @@
+//! Differential suite: the arena-flattened hot-path structures versus
+//! straightforward reference models.
+//!
+//! The stride table, Markov table and stream-buffer entry file were
+//! rewritten from scan-the-`Vec` representations into flat arenas with
+//! mask/shift indexing and bitmask state. These tests re-implement each
+//! structure the obvious way (per-set `Vec`s, parallel arrays, an
+//! `SbEntry` vector) and drive both through identical SplitMix64
+//! workloads, comparing every externally visible output after every
+//! operation. Any packing, masking or ordering bug in the arenas shows
+//! up as a divergence with the op index that triggered it.
+//!
+//! The `teeth_*` tests prove the suite can actually catch the bug class
+//! the arenas are most prone to: a reference variant with its set mask
+//! off by one (`num_sets - 2` instead of `num_sets - 1`, folding odd
+//! sets onto even ones) must be flagged.
+
+use psb_common::{Addr, BlockAddr, Cycle, SatCounter, SplitMix64};
+use psb_core::{MarkovTable, SbEntry, StreamBuffer, StrideInfo, StrideTable, StrideTrainOutcome};
+
+const CASES: u64 = 40;
+
+// ---------------------------------------------------------------------
+// Stride table reference model
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct ModelStrideEntry {
+    tag: u64,
+    last_addr: Addr,
+    last_stride: i64,
+    two_delta: i64,
+    confidence: SatCounter,
+    stride_streak: u32,
+    predicted_streak: u32,
+    lru: u64,
+    valid: bool,
+}
+
+/// The pre-arena stride table: per-set linear scans, `%` / `/`
+/// indexing, no cached confirm slot. `mask_bug` switches in the broken
+/// set mask for the teeth test.
+struct ModelStride {
+    sets: Vec<ModelStrideEntry>,
+    num_sets: usize,
+    assoc: usize,
+    stamp: u64,
+    mask_bug: bool,
+}
+
+impl ModelStride {
+    fn new(entries: usize, assoc: usize, confidence_max: u32, mask_bug: bool) -> Self {
+        ModelStride {
+            sets: vec![
+                ModelStrideEntry {
+                    tag: 0,
+                    last_addr: Addr::new(0),
+                    last_stride: 0,
+                    two_delta: 0,
+                    confidence: SatCounter::new(confidence_max),
+                    stride_streak: 0,
+                    predicted_streak: 0,
+                    lru: 0,
+                    valid: false,
+                };
+                entries
+            ],
+            num_sets: entries / assoc,
+            assoc,
+            stamp: 0,
+            mask_bug,
+        }
+    }
+
+    fn set_and_tag(&self, pc: Addr) -> (usize, u64) {
+        let idx = (pc.raw() >> 2) as usize;
+        if self.mask_bug {
+            // Deliberately broken: mask one short of the set count.
+            (idx & (self.num_sets - 2), (idx / self.num_sets) as u64)
+        } else {
+            (idx % self.num_sets, (idx / self.num_sets) as u64)
+        }
+    }
+
+    fn find(&self, pc: Addr) -> Option<usize> {
+        let (set, tag) = self.set_and_tag(pc);
+        let base = set * self.assoc;
+        (base..base + self.assoc).find(|&i| self.sets[i].valid && self.sets[i].tag == tag)
+    }
+
+    fn train(&mut self, pc: Addr, addr: Addr) -> StrideTrainOutcome {
+        self.stamp += 1;
+        if let Some(i) = self.find(pc) {
+            let e = &mut self.sets[i];
+            let prev = e.last_addr;
+            let new_stride = addr.delta(prev);
+            let stride_correct = prev.offset(e.two_delta) == addr;
+            let repeat_stride = new_stride == e.last_stride;
+            if new_stride == e.last_stride {
+                e.two_delta = new_stride;
+                e.stride_streak = e.stride_streak.saturating_add(1);
+            } else {
+                e.stride_streak = 0;
+            }
+            e.last_stride = new_stride;
+            e.last_addr = addr;
+            e.lru = self.stamp;
+            StrideTrainOutcome { prev_addr: Some(prev), stride_correct, repeat_stride, cold: false }
+        } else {
+            let (set, tag) = self.set_and_tag(pc);
+            let base = set * self.assoc;
+            let victim = (base..base + self.assoc)
+                .min_by_key(|&i| (self.sets[i].valid, self.sets[i].lru))
+                .expect("assoc >= 1");
+            let max = self.sets[victim].confidence.max();
+            self.sets[victim] = ModelStrideEntry {
+                tag,
+                last_addr: addr,
+                last_stride: 0,
+                two_delta: 0,
+                confidence: SatCounter::new(max),
+                stride_streak: 0,
+                predicted_streak: 0,
+                lru: self.stamp,
+                valid: true,
+            };
+            StrideTrainOutcome {
+                prev_addr: None,
+                stride_correct: false,
+                repeat_stride: false,
+                cold: true,
+            }
+        }
+    }
+
+    fn confirm(&mut self, pc: Addr, predicted_correctly: bool) {
+        if let Some(i) = self.find(pc) {
+            let e = &mut self.sets[i];
+            if predicted_correctly {
+                e.confidence.inc();
+                e.predicted_streak = e.predicted_streak.saturating_add(1);
+            } else {
+                e.confidence.dec();
+                e.predicted_streak = 0;
+            }
+        }
+    }
+
+    fn info(&self, pc: Addr) -> Option<StrideInfo> {
+        self.find(pc).map(|i| {
+            let e = &self.sets[i];
+            StrideInfo {
+                last_addr: e.last_addr,
+                stride: e.two_delta,
+                confidence: e.confidence.get(),
+                stride_streak: e.stride_streak,
+                predicted_streak: e.predicted_streak,
+            }
+        })
+    }
+}
+
+/// Drives the arena table and the model through one identical workload,
+/// comparing the train outcome and every resident PC's info after each
+/// step. Returns the first divergence as an error.
+fn stride_differential(seed: u64, mask_bug: bool) -> Result<(), String> {
+    let mut rng = SplitMix64::new(seed);
+    let mut arena = StrideTable::new(64, 4, 7); // 16 sets: pow2 mask path
+    let mut model = ModelStride::new(64, 4, 7, mask_bug);
+    let mut pcs: Vec<u64> = Vec::new();
+    for op in 0..300 {
+        // Half the time revisit a known PC (exercises hits, streaks and
+        // the confirm fast path); otherwise a new one (eviction, aliasing).
+        let pc = if !pcs.is_empty() && rng.below(2) == 0 {
+            pcs[rng.below(pcs.len() as u64) as usize]
+        } else {
+            let p = rng.below(1 << 12) << 2;
+            pcs.push(p);
+            p
+        };
+        let addr = rng.below(1 << 20) * 8;
+        let oa = arena.train(Addr::new(pc), Addr::new(addr));
+        let om = model.train(Addr::new(pc), Addr::new(addr));
+        if oa != om {
+            return Err(format!("op {op}: train({pc:#x}) diverged: arena {oa:?}, model {om:?}"));
+        }
+        // Interleave confirms on the trained PC and occasionally on an
+        // unrelated PC (the confirm-slot cache must not leak state).
+        let confirm_pc =
+            if rng.below(8) == 0 { pcs[rng.below(pcs.len() as u64) as usize] } else { pc };
+        arena.confirm(Addr::new(confirm_pc), oa.stride_correct);
+        model.confirm(Addr::new(confirm_pc), om.stride_correct);
+        for &p in &pcs {
+            let ia = arena.info(Addr::new(p), Addr::new(0));
+            let im = model.info(Addr::new(p));
+            if ia != im {
+                return Err(format!("op {op}: info({p:#x}) diverged: arena {ia:?}, model {im:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn stride_arena_matches_reference_model() {
+    for seed in 0..CASES {
+        stride_differential(0x57D1F0 + seed, false).expect("arena must track the reference model");
+    }
+}
+
+#[test]
+fn teeth_stride_off_by_one_set_mask_is_caught() {
+    let caught = (0..CASES).any(|seed| stride_differential(0x57D1F0 + seed, true).is_err());
+    assert!(caught, "an off-by-one set mask must diverge from the correct table");
+}
+
+// ---------------------------------------------------------------------
+// Markov table reference model
+// ---------------------------------------------------------------------
+
+/// The pre-arena Markov table: three parallel arrays instead of one
+/// packed word per slot, `%` / `/` indexing.
+struct ModelMarkov {
+    tags: Vec<u64>,
+    deltas: Vec<i64>,
+    valid: Vec<bool>,
+    entries: usize,
+    delta_bits: u32,
+    updates: u64,
+    dropped: u64,
+}
+
+impl ModelMarkov {
+    fn new(entries: usize, delta_bits: u32) -> Self {
+        ModelMarkov {
+            tags: vec![0; entries],
+            deltas: vec![0; entries],
+            valid: vec![false; entries],
+            entries,
+            delta_bits,
+            updates: 0,
+            dropped: 0,
+        }
+    }
+
+    fn index_and_tag(&self, block: BlockAddr) -> (usize, u64) {
+        let folded = block.0 ^ (block.0 >> 11) ^ (block.0 >> 22);
+        ((folded as usize) % self.entries, (block.0 / self.entries as u64) & 0xff)
+    }
+
+    fn update(&mut self, prev: BlockAddr, next: BlockAddr) {
+        self.updates += 1;
+        let delta = next.delta(prev);
+        if MarkovTable::bits_needed(delta) > self.delta_bits {
+            self.dropped += 1;
+            return;
+        }
+        let (idx, tag) = self.index_and_tag(prev);
+        self.tags[idx] = tag;
+        self.deltas[idx] = delta;
+        self.valid[idx] = true;
+    }
+
+    fn predict(&self, block: BlockAddr) -> Option<BlockAddr> {
+        let (idx, tag) = self.index_and_tag(block);
+        (self.valid[idx] && self.tags[idx] == tag).then(|| block.offset(self.deltas[idx]))
+    }
+}
+
+#[test]
+fn markov_arena_matches_reference_model() {
+    let mut rng = SplitMix64::new(0x3A4C0F);
+    for case in 0..CASES {
+        let mut arena = MarkovTable::new(256, 16); // pow2: mask/shift path
+        let mut model = ModelMarkov::new(256, 16);
+        let mut blocks: Vec<u64> = Vec::new();
+        for op in 0..400 {
+            let prev = if !blocks.is_empty() && rng.below(2) == 0 {
+                blocks[rng.below(blocks.len() as u64) as usize]
+            } else {
+                let b = rng.below(1 << 22);
+                blocks.push(b);
+                b
+            };
+            // Mostly storable deltas, sometimes an oversized one that
+            // must be dropped by both sides.
+            let next = if rng.below(8) == 0 {
+                prev.wrapping_add(1 << 20)
+            } else {
+                (prev as i64 + (rng.below(4096) as i64 - 2048)).unsigned_abs()
+            };
+            arena.update(BlockAddr(prev), BlockAddr(next));
+            model.update(BlockAddr(prev), BlockAddr(next));
+            assert_eq!(arena.updates(), model.updates, "case {case} op {op}: update count");
+            assert_eq!(arena.dropped(), model.dropped, "case {case} op {op}: drop count");
+            for &b in &blocks {
+                assert_eq!(
+                    arena.predict(BlockAddr(b)),
+                    model.predict(BlockAddr(b)),
+                    "case {case} op {op}: predict({b}) diverged"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream-buffer entry file reference model
+// ---------------------------------------------------------------------
+
+/// The pre-arena entry file: a plain `Vec<SbEntry>` with linear scans.
+struct ModelBuffer {
+    entries: Vec<SbEntry>,
+    active: bool,
+}
+
+impl ModelBuffer {
+    fn new(n: usize) -> Self {
+        ModelBuffer { entries: vec![SbEntry::Empty; n], active: false }
+    }
+
+    fn first_empty(&self) -> Option<usize> {
+        self.entries.iter().position(SbEntry::is_empty)
+    }
+
+    fn first_allocated(&self) -> Option<usize> {
+        self.entries.iter().position(|e| matches!(e, SbEntry::Allocated { .. }))
+    }
+
+    fn find(&self, block: BlockAddr) -> Option<usize> {
+        self.entries.iter().position(|e| e.block() == Some(block))
+    }
+
+    fn promote_arrived(&mut self, now: Cycle) -> u32 {
+        let mut promoted = 0;
+        for e in &mut self.entries {
+            if let SbEntry::InFlight { block, ready } = *e {
+                if ready <= now {
+                    *e = SbEntry::Ready { block };
+                    promoted += 1;
+                }
+            }
+        }
+        promoted
+    }
+
+    fn can_predict(&self) -> bool {
+        self.active && self.entries.iter().any(SbEntry::is_empty)
+    }
+
+    fn can_prefetch(&self) -> bool {
+        self.active && self.entries.iter().any(|e| matches!(e, SbEntry::Allocated { .. }))
+    }
+
+    fn fetched_unused(&self) -> u32 {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, SbEntry::InFlight { .. } | SbEntry::Ready { .. }))
+            .count() as u32
+    }
+}
+
+#[test]
+fn stream_buffer_masks_match_reference_model() {
+    let mut rng = SplitMix64::new(0xB17F1E);
+    for case in 0..CASES {
+        let n = 1 + rng.below(64) as usize;
+        let mut arena = StreamBuffer::new(n, 7);
+        let mut model = ModelBuffer::new(n);
+        arena.reallocate(Addr::new(0x100), Addr::new(0x8000), 32, 3, 0);
+        model.active = true;
+        let mut now = Cycle::ZERO;
+        for op in 0..300 {
+            now += rng.below(4);
+            match rng.below(8) {
+                // Reallocation wipes the file on both sides.
+                0 => {
+                    arena.reallocate(Addr::new(0x100), Addr::new(0x8000), 32, 3, op);
+                    model.entries.fill(SbEntry::Empty);
+                }
+                // Promote arrived fills.
+                1 => {
+                    assert_eq!(
+                        arena.promote_arrived(now),
+                        model.promote_arrived(now),
+                        "case {case} op {op}: promotion count"
+                    );
+                }
+                // Overwrite a random slot with a random lifecycle state.
+                _ => {
+                    let idx = rng.below(n as u64) as usize;
+                    let block = BlockAddr(rng.below(32));
+                    let e = match rng.below(4) {
+                        0 => SbEntry::Empty,
+                        1 => SbEntry::Allocated { block },
+                        2 => SbEntry::InFlight { block, ready: now + rng.below(6) },
+                        _ => SbEntry::Ready { block },
+                    };
+                    arena.set_entry(idx, e);
+                    model.entries[idx] = e;
+                }
+            }
+            assert_eq!(arena.entries(), model.entries, "case {case} op {op}: entry file");
+            assert_eq!(arena.first_empty(), model.first_empty(), "case {case} op {op}");
+            assert_eq!(arena.first_allocated(), model.first_allocated(), "case {case} op {op}");
+            assert_eq!(arena.can_predict(), model.can_predict(), "case {case} op {op}");
+            assert_eq!(arena.can_prefetch(), model.can_prefetch(), "case {case} op {op}");
+            assert_eq!(
+                arena.is_quiescent(),
+                !model.can_predict() && !model.can_prefetch(),
+                "case {case} op {op}: quiescence"
+            );
+            assert_eq!(arena.fetched_unused(), model.fetched_unused(), "case {case} op {op}");
+            let probe = BlockAddr(rng.below(32));
+            assert_eq!(
+                arena.find(probe),
+                model.find(probe),
+                "case {case} op {op}: find({probe:?})"
+            );
+        }
+    }
+}

@@ -110,7 +110,7 @@ fn engine_invariants() {
             let mut blocks: Vec<u64> = e
                 .buffers()
                 .iter()
-                .flat_map(|b| b.entries().iter().filter_map(|en| en.block()).map(|b| b.0))
+                .flat_map(|b| b.entries().into_iter().filter_map(|en| en.block()).map(|b| b.0))
                 .collect();
             let n = blocks.len();
             blocks.sort_unstable();
@@ -146,7 +146,7 @@ fn lookup_hits_consume_entries() {
         }
         // Any block currently Ready: hit once, then miss.
         let ready_block = e.buffers().iter().flat_map(|b| b.entries()).find_map(|en| match en {
-            psb_core::SbEntry::Ready { block } => Some(*block),
+            psb_core::SbEntry::Ready { block } => Some(block),
             _ => None,
         });
         if let Some(block) = ready_block {

@@ -30,15 +30,6 @@ impl CacheStats {
     }
 }
 
-/// One way of one set.
-#[derive(Copy, Clone, Debug)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    /// Higher = more recently used.
-    lru: u64,
-}
-
 /// A set-associative cache tag array with true-LRU replacement.
 ///
 /// Only tags are modeled — a timing simulator never needs the data bytes.
@@ -59,8 +50,17 @@ struct Line {
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Line>,
+    /// Per-line tag, one flat arena indexed `set * assoc + way`.
+    tags: Box<[u64]>,
+    /// Per-line last-use stamp; `0` means the line is invalid (the global
+    /// stamp pre-increments, so a valid line's stamp is always nonzero).
+    /// Packing validity into the stamp keeps the LRU victim scan a plain
+    /// unsigned minimum: invalid ways carry stamp 0 and win automatically.
+    stamps: Box<[u64]>,
     num_sets: u64,
+    /// `log2(num_sets)` when the set count is a power of two (every
+    /// standard geometry), replacing `%` / `/` with mask/shift.
+    set_shift: Option<u32>,
     stamp: u64,
 }
 
@@ -68,10 +68,13 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
         let num_sets = config.num_sets();
+        let lines = (num_sets as usize) * config.assoc;
         Cache {
             config,
-            sets: vec![Line { tag: 0, valid: false, lru: 0 }; (num_sets as usize) * config.assoc],
+            tags: vec![0; lines].into_boxed_slice(),
+            stamps: vec![0; lines].into_boxed_slice(),
             num_sets,
+            set_shift: num_sets.is_power_of_two().then(|| num_sets.trailing_zeros()),
             stamp: 0,
         }
     }
@@ -92,9 +95,10 @@ impl Cache {
     }
 
     fn set_and_tag(&self, block: BlockAddr) -> (usize, u64) {
-        let set = (block.0 % self.num_sets) as usize;
-        let tag = block.0 / self.num_sets;
-        (set, tag)
+        match self.set_shift {
+            Some(shift) => (((block.0 & (self.num_sets - 1)) as usize), block.0 >> shift),
+            None => ((block.0 % self.num_sets) as usize, block.0 / self.num_sets),
+        }
     }
 
     fn ways(&self, set: usize) -> std::ops::Range<usize> {
@@ -110,7 +114,7 @@ impl Cache {
     /// Block-granularity [`Cache::probe`].
     pub fn probe_block(&self, block: BlockAddr) -> bool {
         let (set, tag) = self.set_and_tag(block);
-        self.ways(set).any(|i| self.sets[i].valid && self.sets[i].tag == tag)
+        self.ways(set).any(|i| self.stamps[i] != 0 && self.tags[i] == tag)
     }
 
     /// Accesses `addr`: returns `true` on hit and promotes the block to
@@ -125,8 +129,8 @@ impl Cache {
         let (set, tag) = self.set_and_tag(block);
         self.stamp += 1;
         for i in self.ways(set) {
-            if self.sets[i].valid && self.sets[i].tag == tag {
-                self.sets[i].lru = self.stamp;
+            if self.stamps[i] != 0 && self.tags[i] == tag {
+                self.stamps[i] = self.stamp;
                 return true;
             }
         }
@@ -147,29 +151,32 @@ impl Cache {
 
         // Already resident: refresh.
         for i in self.ways(set) {
-            if self.sets[i].valid && self.sets[i].tag == tag {
-                self.sets[i].lru = self.stamp;
+            if self.stamps[i] != 0 && self.tags[i] == tag {
+                self.stamps[i] = self.stamp;
                 return None;
             }
         }
 
-        // Prefer an invalid way.
-        let mut victim = None;
+        // LRU victim: the minimum stamp. Invalid ways carry stamp 0, so
+        // they win over any valid line automatically, and the strict `<`
+        // keeps the first minimum — the same way the branchy
+        // prefer-invalid scan used to choose.
+        let mut slot = 0;
         let mut oldest = u64::MAX;
         for i in self.ways(set) {
-            if !self.sets[i].valid {
-                victim = Some((i, None));
-                break;
-            }
-            if self.sets[i].lru < oldest {
-                oldest = self.sets[i].lru;
-                victim = Some((i, Some(self.sets[i].tag)));
+            if self.stamps[i] < oldest {
+                oldest = self.stamps[i];
+                slot = i;
             }
         }
-        let (slot, evicted_tag) = victim.expect("invariant: assoc >= 1 guarantees a victim");
-        self.sets[slot] = Line { tag, valid: true, lru: self.stamp };
-        // lint:allow(addr-arith) tag/set recomposition, not pointer math
-        evicted_tag.map(|t| BlockAddr(t * self.num_sets + set as u64))
+        let evicted_tag = (oldest != 0).then(|| self.tags[slot]);
+        self.tags[slot] = tag;
+        self.stamps[slot] = self.stamp;
+        evicted_tag.map(|t| match self.set_shift {
+            Some(shift) => BlockAddr((t << shift) | set as u64),
+            // lint:allow(addr-arith) tag/set recomposition, not pointer math
+            None => BlockAddr(t * self.num_sets + set as u64),
+        })
     }
 
     /// Removes the block containing `addr` if resident; returns whether it
@@ -177,8 +184,8 @@ impl Cache {
     pub fn invalidate(&mut self, addr: Addr) -> bool {
         let (set, tag) = self.set_and_tag(self.block_of(addr));
         for i in self.ways(set) {
-            if self.sets[i].valid && self.sets[i].tag == tag {
-                self.sets[i].valid = false;
+            if self.stamps[i] != 0 && self.tags[i] == tag {
+                self.stamps[i] = 0;
                 return true;
             }
         }
@@ -187,12 +194,12 @@ impl Cache {
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().filter(|l| l.valid).count()
+        self.stamps.iter().filter(|&&s| s != 0).count()
     }
 
     /// Total line capacity.
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len()
+        self.tags.len()
     }
 }
 

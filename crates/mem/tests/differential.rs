@@ -1,0 +1,186 @@
+//! Differential suite for the arena-flattened cache tag array.
+//!
+//! [`psb_mem::Cache`] packs validity into per-line LRU stamps (stamp 0 =
+//! invalid) over two flat arrays and indexes sets by mask/shift when the
+//! set count is a power of two. This file re-implements the tag array
+//! the obvious way — per-way structs with explicit `valid` flags, a
+//! prefer-first-invalid victim scan, `%` / `/` indexing — and drives
+//! both through identical SplitMix64 workloads, comparing every
+//! externally visible output after every operation.
+//!
+//! The `teeth_*` test proves the comparator bites: a variant whose set
+//! mask is off by one (`num_sets - 2`, folding odd sets onto even ones)
+//! must be flagged as divergent.
+
+use psb_common::{Addr, BlockAddr, SplitMix64};
+use psb_mem::{Cache, CacheConfig};
+
+const CASES: u64 = 30;
+
+#[derive(Copy, Clone)]
+struct ModelWay {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+}
+
+/// The pre-arena tag array: explicit validity, branchy victim choice.
+struct ModelCache {
+    ways: Vec<ModelWay>,
+    num_sets: u64,
+    assoc: usize,
+    block: u64,
+    stamp: u64,
+    mask_bug: bool,
+}
+
+impl ModelCache {
+    fn new(config: &CacheConfig, mask_bug: bool) -> Self {
+        let num_sets = config.num_sets();
+        ModelCache {
+            ways: vec![ModelWay { tag: 0, lru: 0, valid: false }; num_sets as usize * config.assoc],
+            num_sets,
+            assoc: config.assoc,
+            block: config.block,
+            stamp: 0,
+            mask_bug,
+        }
+    }
+
+    fn set_and_tag(&self, block: BlockAddr) -> (usize, u64) {
+        if self.mask_bug {
+            // Deliberately broken: mask one short of the set count.
+            ((block.0 & (self.num_sets - 2)) as usize, block.0 / self.num_sets)
+        } else {
+            ((block.0 % self.num_sets) as usize, block.0 / self.num_sets)
+        }
+    }
+
+    fn ways(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.assoc;
+        base..base + self.assoc
+    }
+
+    fn probe_block(&self, block: BlockAddr) -> bool {
+        let (set, tag) = self.set_and_tag(block);
+        self.ways(set).any(|i| self.ways[i].valid && self.ways[i].tag == tag)
+    }
+
+    fn access_block(&mut self, block: BlockAddr) -> bool {
+        let (set, tag) = self.set_and_tag(block);
+        self.stamp += 1;
+        for i in self.ways(set) {
+            if self.ways[i].valid && self.ways[i].tag == tag {
+                self.ways[i].lru = self.stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn insert_block(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        let (set, tag) = self.set_and_tag(block);
+        self.stamp += 1;
+        for i in self.ways(set) {
+            if self.ways[i].valid && self.ways[i].tag == tag {
+                self.ways[i].lru = self.stamp;
+                return None;
+            }
+        }
+        // Victim: the first invalid way, else the least recently used.
+        let slot = self.ways(set).find(|&i| !self.ways[i].valid).unwrap_or_else(|| {
+            self.ways(set)
+                .min_by_key(|&i| self.ways[i].lru)
+                .expect("assoc >= 1 gives every set at least one way")
+        });
+        let evicted = self.ways[slot]
+            .valid
+            .then(|| BlockAddr(self.ways[slot].tag * self.num_sets + set as u64));
+        self.ways[slot] = ModelWay { tag, lru: self.stamp, valid: true };
+        evicted
+    }
+
+    fn invalidate(&mut self, addr: Addr) -> bool {
+        let (set, tag) = self.set_and_tag(addr.block(self.block));
+        for i in self.ways(set) {
+            if self.ways[i].valid && self.ways[i].tag == tag {
+                self.ways[i].valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+/// Drives the arena cache and the model through one identical random
+/// workload, comparing every return value. Returns the first divergence
+/// as an error so the teeth test can assert on detection.
+fn cache_differential(config: CacheConfig, seed: u64, mask_bug: bool) -> Result<(), String> {
+    let mut arena = Cache::new(config);
+    let mut model = ModelCache::new(arena.config(), mask_bug);
+    let mut rng = SplitMix64::new(seed);
+    // A block space a few times the cache capacity: plenty of conflict
+    // misses, evictions and re-references.
+    let space = (arena.capacity_lines() as u64) * 4;
+    for op in 0..600 {
+        let block = BlockAddr(rng.below(space));
+        match rng.below(5) {
+            0 => {
+                if arena.probe_block(block) != model.probe_block(block) {
+                    return Err(format!("op {op}: probe({block:?}) diverged"));
+                }
+            }
+            1 | 2 => {
+                if arena.access_block(block) != model.access_block(block) {
+                    return Err(format!("op {op}: access({block:?}) diverged"));
+                }
+            }
+            3 => {
+                let ea = arena.insert_block(block);
+                let em = model.insert_block(block);
+                if ea != em {
+                    return Err(format!("op {op}: insert({block:?}) evicted {ea:?} vs {em:?}"));
+                }
+            }
+            _ => {
+                let addr = Addr::new(block.0 * arena.block_size());
+                if arena.invalidate(addr) != model.invalidate(addr) {
+                    return Err(format!("op {op}: invalidate({block:?}) diverged"));
+                }
+            }
+        }
+        if arena.occupancy() != model.occupancy() {
+            return Err(format!(
+                "op {op}: occupancy diverged: arena {}, model {}",
+                arena.occupancy(),
+                model.occupancy()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn cache_arena_matches_reference_model() {
+    // Several set counts down to the single-set (fully associative)
+    // edge case, where the whole index is tag.
+    let geometries =
+        [CacheConfig::new(1024, 2, 32), CacheConfig::new(512, 4, 32), CacheConfig::new(256, 8, 32)];
+    for config in geometries {
+        for seed in 0..CASES {
+            cache_differential(config, 0xCAC4E + seed, false)
+                .expect("arena cache must track the reference model");
+        }
+    }
+}
+
+#[test]
+fn teeth_cache_off_by_one_set_mask_is_caught() {
+    let config = CacheConfig::new(1024, 2, 32); // 16 sets
+    let caught = (0..CASES).any(|seed| cache_differential(config, 0xCAC4E + seed, true).is_err());
+    assert!(caught, "an off-by-one set mask must diverge from the correct tag array");
+}

@@ -130,6 +130,15 @@ pub struct SimMemory {
     next_sample: u64,
     /// Epoch width in cycles (zero when interval sampling is off).
     sample_every: u64,
+    /// Cached [`Prefetcher::quiescent`] verdict from the last real tick.
+    /// While true, [`MemSystem::tick`] skips the engine's virtual
+    /// dispatch entirely: the engine has promised its tick is a no-op
+    /// until the next lookup / allocation / fetch observation, and every
+    /// path that could change that (all inside [`SimMemory::miss`] and
+    /// [`MemSystem::fetched_load`]) clears the flag. Most pipeline
+    /// cycles perform no memory access, so whole quiescent epochs step
+    /// through a single predicted branch.
+    pf_idle: bool,
 }
 
 impl SimMemory {
@@ -164,6 +173,7 @@ impl SimMemory {
             obs: None,
             next_sample: u64::MAX,
             sample_every: 0,
+            pf_idle: false,
         }
     }
 
@@ -174,6 +184,7 @@ impl SimMemory {
         log.borrow_mut().set_check_skew(self.inner.dtlb.miss_latency());
         self.inner.log = Some(log.clone());
         self.log = Some(log);
+        self.pf_idle = false;
         if let Some(obs) = &self.obs {
             // With both a log and an obs hub attached, route the
             // prefetch-lifecycle events into the log too; re-attach the
@@ -201,6 +212,7 @@ impl SimMemory {
             obs.enable_lifecycle_log();
         }
         self.prefetcher.attach_obs(&stream_obs(obs));
+        self.pf_idle = false;
         if let Some(every) = obs.interval_every() {
             self.sample_every = every;
             self.next_sample = every;
@@ -276,6 +288,9 @@ impl SimMemory {
     /// buffers, then fall back to the lower memory system. Returns the
     /// data-ready cycle. `is_load` gates predictor training/allocation.
     fn miss(&mut self, now: Cycle, pc: Addr, addr: Addr, is_load: bool) -> Cycle {
+        // Any miss may wake the prefetcher (a lookup hit frees an entry;
+        // an allocation opens a stream): drop the idle-tick shortcut.
+        self.pf_idle = false;
         if is_load {
             // Write-back-stage predictor update: primary load misses only.
             self.prefetcher.train(now, pc, addr);
@@ -384,7 +399,10 @@ impl MemSystem for SimMemory {
     }
 
     fn tick(&mut self, now: Cycle) {
-        self.prefetcher.tick(now, &mut self.inner);
+        if !self.pf_idle {
+            self.prefetcher.tick(now, &mut self.inner);
+            self.pf_idle = self.prefetcher.quiescent();
+        }
         // Route staged prefetch-lifecycle events (filled / evicted-unused
         // / late) into the memory event log. The obs hub only stages them
         // when `enable_lifecycle_log` was called, so this stays free for
@@ -427,6 +445,7 @@ impl MemSystem for SimMemory {
     }
 
     fn fetched_load(&mut self, now: Cycle, pc: Addr) {
+        self.pf_idle = false;
         self.prefetcher.observe_fetch(now, pc);
     }
 }

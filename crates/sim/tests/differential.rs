@@ -1,0 +1,104 @@
+//! Differential test for the quiescence skip-ahead fast path.
+//!
+//! [`SimMemory::tick`] skips the per-cycle prefetcher dispatch once the
+//! engine reports [`psb_core::Prefetcher::quiescent`], resuming on the
+//! next lookup, allocation or fetch. The claim is cycle-exactness: the
+//! skip must be an *externally unobservable* optimization. This test
+//! runs every benchmark twice — once normally, once with the engine
+//! wrapped so `quiescent()` always answers "no" (forcing a real tick
+//! every cycle) — and requires the full `psb-run-v1` reports to be
+//! byte-identical.
+
+use psb_common::{Addr, Cycle};
+use psb_core::{PrefetchSink, PrefetchStats, Prefetcher, SbLookup};
+use psb_sim::{json_report, MachineConfig, PrefetcherKind, Simulation};
+use psb_workloads::Benchmark;
+
+/// Forwards everything to the wrapped engine but never reports
+/// quiescence, so the simulator ticks it every single cycle.
+struct ForceTick(Box<dyn Prefetcher>);
+
+impl Prefetcher for ForceTick {
+    fn lookup(&mut self, now: Cycle, addr: Addr) -> SbLookup {
+        self.0.lookup(now, addr)
+    }
+
+    fn train(&mut self, now: Cycle, pc: Addr, addr: Addr) {
+        self.0.train(now, pc, addr);
+    }
+
+    fn allocate(&mut self, now: Cycle, pc: Addr, addr: Addr) {
+        self.0.allocate(now, pc, addr);
+    }
+
+    fn tick(&mut self, now: Cycle, sink: &mut dyn PrefetchSink) {
+        self.0.tick(now, sink);
+    }
+
+    fn quiescent(&self) -> bool {
+        false
+    }
+
+    fn observe_fetch(&mut self, now: Cycle, pc: Addr) {
+        self.0.observe_fetch(now, pc);
+    }
+
+    fn attach_obs(&mut self, obs: &psb_core::SharedStreamObs) {
+        self.0.attach_obs(obs);
+    }
+
+    fn stats(&self) -> PrefetchStats {
+        self.0.stats()
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+const BENCHMARKS: [Benchmark; 6] = [
+    Benchmark::Health,
+    Benchmark::Burg,
+    Benchmark::DeltaBlue,
+    Benchmark::Gs,
+    Benchmark::Sis,
+    Benchmark::Turb3d,
+];
+
+#[test]
+fn skip_ahead_is_cycle_exact_on_every_benchmark() {
+    let kind = PrefetcherKind::PsbConfPriority;
+    let window = 40_000u64;
+    for bench in BENCHMARKS {
+        let trace = bench.trace(1);
+        let cfg = MachineConfig::baseline().with_prefetcher(kind);
+        let fast = Simulation::new(cfg, trace.clone(), window).run();
+        let forced = Simulation::new(cfg, trace, window)
+            .with_engine(Box::new(ForceTick(kind.build())))
+            .run();
+        let fast_json = json_report(bench.name(), kind.cli_name(), &fast, None).to_string();
+        let forced_json = json_report(bench.name(), kind.cli_name(), &forced, None).to_string();
+        assert_eq!(
+            fast_json, forced_json,
+            "{bench:?}: skipping quiescent ticks changed the run report"
+        );
+    }
+}
+
+#[test]
+fn skip_ahead_is_cycle_exact_across_engines() {
+    // The other engine families exercise different quiescence shapes:
+    // NoPrefetch is always quiescent, PC-stride goes idle in bursts.
+    let window = 40_000u64;
+    for kind in [PrefetcherKind::None, PrefetcherKind::PcStride, PrefetcherKind::Psb2MissRr] {
+        let trace = Benchmark::DeltaBlue.trace(1);
+        let cfg = MachineConfig::baseline().with_prefetcher(kind);
+        let fast = Simulation::new(cfg, trace.clone(), window).run();
+        let forced = Simulation::new(cfg, trace, window)
+            .with_engine(Box::new(ForceTick(kind.build())))
+            .run();
+        let fast_json = json_report("deltablue", kind.cli_name(), &fast, None).to_string();
+        let forced_json = json_report("deltablue", kind.cli_name(), &forced, None).to_string();
+        assert_eq!(fast_json, forced_json, "{kind:?}: skip-ahead changed the run report");
+    }
+}

@@ -19,7 +19,11 @@
 //!   (`psb-run-v1` reports, Chrome traces, `psb-bench-v1` results) and
 //!   check its shape, so CI catches a malformed writer before a human
 //!   loads the file into Perfetto or a plotting script.
+//! * `bench-gate` — re-run the micro benches and fail if any row
+//!   regressed beyond a tolerance against the committed
+//!   `BENCH_psb.json` baseline (see [`benchgate`]).
 
+mod benchgate;
 mod layering;
 mod lints;
 mod validate;
@@ -35,10 +39,11 @@ fn main() -> ExitCode {
         "lint" => lint(&args[1..]),
         "model" => model(&args[1..]),
         "validate-artifacts" => validate::validate_artifacts(&args[1..]),
+        "bench-gate" => benchgate::bench_gate(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask <lint [--src-only] | model [TESTARGS...] | \
-                 validate-artifacts FILE...>"
+                 validate-artifacts FILE... | bench-gate [--tolerance FRACTION] [--baseline FILE]>"
             );
             eprintln!();
             eprintln!("  lint                run fmt + clippy (when available), source lints");
@@ -49,6 +54,9 @@ fn main() -> ExitCode {
             eprintln!("                      to the test binaries (e.g. --nocapture)");
             eprintln!("  validate-artifacts  parse and shape-check emitted JSON artifacts");
             eprintln!("                      (run reports, Chrome traces, bench results)");
+            eprintln!("  bench-gate          re-run the micro benches and fail on regressions");
+            eprintln!("                      beyond --tolerance (fraction, default 0.25) against");
+            eprintln!("                      the committed BENCH_psb.json (or --baseline FILE)");
             ExitCode::from(2)
         }
     }

@@ -112,18 +112,30 @@ fn validate_trace(doc: &Json) -> Result<String, String> {
     Ok(format!("chrome trace, {} event(s)", events.len()))
 }
 
-fn validate_bench(doc: &Json) -> Result<String, String> {
-    let results = require(doc, "results")?.as_arr().ok_or("`results` is not an array")?;
-    for (i, r) in results.iter().enumerate() {
+fn validate_bench_rows(doc: &Json, key: &str, required: bool) -> Result<usize, String> {
+    let rows = match doc.get(key) {
+        Some(v) => v.as_arr().ok_or_else(|| format!("`{key}` is not an array"))?,
+        None if required => return Err(format!("missing key `{key}`")),
+        // `runs` only exists in artifacts written after the micro /
+        // whole-run schema split; older files stay valid.
+        None => return Ok(0),
+    };
+    for (i, r) in rows.iter().enumerate() {
         require(r, "name")
             .and_then(|n| n.as_str().ok_or_else(|| "`name` is not a string".to_string()))
-            .map_err(|m| format!("results[{i}]: {m}"))?;
+            .map_err(|m| format!("{key}[{i}]: {m}"))?;
         require(r, "ns_per_iter")
             .and_then(|n| n.as_f64().ok_or_else(|| "`ns_per_iter` is not a number".to_string()))
-            .map_err(|m| format!("results[{i}]: {m}"))?;
-        require_u64(r, "iters").map_err(|m| format!("results[{i}]: {m}"))?;
+            .map_err(|m| format!("{key}[{i}]: {m}"))?;
+        require_u64(r, "iters").map_err(|m| format!("{key}[{i}]: {m}"))?;
     }
-    Ok(format!("bench results, {} entry(ies)", results.len()))
+    Ok(rows.len())
+}
+
+fn validate_bench(doc: &Json) -> Result<String, String> {
+    let micro = validate_bench_rows(doc, "results", true)?;
+    let runs = validate_bench_rows(doc, "runs", false)?;
+    Ok(format!("bench results, {micro} micro entry(ies), {runs} run entry(ies)"))
 }
 
 fn validate_sweep(doc: &Json) -> Result<String, String> {
@@ -185,6 +197,21 @@ mod tests {
 
         let bad = r#"{"schema":"psb-bench-v1","results":[{"name":"a"}]}"#;
         assert!(validate_bench(&json::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn bench_runs_section_is_optional_but_checked() {
+        // Post-split artifacts carry whole-run rows under `runs`.
+        let split = r#"{"schema":"psb-bench-v1",
+            "results":[{"name":"a","ns_per_iter":12.5,"iters":100}],
+            "runs":[{"name":"Base","ns_per_iter":1.0e8,"iters":1}]}"#;
+        let desc = validate_bench(&json::parse(split).unwrap()).unwrap();
+        assert!(desc.contains("1 micro"), "{desc}");
+        assert!(desc.contains("1 run"), "{desc}");
+
+        let bad_runs = r#"{"schema":"psb-bench-v1","results":[],"runs":[{"name":"Base"}]}"#;
+        let err = validate_bench(&json::parse(bad_runs).unwrap()).unwrap_err();
+        assert!(err.contains("runs[0]"), "{err}");
     }
 
     #[test]
