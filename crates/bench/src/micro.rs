@@ -91,7 +91,7 @@ pub fn bench(name: &str, mut f: impl FnMut()) -> BenchResult {
         let elapsed = start.elapsed();
         if elapsed >= budget || iters >= 1 << 32 {
             let ns = elapsed.as_nanos() as f64 / iters as f64;
-            // lint:allow(println) — bench harness console output.
+            // psb-lint: allow(println): bench harness console output.
             println!("{name:<32} {ns:>12.1} ns/iter  ({iters} iters)");
             let result = BenchResult { name: name.to_owned(), ns_per_iter: ns, iters };
             record(result.clone());
@@ -118,7 +118,7 @@ pub fn bench_run(name: &str, mut f: impl FnMut()) -> BenchResult {
     let start = Instant::now();
     f();
     let ns = start.elapsed().as_nanos() as f64;
-    // lint:allow(println) — bench harness console output.
+    // psb-lint: allow(println): bench harness console output.
     println!("{name:<32} {ns:>12.1} ns/run");
     let result = BenchResult { name: name.to_owned(), ns_per_iter: ns, iters: 1 };
     upsert(&RUNS, result.clone());
@@ -127,7 +127,7 @@ pub fn bench_run(name: &str, mut f: impl FnMut()) -> BenchResult {
 
 /// Print a group header so bench output stays scannable.
 pub fn group(name: &str) {
-    // lint:allow(println) — bench harness console output.
+    // psb-lint: allow(println): bench harness console output.
     println!("\n== {name} ==");
 }
 

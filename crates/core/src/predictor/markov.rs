@@ -276,4 +276,75 @@ mod tests {
         }
         assert_eq!(seen, walk.to_vec());
     }
+
+    #[test]
+    #[should_panic(expected = "zero-sized Markov table")]
+    fn zero_entries_panics() {
+        MarkovTable::new(0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_delta_bits_panics() {
+        MarkovTable::new(2048, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_wide_delta_bits_panics() {
+        MarkovTable::new(2048, 33);
+    }
+
+    #[test]
+    fn extreme_geometries_construct() {
+        // Both ends of the documented ranges are valid: one entry, full
+        // 32-bit deltas.
+        let mut m = MarkovTable::new(1, 32);
+        m.update(BlockAddr(10), BlockAddr(20));
+        assert_eq!(m.predict(BlockAddr(10)), Some(BlockAddr(20)));
+    }
+
+    #[test]
+    fn bits_needed_covers_the_64_bit_extremes() {
+        assert_eq!(MarkovTable::bits_needed(0), 1);
+        assert_eq!(MarkovTable::bits_needed(-(1i64 << 62)), 63);
+        assert_eq!(MarkovTable::bits_needed((1i64 << 62) - 1), 63);
+        assert_eq!(MarkovTable::bits_needed(i64::MIN), 64);
+    }
+
+    #[test]
+    fn delta_width_histogram_buckets_exact_widths_up_to_32() {
+        let mut m = MarkovTable::paper_baseline();
+        m.update(BlockAddr(0), BlockAddr((1 << 31) - 1)); // needs exactly 32 bits
+        m.update(BlockAddr(0), BlockAddr(1 << 31)); // needs 33: overflow bucket
+        let h = m.delta_width_histogram();
+        assert_eq!(h.bucket(32), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn xor_fold_aliases_high_blocks_into_the_index() {
+        // Block 1<<22 folds (via the >>11 and >>22 taps) onto index 1 with
+        // partial tag 0 — the same slot and tag as block 1, so the recorded
+        // transition is visible through block 1. The documented cost of
+        // partial tags, and a pin on the exact fold.
+        let mut m = MarkovTable::paper_baseline();
+        m.update(BlockAddr(1 << 22), BlockAddr((1 << 22) + 1));
+        assert_eq!(m.predict(BlockAddr(1)), Some(BlockAddr(2)));
+    }
+
+    #[test]
+    fn odd_geometry_fallback_tag_rejects_aliases() {
+        // 3 entries: blocks 0 and 3 share (folded) index 0 but differ in
+        // the fallback `/`-derived partial tag.
+        let mut m = MarkovTable::new(3, 16);
+        m.update(BlockAddr(0), BlockAddr(1));
+        assert_eq!(m.predict(BlockAddr(0)), Some(BlockAddr(1)));
+        assert_eq!(m.predict(BlockAddr(3)), None);
+        // 6 entries: blocks 0 and 384 share index 0; their tags (0 and
+        // 384/6 = 64) differ only in bits the 8-bit fold must keep.
+        let mut m = MarkovTable::new(6, 16);
+        m.update(BlockAddr(0), BlockAddr(1));
+        assert_eq!(m.predict(BlockAddr(384)), None);
+    }
 }

@@ -395,4 +395,62 @@ mod tests {
     fn bad_geometry_panics() {
         StrideTable::new(10, 4, 7);
     }
+
+    #[test]
+    #[should_panic(expected = "zero-sized stride table")]
+    fn zero_entries_panics() {
+        StrideTable::new(0, 4, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized stride table")]
+    fn zero_assoc_panics() {
+        StrideTable::new(4, 0, 7);
+    }
+
+    #[test]
+    fn paper_baseline_confidence_saturates_at_seven() {
+        assert_eq!(StrideTable::paper_baseline().confidence_max(), 7);
+    }
+
+    #[test]
+    fn single_entry_direct_mapped_table_works() {
+        let mut t = StrideTable::new(1, 1, 7);
+        t.train(Addr::new(0x1000), Addr::new(0x100));
+        t.train(Addr::new(0x1000), Addr::new(0x140));
+        let info = t.info(Addr::new(0x1000), Addr::new(0)).expect("resident");
+        assert_eq!(info.last_addr, Addr::new(0x140));
+    }
+
+    #[test]
+    fn fresh_entry_reports_no_repeat_stride() {
+        // A unit stride right after a cold allocation must not count as a
+        // repeat: the fresh entry has no previous stride to repeat.
+        let mut t = StrideTable::paper_baseline();
+        let out = t.train(Addr::new(0x1000), Addr::new(0x8000));
+        assert!(out.cold);
+        let out = t.train(Addr::new(0x1000), Addr::new(0x8001));
+        assert!(!out.repeat_stride);
+    }
+
+    #[test]
+    fn tag_distinguishes_far_apart_pcs_in_the_same_set() {
+        // PCs 0 and 1<<60 index the same set of the paper table; only the
+        // high bits the tag must keep tell them apart.
+        let mut t = StrideTable::paper_baseline();
+        t.train(Addr::new(1u64 << 60), Addr::new(0x100));
+        let out = t.train(Addr::new(0), Addr::new(0x200));
+        assert!(out.cold, "distinct pc in the same set must miss");
+    }
+
+    #[test]
+    fn confirm_for_an_absent_pc_is_a_no_op() {
+        let mut t = StrideTable::paper_baseline();
+        t.train(Addr::new(0x1000), Addr::new(0x8000));
+        // Not resident — and in particular must not fall through to the
+        // entry the preceding train() cached.
+        t.confirm(Addr::new(0x2000), true);
+        let info = t.info(Addr::new(0x1000), Addr::new(0)).expect("resident");
+        assert_eq!(info.confidence, 0);
+    }
 }

@@ -527,4 +527,46 @@ mod tests {
     fn oversized_entry_file_panics() {
         StreamBuffer::new(65, 12);
     }
+
+    #[test]
+    fn single_entry_buffer_works() {
+        let mut b = StreamBuffer::new(1, 3);
+        b.reallocate(Addr::new(0), Addr::new(0), 32, 0, 0);
+        b.set_entry(0, SbEntry::Allocated { block: BlockAddr(7) });
+        assert_eq!(b.find(BlockAddr(7)), Some(0));
+        assert!(b.first_empty().is_none());
+    }
+
+    #[test]
+    fn fresh_buffer_has_zeroed_scheduling_stamps() {
+        // 0 is the "never" stamp: schedulers compare it against real
+        // stamps, which start at 1.
+        let b = buf();
+        assert_eq!(b.last_touch(), 0);
+        assert_eq!(b.last_alloc(), 0);
+        assert_eq!(b.last_service(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry index 4 out of range")]
+    fn entry_out_of_range_panics() {
+        buf().entry(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry index 4 out of range")]
+    fn set_entry_out_of_range_panics() {
+        buf().set_entry(4, SbEntry::Empty);
+    }
+
+    #[test]
+    fn slot_state_predicates_address_the_right_bit() {
+        let mut b = buf();
+        b.reallocate(Addr::new(0), Addr::new(0), 32, 0, 0);
+        b.set_entry(2, SbEntry::Allocated { block: BlockAddr(5) });
+        assert!(b.is_allocated(2) && !b.is_allocated(0));
+        b.set_entry(0, SbEntry::InFlight { block: BlockAddr(6), ready: Cycle::new(9) });
+        assert!(b.has_in_flight());
+        assert!(b.is_in_flight(0) && !b.is_in_flight(2));
+    }
 }

@@ -139,6 +139,21 @@ pub struct SimMemory {
     /// cycles perform no memory access, so whole quiescent epochs step
     /// through a single predicted branch.
     pf_idle: bool,
+    /// When set, [`Prefetcher::quiescent`] verdicts are ignored and the
+    /// engine is ticked every cycle. The skip-ahead is an optimization
+    /// with an exactness claim; forcing every tick is how the
+    /// differential suites and the mutation-testing kill suite pin that
+    /// claim down. Enabled by [`SimMemory::set_force_tick`] or the
+    /// `PSB_FORCE_TICK` environment switch (any value but `0`), read
+    /// once at construction so the hot path never touches the
+    /// environment.
+    force_tick: bool,
+}
+
+/// Reads the `PSB_FORCE_TICK` environment switch: set and not `"0"`
+/// means every cycle performs a real prefetcher tick.
+fn force_tick_env() -> bool {
+    std::env::var_os("PSB_FORCE_TICK").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 impl SimMemory {
@@ -174,7 +189,18 @@ impl SimMemory {
             next_sample: u64::MAX,
             sample_every: 0,
             pf_idle: false,
+            force_tick: force_tick_env(),
         }
+    }
+
+    /// Forces a real prefetcher tick every cycle, defeating the
+    /// quiescence skip-ahead (see the `force_tick` field). Programmatic
+    /// equivalent of the `PSB_FORCE_TICK` environment switch; forcing
+    /// must never change any reported result, and the differential
+    /// suites assert exactly that.
+    pub fn set_force_tick(&mut self, on: bool) {
+        self.force_tick = on;
+        self.pf_idle = false;
     }
 
     /// Attaches a shared event log; demand accesses, prefetches and
@@ -401,7 +427,7 @@ impl MemSystem for SimMemory {
     fn tick(&mut self, now: Cycle) {
         if !self.pf_idle {
             self.prefetcher.tick(now, &mut self.inner);
-            self.pf_idle = self.prefetcher.quiescent();
+            self.pf_idle = !self.force_tick && self.prefetcher.quiescent();
         }
         // Route staged prefetch-lifecycle events (filled / evicted-unused
         // / late) into the memory event log. The obs hub only stages them

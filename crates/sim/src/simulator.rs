@@ -25,6 +25,7 @@ pub struct Simulation {
     engine: Option<Box<dyn psb_core::Prefetcher>>,
     log: Option<crate::SharedMemLog>,
     obs: Option<psb_obs::Obs>,
+    force_tick: bool,
 }
 
 impl Simulation {
@@ -44,7 +45,27 @@ impl Simulation {
         trace: std::sync::Arc<Vec<DynInst>>,
         max_commits: u64,
     ) -> Self {
-        Simulation { config, trace, max_commits, engine: None, log: None, obs: None }
+        Simulation {
+            config,
+            trace,
+            max_commits,
+            engine: None,
+            log: None,
+            obs: None,
+            force_tick: false,
+        }
+    }
+
+    /// Defeats the quiescence skip-ahead: the prefetcher is ticked every
+    /// single cycle (see [`SimMemory::set_force_tick`]). The skip is an
+    /// exactness-preserving optimization, so forcing ticks must never
+    /// change a report — the differential suites and the mutation kill
+    /// suite run under this switch (or the equivalent `PSB_FORCE_TICK`
+    /// environment variable) so quiescence bugs cannot hide behind
+    /// skipped cycles.
+    pub fn with_forced_ticks(mut self) -> Self {
+        self.force_tick = true;
+        self
     }
 
     /// Attaches a shared memory event log (see
@@ -91,6 +112,9 @@ impl Simulation {
             Some(engine) => SimMemory::with_engine(&self.config, engine),
             None => SimMemory::new(&self.config),
         };
+        if self.force_tick {
+            mem.set_force_tick(true);
+        }
         if let Some(log) = self.log {
             mem.attach_log(log);
         }

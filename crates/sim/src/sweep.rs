@@ -230,9 +230,9 @@ fn sweep_with_runner(
         cells,
         workers,
         |_, cell| {
-            // Host wall-clock for telemetry only; the lint allowlists
-            // this file because the timing feeds a progress histogram,
-            // never the deterministic artifact. lint:allow(determinism)
+            // Host wall-clock for telemetry only — the timing feeds a
+            // progress histogram, never the deterministic artifact.
+            // psb-lint: allow(determinism)
             let start = std::time::Instant::now();
             let stats = runner(cell);
             SweepOutcome { stats, wall_micros: start.elapsed().as_micros() as u64 }

@@ -4,57 +4,21 @@
 //! engine reports [`psb_core::Prefetcher::quiescent`], resuming on the
 //! next lookup, allocation or fetch. The claim is cycle-exactness: the
 //! skip must be an *externally unobservable* optimization. This test
-//! runs every benchmark twice — once normally, once with the engine
-//! wrapped so `quiescent()` always answers "no" (forcing a real tick
-//! every cycle) — and requires the full `psb-run-v1` reports to be
+//! runs every benchmark twice — once normally, once under the supported
+//! forced-tick switch ([`Simulation::with_forced_ticks`], equivalently
+//! the `PSB_FORCE_TICK` environment variable used by the mutation kill
+//! suite) — and requires the full `psb-run-v1` reports to be
 //! byte-identical.
 
-use psb_common::{Addr, Cycle};
-use psb_core::{PrefetchSink, PrefetchStats, Prefetcher, SbLookup};
 use psb_sim::{json_report, MachineConfig, PrefetcherKind, Simulation};
 use psb_workloads::Benchmark;
+use std::sync::Mutex;
 
-/// Forwards everything to the wrapped engine but never reports
-/// quiescence, so the simulator ticks it every single cycle.
-struct ForceTick(Box<dyn Prefetcher>);
-
-impl Prefetcher for ForceTick {
-    fn lookup(&mut self, now: Cycle, addr: Addr) -> SbLookup {
-        self.0.lookup(now, addr)
-    }
-
-    fn train(&mut self, now: Cycle, pc: Addr, addr: Addr) {
-        self.0.train(now, pc, addr);
-    }
-
-    fn allocate(&mut self, now: Cycle, pc: Addr, addr: Addr) {
-        self.0.allocate(now, pc, addr);
-    }
-
-    fn tick(&mut self, now: Cycle, sink: &mut dyn PrefetchSink) {
-        self.0.tick(now, sink);
-    }
-
-    fn quiescent(&self) -> bool {
-        false
-    }
-
-    fn observe_fetch(&mut self, now: Cycle, pc: Addr) {
-        self.0.observe_fetch(now, pc);
-    }
-
-    fn attach_obs(&mut self, obs: &psb_core::SharedStreamObs) {
-        self.0.attach_obs(obs);
-    }
-
-    fn stats(&self) -> PrefetchStats {
-        self.0.stats()
-    }
-
-    fn name(&self) -> &str {
-        self.0.name()
-    }
-}
+/// Serializes tests that read or write `PSB_FORCE_TICK`: the variable is
+/// process-global and `SimMemory` samples it at construction, so a fast
+/// (unforced) run must never be built while another test holds the
+/// switch on.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 const BENCHMARKS: [Benchmark; 6] = [
     Benchmark::Health,
@@ -67,15 +31,14 @@ const BENCHMARKS: [Benchmark; 6] = [
 
 #[test]
 fn skip_ahead_is_cycle_exact_on_every_benchmark() {
+    let _env = ENV_LOCK.lock().unwrap();
     let kind = PrefetcherKind::PsbConfPriority;
     let window = 40_000u64;
     for bench in BENCHMARKS {
         let trace = bench.trace(1);
         let cfg = MachineConfig::baseline().with_prefetcher(kind);
         let fast = Simulation::new(cfg, trace.clone(), window).run();
-        let forced = Simulation::new(cfg, trace, window)
-            .with_engine(Box::new(ForceTick(kind.build())))
-            .run();
+        let forced = Simulation::new(cfg, trace, window).with_forced_ticks().run();
         let fast_json = json_report(bench.name(), kind.cli_name(), &fast, None).to_string();
         let forced_json = json_report(bench.name(), kind.cli_name(), &forced, None).to_string();
         assert_eq!(
@@ -89,16 +52,33 @@ fn skip_ahead_is_cycle_exact_on_every_benchmark() {
 fn skip_ahead_is_cycle_exact_across_engines() {
     // The other engine families exercise different quiescence shapes:
     // NoPrefetch is always quiescent, PC-stride goes idle in bursts.
+    let _env = ENV_LOCK.lock().unwrap();
     let window = 40_000u64;
     for kind in [PrefetcherKind::None, PrefetcherKind::PcStride, PrefetcherKind::Psb2MissRr] {
         let trace = Benchmark::DeltaBlue.trace(1);
         let cfg = MachineConfig::baseline().with_prefetcher(kind);
         let fast = Simulation::new(cfg, trace.clone(), window).run();
-        let forced = Simulation::new(cfg, trace, window)
-            .with_engine(Box::new(ForceTick(kind.build())))
-            .run();
+        let forced = Simulation::new(cfg, trace, window).with_forced_ticks().run();
         let fast_json = json_report("deltablue", kind.cli_name(), &fast, None).to_string();
         let forced_json = json_report("deltablue", kind.cli_name(), &forced, None).to_string();
         assert_eq!(fast_json, forced_json, "{kind:?}: skip-ahead changed the run report");
     }
+}
+
+#[test]
+fn force_tick_env_switch_is_cycle_exact() {
+    // The kill suite reaches the switch through the environment (it
+    // cannot edit call sites), so prove that path too: a run built with
+    // PSB_FORCE_TICK=1 in the environment matches the unforced report.
+    let _env = ENV_LOCK.lock().unwrap();
+    let kind = PrefetcherKind::PsbConfPriority;
+    let trace = Benchmark::Health.trace(1);
+    let cfg = MachineConfig::baseline().with_prefetcher(kind);
+    let fast = Simulation::new(cfg, trace.clone(), 40_000).run();
+    std::env::set_var("PSB_FORCE_TICK", "1");
+    let forced = Simulation::new(cfg, trace, 40_000).run();
+    std::env::remove_var("PSB_FORCE_TICK");
+    let fast_json = json_report("health", kind.cli_name(), &fast, None).to_string();
+    let forced_json = json_report("health", kind.cli_name(), &forced, None).to_string();
+    assert_eq!(fast_json, forced_json, "PSB_FORCE_TICK changed the run report");
 }

@@ -3,10 +3,12 @@
 //!
 //! The rules:
 //!
-//! * `addr-arith` — raw wrapping/`as u64` arithmetic on addresses is
-//!   forbidden outside `crates/common/src/addr.rs`; go through
-//!   [`Addr::offset`]/[`Addr::delta`] so overflow semantics live in one
-//!   place.
+//! * `addr-arith` — raw wrapping/`as u64` arithmetic on addresses; go
+//!   through [`Addr::offset`]/[`Addr::delta`] so overflow semantics
+//!   live in one place. The helpers' own home,
+//!   `crates/common/src/addr.rs`, opts out with a file-level allow —
+//!   an in-source directive like every other exemption, not a path
+//!   list buried in this file.
 //! * `unwrap` — `.unwrap()` is forbidden in non-test code of the
 //!   hot-path crates (`mem`, `core`, `cpu`); `.expect(...)` is allowed
 //!   only when justified by an invariant comment (the word "invariant"
@@ -26,8 +28,23 @@
 //!
 //! The crate-layering pass lives in [`crate::layering`].
 //!
-//! Any finding can be suppressed by putting `lint:allow(<rule>)` in a
-//! comment on the same line or the line above.
+//! ## Suppressions
+//!
+//! Any finding can be suppressed with a comment that *starts* with the
+//! directive — on the offending line or the line above to excuse one
+//! site, or anywhere in the file with the `-file` form to exempt the
+//! whole file:
+//!
+//! ```text
+//! // psb-lint: allow(unwrap): length checked two lines up
+//! // psb-lint: allow-file(addr-arith): this module owns address math
+//! ```
+//!
+//! Suppressions are themselves linted: a directive that suppresses
+//! nothing (the code it excused is gone, or the rule name is unknown)
+//! is a `stale-allow` finding, so allows cannot outlive their excuse.
+//! Directives must open the comment; prose that merely *mentions* the
+//! syntax, like this paragraph, is not a directive.
 
 use std::fmt;
 use std::path::Path;
@@ -149,11 +166,186 @@ fn classify(source: &str) -> Vec<LineInfo> {
     out
 }
 
-/// Whether `lines[idx]` is covered by a `lint:allow(rule)` comment on
-/// the same line or the line above.
-fn allowed(lines: &[LineInfo], idx: usize, rule: &str) -> bool {
-    let needle = format!("lint:allow({rule})");
-    lines[idx].raw.contains(&needle) || (idx > 0 && lines[idx - 1].raw.contains(&needle))
+/// Every rule a suppression directive may name.
+pub const RULES: [&str; 7] = [
+    "addr-arith",
+    "unwrap",
+    "hashmap-report",
+    "println",
+    "determinism",
+    "sync-shims",
+    "missing-docs",
+];
+
+/// One parsed `psb-lint:` directive.
+struct Suppression {
+    /// The rule it names.
+    rule: String,
+    /// 1-based line of the directive comment.
+    line: usize,
+    /// `allow-file` form: covers the whole file.
+    file_level: bool,
+    /// Whether any finding was actually suppressed by it.
+    used: bool,
+}
+
+/// The comment part of a line — the text after a `//` that sits outside
+/// string and char literals — if any. Doc comments count (the extra
+/// `/` / `!` markers are stripped by the directive parser).
+fn comment_text(line: &str) -> Option<&str> {
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut chars = line.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if in_str {
+            if c == '\\' {
+                chars.next();
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        if in_char {
+            if c == '\\' {
+                chars.next();
+            } else if c == '\'' {
+                in_char = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '\'' => {
+                let rest: Vec<char> = line[i + 1..].chars().take(3).collect();
+                if rest.first() == Some(&'\\') || rest.get(1) == Some(&'\'') {
+                    in_char = true;
+                }
+            }
+            '/' if matches!(chars.peek(), Some((_, '/'))) => return Some(&line[i + 2..]),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Scans a file for `psb-lint:` directives. Returns the suppressions
+/// plus findings for directives that cannot possibly work (malformed,
+/// or naming an unknown rule). Directives inside test regions are
+/// ignored entirely: test code is not linted, so they are inert.
+fn scan_directives(rel_path: &str, lines: &[LineInfo]) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test {
+            continue;
+        }
+        let Some(text) = comment_text(&li.raw) else {
+            continue;
+        };
+        // Strip doc-comment markers and indentation; a directive must
+        // open the comment (prose that mentions the syntax mid-sentence
+        // is not a directive).
+        let text = text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = text.strip_prefix("psb-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (file_level, rest) = match rest.strip_prefix("allow-file(") {
+            Some(r) => (true, r),
+            None => match rest.strip_prefix("allow(") {
+                Some(r) => (false, r),
+                None => {
+                    bad.push(Finding {
+                        rule: "stale-allow",
+                        file: rel_path.to_string(),
+                        line: i + 1,
+                        msg: "malformed psb-lint directive; expected \
+                              `psb-lint: allow(<rule>)` or `psb-lint: allow-file(<rule>)`"
+                            .to_string(),
+                    });
+                    continue;
+                }
+            },
+        };
+        let Some(rule) = rest.split(')').next().filter(|_| rest.contains(')')) else {
+            bad.push(Finding {
+                rule: "stale-allow",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "malformed psb-lint directive: missing `)`".to_string(),
+            });
+            continue;
+        };
+        if !RULES.contains(&rule) {
+            bad.push(Finding {
+                rule: "stale-allow",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: format!(
+                    "psb-lint directive names unknown rule {rule:?} (known: {})",
+                    RULES.join(", "),
+                ),
+            });
+            continue;
+        }
+        sups.push(Suppression { rule: rule.to_string(), line: i + 1, file_level, used: false });
+    }
+    (sups, bad)
+}
+
+/// Applies the file's suppression directives to raw findings: covered
+/// findings are dropped, and every directive that covered nothing
+/// becomes a `stale-allow` finding — an allow must never outlive the
+/// code it excuses.
+pub fn apply_suppressions(rel_path: &str, source: &str, raw: Vec<Finding>) -> Vec<Finding> {
+    let lines = classify(source);
+    let (mut sups, mut out) = scan_directives(rel_path, &lines);
+    for f in raw {
+        let mut covered = false;
+        for s in &mut sups {
+            if s.rule == f.rule && (s.file_level || f.line == s.line || f.line == s.line + 1) {
+                s.used = true;
+                covered = true;
+            }
+        }
+        if !covered {
+            out.push(f);
+        }
+    }
+    for s in &sups {
+        if !s.used {
+            let form = if s.file_level { "allow-file" } else { "allow" };
+            out.push(Finding {
+                rule: "stale-allow",
+                file: rel_path.to_string(),
+                line: s.line,
+                msg: format!(
+                    "psb-lint: {form}({}) suppresses nothing — the code it excused \
+                     is gone; remove the comment",
+                    s.rule,
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+/// Runs every source rule on one file and applies the suppression pass.
+/// `check_docs` enables `missing-docs` (crates that opted in via
+/// `#![warn(missing_docs)]`).
+pub fn lint_file(rel_path: &str, source: &str, check_docs: bool) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    raw.extend(lint_addr_arith(rel_path, source));
+    raw.extend(lint_unwrap(rel_path, source));
+    raw.extend(lint_hashmap_report(rel_path, source));
+    raw.extend(lint_println(rel_path, source));
+    raw.extend(lint_determinism(rel_path, source));
+    raw.extend(lint_sync_shims(rel_path, source));
+    if check_docs {
+        raw.extend(lint_missing_docs(rel_path, source));
+    }
+    apply_suppressions(rel_path, source, raw)
 }
 
 fn word_boundary_contains(haystack: &str, needle: &str) -> bool {
@@ -182,20 +374,16 @@ fn mentions_address(code: &str) -> bool {
     lower.contains("addr") || word_boundary_contains(&lower, "pc") || code.contains(".raw()")
 }
 
-/// Rule `addr-arith`: wrapping or raw-cast arithmetic on addresses
-/// outside the sanctioned `addr.rs`.
+/// Rule `addr-arith`: wrapping or raw-cast arithmetic on addresses.
+/// The sanctioned home of that arithmetic, `common/src/addr.rs`, is
+/// not special-cased here — it carries a file-level
+/// `psb-lint: allow-file(addr-arith)` directive like any other
+/// exemption.
 pub fn lint_addr_arith(rel_path: &str, source: &str) -> Vec<Finding> {
-    if rel_path.ends_with("common/src/addr.rs") {
-        return Vec::new();
-    }
     let lines = classify(source);
     let mut out = Vec::new();
     for (i, li) in lines.iter().enumerate() {
-        if li.in_test
-            || li.comment_only
-            || !mentions_address(&li.code)
-            || allowed(&lines, i, "addr-arith")
-        {
+        if li.in_test || li.comment_only || !mentions_address(&li.code) {
             continue;
         }
         let wrapping = li.code.contains("wrapping_add(") || li.code.contains("wrapping_sub(");
@@ -230,7 +418,7 @@ pub fn lint_unwrap(rel_path: &str, source: &str) -> Vec<Finding> {
         if li.in_test || li.comment_only {
             continue;
         }
-        if li.code.contains(".unwrap()") && !allowed(&lines, i, "unwrap") {
+        if li.code.contains(".unwrap()") {
             out.push(Finding {
                 rule: "unwrap",
                 file: rel_path.to_string(),
@@ -240,7 +428,7 @@ pub fn lint_unwrap(rel_path: &str, source: &str) -> Vec<Finding> {
                     .to_string(),
             });
         }
-        if li.code.contains(".expect(") && !allowed(&lines, i, "unwrap") {
+        if li.code.contains(".expect(") {
             // Justified when an invariant comment appears nearby or the
             // message itself names the invariant. The raw line keeps the
             // string literal, so check it rather than the stripped code.
@@ -271,7 +459,7 @@ pub fn lint_hashmap_report(rel_path: &str, source: &str) -> Vec<Finding> {
     let lines = classify(source);
     let mut out = Vec::new();
     for (i, li) in lines.iter().enumerate() {
-        if li.in_test || li.comment_only || allowed(&lines, i, "hashmap-report") {
+        if li.in_test || li.comment_only {
             continue;
         }
         if li.code.contains("HashMap") {
@@ -302,7 +490,7 @@ pub fn lint_println(rel_path: &str, source: &str) -> Vec<Finding> {
     let lines = classify(source);
     let mut out = Vec::new();
     for (i, li) in lines.iter().enumerate() {
-        if li.in_test || li.comment_only || allowed(&lines, i, "println") {
+        if li.in_test || li.comment_only {
             continue;
         }
         if ["println!", "print!", "eprintln!", "eprint!"].iter().any(|m| li.code.contains(m)) {
@@ -332,7 +520,7 @@ pub const DETERMINISTIC_CRATES: [&str; 5] =
 /// sweep's byte-identical-across-`--threads` contract. Timing that is
 /// *presentation only* (the sweep coordinator's progress/wall-clock
 /// lines, which are kept out of the artifact by construction) carries a
-/// `lint:allow(determinism)` comment stating exactly that.
+/// `psb-lint: allow(determinism)` comment stating exactly that.
 pub fn lint_determinism(rel_path: &str, source: &str) -> Vec<Finding> {
     if !DETERMINISTIC_CRATES.iter().any(|c| rel_path.starts_with(c)) {
         return Vec::new();
@@ -340,7 +528,7 @@ pub fn lint_determinism(rel_path: &str, source: &str) -> Vec<Finding> {
     let lines = classify(source);
     let mut out = Vec::new();
     for (i, li) in lines.iter().enumerate() {
-        if li.in_test || li.comment_only || allowed(&lines, i, "determinism") {
+        if li.in_test || li.comment_only {
             continue;
         }
         let wall_clock = li.code.contains("Instant::now")
@@ -353,7 +541,7 @@ pub fn lint_determinism(rel_path: &str, source: &str) -> Vec<Finding> {
                 line: i + 1,
                 msg: "host wall-clock in a simulation-result crate; results must be \
                       bit-reproducible — derive times from simulated cycles, or mark \
-                      presentation-only timing with lint:allow(determinism)"
+                      presentation-only timing with psb-lint: allow(determinism)"
                     .to_string(),
             });
         }
@@ -382,7 +570,7 @@ pub fn lint_sync_shims(rel_path: &str, source: &str) -> Vec<Finding> {
     let lines = classify(source);
     let mut out = Vec::new();
     for (i, li) in lines.iter().enumerate() {
-        if li.in_test || li.comment_only || allowed(&lines, i, "sync-shims") {
+        if li.in_test || li.comment_only {
             continue;
         }
         let raw_sync =
@@ -414,7 +602,7 @@ pub fn lint_missing_docs(rel_path: &str, source: &str) -> Vec<Finding> {
     let lines = classify(source);
     let mut out = Vec::new();
     for (i, li) in lines.iter().enumerate() {
-        if li.in_test || allowed(&lines, i, "missing-docs") {
+        if li.in_test {
             continue;
         }
         let trimmed = li.raw.trim_start();
@@ -476,9 +664,13 @@ mod tests {
     }
 
     #[test]
-    fn addr_arith_silent_in_addr_rs_and_on_non_address_math() {
-        let addr_src = "self.0.wrapping_add(delta as u64)\n";
-        assert!(lint_addr_arith("crates/common/src/addr.rs", addr_src).is_empty());
+    fn addr_arith_exempted_by_file_directive_and_silent_on_non_address_math() {
+        // addr.rs-style exemption: a file-level directive, not a path
+        // list in this file.
+        let addr_src = "// psb-lint: allow-file(addr-arith): home of address math\n\
+                        fn offset(a: Addr, d: i64) -> Addr {\n    \
+                        Addr(a.0.wrapping_add(d as u64))\n}\n";
+        assert!(lint_file("crates/common/src/addr.rs", addr_src, false).is_empty());
         // Bit-mixing with no address vocabulary is fine.
         let rng_src = "z = z.wrapping_add(0x9e3779b97f4a7c15);\n";
         assert!(lint_addr_arith("crates/common/src/rng.rs", rng_src).is_empty());
@@ -486,9 +678,9 @@ mod tests {
 
     #[test]
     fn addr_arith_respects_allow_comment() {
-        let src = "// lint:allow(addr-arith) hashing, not address math\n\
+        let src = "// psb-lint: allow(addr-arith): hashing, not address math\n\
                    let h = pc.wrapping_add(seed);\n";
-        assert!(lint_addr_arith("crates/cpu/src/x.rs", src).is_empty());
+        assert!(lint_file("crates/cpu/src/x.rs", src, false).is_empty());
     }
 
     #[test]
@@ -574,9 +766,11 @@ mod tests {
     }
 
     #[test]
-    fn println_respects_allow_comment() {
-        let src = "// lint:allow(println) — harness output\nprintln!(\"ok\");\n";
-        assert!(lint_println("crates/bench/src/micro.rs", src).is_empty());
+    fn println_respects_allow_comment_above_or_on_the_line() {
+        let above = "// psb-lint: allow(println): harness output\nprintln!(\"ok\");\n";
+        assert!(lint_file("crates/bench/src/micro.rs", above, false).is_empty());
+        let same_line = "println!(\"ok\"); // psb-lint: allow(println): harness output\n";
+        assert!(lint_file("crates/bench/src/micro.rs", same_line, false).is_empty());
     }
 
     // -- determinism ------------------------------------------------------
@@ -594,9 +788,9 @@ mod tests {
         let src = "let start = std::time::Instant::now();\n";
         assert!(lint_determinism("crates/obs/src/trace.rs", src).is_empty());
         assert!(lint_determinism("src/bin/psbsweep.rs", src).is_empty());
-        let allowed_src = "// presentation only; lint:allow(determinism)\n\
+        let allowed_src = "// psb-lint: allow(determinism): presentation only\n\
                            let start = std::time::Instant::now();\n";
-        assert!(lint_determinism("crates/sim/src/sweep.rs", allowed_src).is_empty());
+        assert!(lint_file("crates/sim/src/sweep.rs", allowed_src, false).is_empty());
         let test_src = "#[cfg(test)]\nmod tests {\n    \
                         fn t() { let _ = std::time::Instant::now(); }\n}\n";
         assert!(lint_determinism("crates/sim/src/x.rs", test_src).is_empty());
@@ -652,6 +846,77 @@ mod tests {
     fn wants_missing_docs_detects_attribute() {
         assert!(wants_missing_docs("#![warn(missing_docs)]\n"));
         assert!(!wants_missing_docs("#![allow(dead_code)]\n"));
+    }
+
+    // -- stale-allow ------------------------------------------------------
+
+    #[test]
+    fn stale_allow_fires_when_a_directive_suppresses_nothing() {
+        // The unwrap the directive excused is gone; the comment must go
+        // with it.
+        let src = "// psb-lint: allow(unwrap): length checked above\n\
+                   let x = 1;\n";
+        let f = lint_file("crates/mem/src/x.rs", src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "stale-allow");
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].msg.contains("suppresses nothing"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn stale_allow_fires_on_an_unused_file_directive() {
+        let src = "// psb-lint: allow-file(addr-arith): home of address math\n\
+                   let x = 1;\n";
+        let f = lint_file("crates/common/src/other.rs", src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "stale-allow");
+    }
+
+    #[test]
+    fn used_directives_are_not_stale() {
+        let src = "// psb-lint: allow(unwrap): length checked above\n\
+                   let x = opt.unwrap();\n";
+        assert!(lint_file("crates/mem/src/x.rs", src, false).is_empty());
+        // A file-level directive used once anywhere is not stale.
+        let file_src = "// psb-lint: allow-file(unwrap): fixture\n\
+                        fn a(o: Option<u32>) -> u32 { o.unwrap() }\n\
+                        fn b(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert!(lint_file("crates/mem/src/x.rs", file_src, false).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_and_malformed_directives_are_flagged() {
+        let unknown = "// psb-lint: allow(no-such-rule): typo\n";
+        let f = lint_file("crates/mem/src/x.rs", unknown, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("unknown rule"), "{}", f[0].msg);
+
+        let malformed = "// psb-lint: alow(unwrap)\n";
+        let f = lint_file("crates/mem/src/x.rs", malformed, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("malformed"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn prose_mentions_strings_and_test_regions_are_not_directives() {
+        // Mid-comment prose about the syntax is not a directive.
+        let prose = "// suppress with psb-lint: allow(unwrap) if justified\n";
+        assert!(lint_file("crates/mem/src/x.rs", prose, false).is_empty());
+        // Directive text inside a string literal is not a comment.
+        let in_str = "let s = \"// psb-lint: allow(unwrap)\";\n";
+        assert!(lint_file("crates/workloads/src/x.rs", in_str, false).is_empty());
+        // Directives in test code are inert, never stale.
+        let in_test = "#[cfg(test)]\nmod tests {\n    \
+                       // psb-lint: allow(unwrap): test-only\n    \
+                       fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(lint_file("crates/mem/src/x.rs", in_test, false).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_directives_work() {
+        let src = "/// psb-lint: allow(unwrap): doc-comment directive\n\
+                   pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert!(lint_file("crates/mem/src/x.rs", src, false).is_empty());
     }
 
     // -- region tracking --------------------------------------------------

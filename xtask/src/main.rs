@@ -26,40 +26,139 @@
 mod benchgate;
 mod layering;
 mod lints;
+mod mutants;
 mod validate;
 
 use lints::Finding;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
+/// One subcommand: its name, the argument synopsis shown in the usage
+/// line, the indented help lines, and the handler. The dispatch match
+/// and the usage text used to be maintained separately and drifted (the
+/// same class of bug as the psbsim `usage()` drift fixed in PR 4); this
+/// table is now the single source of truth for both.
+struct Cmd {
+    name: &'static str,
+    synopsis: &'static str,
+    help: &'static [&'static str],
+    run: fn(&[String]) -> ExitCode,
+}
+
+const COMMANDS: &[Cmd] = &[
+    Cmd {
+        name: "lint",
+        synopsis: "[--src-only]",
+        help: &[
+            "run fmt + clippy (when available), source lints",
+            "and the crate-layering checker",
+            "  --src-only        skip the fmt/clippy toolchain passes",
+        ],
+        run: lint,
+    },
+    Cmd {
+        name: "model",
+        synopsis: "[TESTARGS...]",
+        help: &[
+            "run the concurrency model checker (--cfg psb_model)",
+            "over the sweep pool and trace cache; extra args go",
+            "to the test binaries (e.g. --nocapture)",
+        ],
+        run: model,
+    },
+    Cmd {
+        name: "validate-artifacts",
+        synopsis: "FILE...",
+        help: &[
+            "parse and shape-check emitted JSON artifacts",
+            "(run reports, Chrome traces, bench results)",
+        ],
+        run: validate::validate_artifacts,
+    },
+    Cmd {
+        name: "bench-gate",
+        synopsis: "[--tolerance FRACTION] [--baseline FILE]",
+        help: &[
+            "re-run the micro benches and fail on regressions",
+            "beyond --tolerance (fraction, default 0.25) against",
+            "the committed BENCH_psb.json (or --baseline FILE)",
+        ],
+        run: benchgate::bench_gate,
+    },
+    Cmd {
+        name: "mutants",
+        synopsis: "[--crate NAME] [--filter SUBSTR] [--sample N] [--seed S] [--timeout SECS] [--jobs N] [--list] [--baseline FILE] [--report FILE]",
+        help: &[
+            "mutation-test the hot-path files of psb-core/psb-mem:",
+            "generate mutants, run the kill suite per mutant in a",
+            "scratch workspace, and fail on any survivor missing",
+            "from the committed MUTANTS.toml baseline",
+            "  --crate NAME      restrict to one crate (psb-core | psb-mem)",
+            "  --filter SUBSTR   keep only mutants whose id contains SUBSTR (repeatable)",
+            "  --sample N        seeded sample of N mutants (CI smoke mode)",
+            "  --seed S          sample seed (default 1)",
+            "  --timeout SECS    per-mutant kill-suite timeout (default 300)",
+            "  --jobs N          parallel workers (default: min(4, cores))",
+            "  --list            print the mutant table without running",
+            "  --baseline FILE   survivor baseline (default MUTANTS.toml)",
+            "  --report FILE     write a psb-mutants-v1 JSON report",
+        ],
+        run: mutants::mutants,
+    },
+];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("");
-    match cmd {
-        "lint" => lint(&args[1..]),
-        "model" => model(&args[1..]),
-        "validate-artifacts" => validate::validate_artifacts(&args[1..]),
-        "bench-gate" => benchgate::bench_gate(&args[1..]),
-        _ => {
-            eprintln!(
-                "usage: cargo xtask <lint [--src-only] | model [TESTARGS...] | \
-                 validate-artifacts FILE... | bench-gate [--tolerance FRACTION] [--baseline FILE]>"
-            );
-            eprintln!();
-            eprintln!("  lint                run fmt + clippy (when available), source lints");
-            eprintln!("                      and the crate-layering checker");
-            eprintln!("    --src-only        skip the fmt/clippy toolchain passes");
-            eprintln!("  model               run the concurrency model checker (--cfg psb_model)");
-            eprintln!("                      over the sweep pool and trace cache; extra args go");
-            eprintln!("                      to the test binaries (e.g. --nocapture)");
-            eprintln!("  validate-artifacts  parse and shape-check emitted JSON artifacts");
-            eprintln!("                      (run reports, Chrome traces, bench results)");
-            eprintln!("  bench-gate          re-run the micro benches and fail on regressions");
-            eprintln!("                      beyond --tolerance (fraction, default 0.25) against");
-            eprintln!("                      the committed BENCH_psb.json (or --baseline FILE)");
-            ExitCode::from(2)
+    if matches!(cmd, "" | "help" | "--help" | "-h") {
+        return usage(if cmd.is_empty() { 2 } else { 0 });
+    }
+    let Some(c) = COMMANDS.iter().find(|c| c.name == cmd) else {
+        eprintln!("xtask: unknown subcommand {cmd:?}");
+        return usage(2);
+    };
+    let rest = &args[1..];
+    // Every subcommand accepts --help, handled here so a handler cannot
+    // forget it.
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: cargo xtask {} {}", c.name, c.synopsis);
+        for line in c.help {
+            println!("  {line}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    (c.run)(rest)
+}
+
+/// Prints the usage text — synopsis line and per-command help — derived
+/// entirely from [`COMMANDS`].
+fn usage(code: u8) -> ExitCode {
+    let synopsis: Vec<String> = COMMANDS
+        .iter()
+        .map(|c| {
+            if c.synopsis.is_empty() {
+                c.name.to_string()
+            } else {
+                format!("{} {}", c.name, c.synopsis)
+            }
+        })
+        .collect();
+    eprintln!("usage: cargo xtask <{}>", synopsis.join(" | "));
+    eprintln!();
+    for c in COMMANDS {
+        let mut first = true;
+        for line in c.help {
+            if first && !line.starts_with("  ") {
+                eprintln!("  {:<19} {line}", c.name);
+                first = false;
+            } else {
+                eprintln!("  {:<19} {line}", "");
+            }
         }
     }
+    eprintln!();
+    eprintln!("every subcommand also accepts --help");
+    ExitCode::from(code)
 }
 
 /// Repo root: the parent of the directory containing this crate.
@@ -191,15 +290,7 @@ fn lint_sources(root: &Path) -> Vec<Finding> {
                 continue;
             };
             let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
-            findings.extend(lints::lint_addr_arith(&rel, &source));
-            findings.extend(lints::lint_unwrap(&rel, &source));
-            findings.extend(lints::lint_hashmap_report(&rel, &source));
-            findings.extend(lints::lint_println(&rel, &source));
-            findings.extend(lints::lint_determinism(&rel, &source));
-            findings.extend(lints::lint_sync_shims(&rel, &source));
-            if check_docs {
-                findings.extend(lints::lint_missing_docs(&rel, &source));
-            }
+            findings.extend(lints::lint_file(&rel, &source, check_docs));
         }
     }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

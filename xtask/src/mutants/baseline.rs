@@ -1,0 +1,209 @@
+//! The committed survivor baseline: `MUTANTS.toml`.
+//!
+//! Same lock-in pattern as the bench-gate's `BENCH_psb.json`: the file
+//! records every mutant that is *known* to survive the kill suite, each
+//! with a one-line justification (equivalent mutant, observability
+//! limit, accepted gap with a tracking note). A run fails when a
+//! survivor is missing from the baseline — new survivors must be either
+//! killed with a test or consciously admitted here, never silently
+//! accumulated.
+//!
+//! The format is a deliberately tiny TOML subset (xtask is zero-dep):
+//!
+//! ```toml
+//! schema = "psb-mutants-v1"
+//!
+//! [[survivor]]
+//! id = "crates/core/src/stream/buffer.rs:41:17:lit-inc"
+//! reason = "capacity +1 only changes allocation, not behavior"
+//! ```
+//!
+//! Parsed forms: `key = "value"` pairs, `[[survivor]]` stanza headers,
+//! comments and blank lines. Anything else is a parse error — strict
+//! beats lenient for a gate input.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One baseline entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Survivor {
+    /// Mutant ID (`file:line:col:op`).
+    pub id: String,
+    /// Why this mutant is allowed to survive.
+    pub reason: String,
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Survivors keyed by mutant ID.
+    pub survivors: BTreeMap<String, Survivor>,
+}
+
+impl Baseline {
+    /// Loads and parses the baseline. A missing file is an empty
+    /// baseline (first run of the gate); a malformed file is an error.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(Self::default());
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut survivors = BTreeMap::new();
+        let mut schema_seen = false;
+        // Fields of the stanza currently being parsed; None outside one.
+        let mut current: Option<BTreeMap<String, String>> = None;
+
+        let mut flush = |fields: BTreeMap<String, String>| -> Result<(), String> {
+            let id = fields.get("id").ok_or("a [[survivor]] stanza is missing `id`")?.clone();
+            let reason = fields
+                .get("reason")
+                .ok_or_else(|| format!("survivor {id:?} is missing `reason`"))?
+                .clone();
+            if reason.trim().is_empty() {
+                return Err(format!("survivor {id:?} has an empty `reason`"));
+            }
+            if survivors.insert(id.clone(), Survivor { id: id.clone(), reason }).is_some() {
+                return Err(format!("duplicate survivor {id:?}"));
+            }
+            Ok(())
+        };
+
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[survivor]]" {
+                if let Some(fields) = current.take() {
+                    flush(fields)?;
+                }
+                current = Some(BTreeMap::new());
+                continue;
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                return Err(format!("line {}: cannot parse {line:?}", n + 1));
+            };
+            match (&mut current, key.as_str()) {
+                (None, "schema") => {
+                    if value != "psb-mutants-v1" {
+                        return Err(format!("unsupported schema {value:?}"));
+                    }
+                    schema_seen = true;
+                }
+                (None, _) => {
+                    return Err(format!("line {}: key {key:?} outside a stanza", n + 1));
+                }
+                (Some(fields), _) => {
+                    if fields.insert(key.clone(), value).is_some() {
+                        return Err(format!("line {}: duplicate key {key:?}", n + 1));
+                    }
+                }
+            }
+        }
+        if let Some(fields) = current.take() {
+            flush(fields)?;
+        }
+        if !schema_seen {
+            return Err("missing `schema = \"psb-mutants-v1\"` header".to_string());
+        }
+        Ok(Self { survivors })
+    }
+
+    /// Serializes back to the canonical file format (used to print
+    /// paste-ready stanzas for new survivors).
+    pub fn stanza(id: &str, reason: &str) -> String {
+        format!("[[survivor]]\nid = \"{id}\"\nreason = \"{reason}\"\n")
+    }
+}
+
+/// Parses one `key = "value"` line. Values are double-quoted strings
+/// with `\"` and `\\` escapes; keys are bare identifiers.
+fn parse_kv(line: &str) -> Option<(String, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+        return None;
+    }
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?;
+    let mut value = String::new();
+    let mut chars = inner.chars();
+    loop {
+        match chars.next()? {
+            '"' => break,
+            '\\' => match chars.next()? {
+                '"' => value.push('"'),
+                '\\' => value.push('\\'),
+                _ => return None,
+            },
+            c => value.push(c),
+        }
+    }
+    // Only a comment may follow the closing quote.
+    let tail = chars.as_str().trim();
+    if !tail.is_empty() && !tail.starts_with('#') {
+        return None;
+    }
+    Some((key.to_string(), value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_format() {
+        let text = r#"
+# Survivor baseline for cargo xtask mutants.
+schema = "psb-mutants-v1"
+
+[[survivor]]
+id = "crates/core/src/stream/buffer.rs:41:17:lit-inc"
+reason = "capacity +1 only changes allocation, not behavior"
+
+[[survivor]]
+id = "crates/mem/src/cache.rs:9:3:cmp-lt-le" # trailing comment
+reason = "equivalent: bound is never reached"
+"#;
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.survivors.len(), 2);
+        let s = &b.survivors["crates/core/src/stream/buffer.rs:41:17:lit-inc"];
+        assert_eq!(s.reason, "capacity +1 only changes allocation, not behavior");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "schema = \"psb-mutants-v2\"",             // wrong schema
+            "[[survivor]]\nid = \"x\"\nreason = \"r\"", // missing schema
+            "schema = \"psb-mutants-v1\"\nid = \"x\"", // key outside stanza
+            "schema = \"psb-mutants-v1\"\n[[survivor]]\nid = \"x\"", // no reason
+            "schema = \"psb-mutants-v1\"\n[[survivor]]\nid = \"x\"\nreason = \"\"", // empty reason
+            "schema = \"psb-mutants-v1\"\n[[survivor]]\nid = \"x\"\nreason = \"r\"\n[[survivor]]\nid = \"x\"\nreason = \"r\"", // duplicate
+            "schema = \"psb-mutants-v1\"\nnot a kv line",
+            "schema = \"psb-mutants-v1\"\n[[survivor]]\nid = \"x\" junk\nreason = \"r\"",
+        ] {
+            assert!(Baseline::parse(bad).is_err(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let text =
+            "schema = \"psb-mutants-v1\"\n[[survivor]]\nid = \"a\\\"b\\\\c\"\nreason = \"r\"\n";
+        let b = Baseline::parse(text).unwrap();
+        assert!(b.survivors.contains_key("a\"b\\c"));
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_baseline() {
+        let b = Baseline::load(Path::new("/nonexistent/MUTANTS.toml")).unwrap();
+        assert!(b.survivors.is_empty());
+    }
+}

@@ -1,0 +1,592 @@
+//! Mutation operators over the token stream.
+//!
+//! Each operator produces [`Mutant`]s: byte-span replacements with a
+//! stable identity (`file:line:col:op`). Generation is purely a
+//! function of the source text, so two runs over the same tree produce
+//! the same mutants in the same order — the property that makes the
+//! committed `MUTANTS.toml` survivor baseline meaningful.
+//!
+//! The operator set:
+//!
+//! * comparison flips — `<`↔`<=`, `>`↔`>=`, `==`↔`!=`
+//! * arithmetic swaps — `+`↔`-`, `*`↔`/`
+//! * bitwise swaps — `&`↔`|`, `<<`↔`>>`
+//! * logic swaps — `&&`↔`||`
+//! * boundary constants — `0`↔`1`, `n`→`n±1` on decimal literals
+//! * delete-stmt — remove a `continue;` / `break;` / `return …;`
+//! * delete-arm — remove one arm of a `match` with two or more arms
+//!
+//! Binary operators are only mutated when whitespace surrounds the
+//! token: the workspace is rustfmt-formatted, so `a < b` is a
+//! comparison while `Vec<u64>`, `&mut x`, `|x| x` and `-1` never carry
+//! spaces on both sides. This keeps the engine lexical (no type
+//! information) while generating almost no uncompilable operator
+//! mutants; anything that still fails to build is classified unviable
+//! and excluded from the score rather than miscounted.
+//!
+//! Test regions (`#[cfg(test)]` items) are skipped: mutating a test
+//! can only ever make the suite stricter-looking, never reveals a gap.
+
+use super::lexer::{lex, Kind, Token};
+
+/// One generated mutant: a byte-span splice into a known file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mutant {
+    /// Repo-relative path of the mutated file.
+    pub file: String,
+    /// Workspace package the file belongs to (kill-suite target).
+    pub krate: String,
+    /// Operator code, e.g. `cmp-lt-le`.
+    pub op: &'static str,
+    /// 1-based line of the mutation site.
+    pub line: usize,
+    /// 1-based column (in bytes) of the mutation site.
+    pub col: usize,
+    /// Byte span replaced in the original source.
+    pub start: usize,
+    /// End of the replaced span (exclusive).
+    pub end: usize,
+    /// The original text of the span.
+    pub original: String,
+    /// The replacement text.
+    pub replacement: String,
+}
+
+impl Mutant {
+    /// Stable identity: file, position and operator. Survivor baselines
+    /// key on this, so it must not depend on generation order.
+    pub fn id(&self) -> String {
+        format!("{}:{}:{}:{}", self.file, self.line, self.col, self.op)
+    }
+
+    /// The mutated source text.
+    pub fn apply(&self, source: &str) -> String {
+        let mut out = String::with_capacity(source.len() + self.replacement.len());
+        out.push_str(&source[..self.start]);
+        out.push_str(&self.replacement);
+        out.push_str(&source[self.end..]);
+        out
+    }
+
+    /// One-line human description for tables and reports.
+    pub fn describe(&self) -> String {
+        let orig = compress(&self.original);
+        let repl = compress(&self.replacement);
+        if self.replacement.is_empty() {
+            format!("delete `{orig}`")
+        } else {
+            format!("`{orig}` -> `{repl}`")
+        }
+    }
+}
+
+/// Collapses a (possibly multi-line) span to a short single-line form.
+fn compress(s: &str) -> String {
+    let joined: String = s.split_whitespace().collect::<Vec<_>>().join(" ");
+    if joined.len() > 36 {
+        format!("{}…", &joined[..joined.char_indices().take_while(|(i, _)| *i < 33).count()])
+    } else {
+        joined
+    }
+}
+
+/// Operator-swap table: token text, replacement, operator code.
+const SWAPS: &[(&str, &str, &str)] = &[
+    ("<", "<=", "cmp-lt-le"),
+    ("<=", "<", "cmp-le-lt"),
+    (">", ">=", "cmp-gt-ge"),
+    (">=", ">", "cmp-ge-gt"),
+    ("==", "!=", "cmp-eq-ne"),
+    ("!=", "==", "cmp-ne-eq"),
+    ("+", "-", "arith-add-sub"),
+    ("-", "+", "arith-sub-add"),
+    ("*", "/", "arith-mul-div"),
+    ("/", "*", "arith-div-mul"),
+    ("&", "|", "bit-and-or"),
+    ("|", "&", "bit-or-and"),
+    ("<<", ">>", "shift-shl-shr"),
+    (">>", "<<", "shift-shr-shl"),
+    ("&&", "||", "logic-and-or"),
+    ("||", "&&", "logic-or-and"),
+];
+
+/// Generates every mutant for one file. `file` is the repo-relative
+/// path recorded in IDs; `krate` the package whose tests form the kill
+/// suite.
+pub fn generate(file: &str, krate: &str, source: &str) -> Vec<Mutant> {
+    let tokens = lex(source);
+    let excluded = test_regions(source, &tokens);
+    let line_starts = line_starts(source);
+    let mut out = Vec::new();
+
+    let mk = |start: usize, end: usize, op: &'static str, replacement: String| {
+        let (line, col) = position(&line_starts, start);
+        Mutant {
+            file: file.to_string(),
+            krate: krate.to_string(),
+            op,
+            line,
+            col,
+            start,
+            end,
+            original: source[start..end].to_string(),
+            replacement,
+        }
+    };
+    let in_excluded = |start: usize| excluded.iter().any(|r| r.contains(&start));
+
+    for (ti, t) in tokens.iter().enumerate() {
+        if in_excluded(t.start) {
+            continue;
+        }
+        match t.kind {
+            Kind::Punct => {
+                let text = t.text(source);
+                if let Some(&(_, repl, op)) = SWAPS.iter().find(|(from, ..)| *from == text) {
+                    if spaced(source, t) {
+                        out.push(mk(t.start, t.end, op, repl.to_string()));
+                    }
+                }
+            }
+            Kind::Number => {
+                let text = t.text(source);
+                // Decimal literals only; skip tuple indexes (`pair.0`).
+                if !text.bytes().all(|b| b.is_ascii_digit())
+                    || prev_code_token(&tokens, ti)
+                        .is_some_and(|p| p.kind == Kind::Punct && p.text(source) == ".")
+                {
+                    continue;
+                }
+                match text {
+                    "0" => out.push(mk(t.start, t.end, "lit-0-1", "1".to_string())),
+                    "1" => out.push(mk(t.start, t.end, "lit-1-0", "0".to_string())),
+                    _ => {
+                        if let Ok(n) = text.parse::<u64>() {
+                            out.push(mk(t.start, t.end, "lit-inc", (n + 1).to_string()));
+                            out.push(mk(t.start, t.end, "lit-dec", (n - 1).to_string()));
+                        }
+                    }
+                }
+            }
+            Kind::Ident => match t.text(source) {
+                kw @ ("continue" | "break") => {
+                    if let Some(semi) = next_code_token(&tokens, ti)
+                        .filter(|n| n.kind == Kind::Punct && n.text(source) == ";")
+                    {
+                        let op = if kw == "continue" { "delete-continue" } else { "delete-break" };
+                        out.push(mk(t.start, semi.end, op, String::new()));
+                    }
+                }
+                "return" => {
+                    if let Some(end) = statement_end(source, &tokens, ti) {
+                        out.push(mk(t.start, end, "delete-return", String::new()));
+                    }
+                }
+                "match" => {
+                    for (start, end) in match_arms(source, &tokens, ti) {
+                        if !in_excluded(start) {
+                            out.push(mk(start, end, "delete-arm", String::new()));
+                        }
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    // Disambiguate mutants that share a position and operator (two
+    // `delete-arm`s can start on one line only in pathological layouts,
+    // but IDs must be unique unconditionally).
+    dedupe_ids(&mut out);
+    out
+}
+
+/// True when whitespace or a comment directly precedes *and* follows
+/// the token — the rustfmt signature of a binary operator.
+fn spaced(source: &str, t: &Token) -> bool {
+    let before = source[..t.start].chars().next_back();
+    let after = source[t.end..].chars().next();
+    before.is_some_and(char::is_whitespace) && after.is_some_and(char::is_whitespace)
+}
+
+/// The previous non-whitespace, non-comment token.
+fn prev_code_token(tokens: &[Token], i: usize) -> Option<&Token> {
+    tokens[..i].iter().rev().find(|t| code_token(t))
+}
+
+/// The next non-whitespace, non-comment token.
+fn next_code_token(tokens: &[Token], i: usize) -> Option<&Token> {
+    tokens[i + 1..].iter().find(|t| code_token(t))
+}
+
+fn code_token(t: &Token) -> bool {
+    !matches!(t.kind, Kind::Whitespace | Kind::LineComment | Kind::BlockComment)
+}
+
+/// Byte offset one past the `;` ending the statement opened at token
+/// `i`, tracking nesting so `;` inside closures or blocks is skipped.
+fn statement_end(source: &str, tokens: &[Token], i: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for t in &tokens[i + 1..] {
+        if t.kind != Kind::Punct {
+            continue;
+        }
+        match t.text(source) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return None; // `return x` in tail position, no `;`
+                }
+            }
+            ";" if depth == 0 => return Some(t.end),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The arms of the `match` whose keyword is at token `i`, as deletable
+/// byte spans (arm start through its trailing comma or block). Returns
+/// an empty list for matches with fewer than two arms — deleting the
+/// only arm can never compile.
+fn match_arms(source: &str, tokens: &[Token], i: usize) -> Vec<(usize, usize)> {
+    // Find the match-block `{`: the first opening brace with all
+    // bracket kinds balanced (the scrutinee may contain calls/indexing
+    // but, per Rust's grammar, no bare struct literals).
+    let mut depth = 0i64;
+    let mut ti = i + 1;
+    let open = loop {
+        let Some(t) = tokens.get(ti) else {
+            return Vec::new();
+        };
+        if t.kind == Kind::Punct {
+            match t.text(source) {
+                "{" if depth == 0 => break ti,
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+        }
+        ti += 1;
+    };
+    let mut arms = Vec::new();
+    let mut ti = open + 1;
+    loop {
+        // Skip to the start of the next arm.
+        while tokens.get(ti).is_some_and(|t| !code_token(t)) {
+            ti += 1;
+        }
+        let start_tok = match tokens.get(ti) {
+            None => return Vec::new(), // unbalanced — give up quietly
+            Some(t) if t.kind == Kind::Punct && t.text(source) == "}" => break,
+            Some(t) => t,
+        };
+        let arm_start = start_tok.start;
+        // Scan the pattern (and any guard) to the `=>` at depth 0.
+        let mut depth = 0i64;
+        let arrow = loop {
+            let t = match tokens.get(ti) {
+                None => return Vec::new(),
+                Some(t) => t,
+            };
+            if t.kind == Kind::Punct {
+                match t.text(source) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => break ti,
+                    _ => {}
+                }
+            }
+            ti += 1;
+        };
+        // The body: a braced block (optional trailing comma) or an
+        // expression ending at a depth-0 comma / the match's `}`.
+        ti = arrow + 1;
+        while tokens.get(ti).is_some_and(|t| !code_token(t)) {
+            ti += 1;
+        }
+        let mut arm_end;
+        if tokens.get(ti).is_some_and(|t| t.kind == Kind::Punct && t.text(source) == "{") {
+            let mut depth = 0i64;
+            loop {
+                let t = match tokens.get(ti) {
+                    None => return Vec::new(),
+                    Some(t) => t,
+                };
+                if t.kind == Kind::Punct {
+                    match t.text(source) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                arm_end = t.end;
+                                ti += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                ti += 1;
+            }
+            // Optional comma after a block body.
+            let mut tj = ti;
+            while tokens.get(tj).is_some_and(|t| !code_token(t)) {
+                tj += 1;
+            }
+            if tokens.get(tj).is_some_and(|t| t.kind == Kind::Punct && t.text(source) == ",") {
+                arm_end = tokens[tj].end;
+                ti = tj + 1;
+            }
+        } else {
+            let mut depth = 0i64;
+            loop {
+                let t = match tokens.get(ti) {
+                    None => return Vec::new(),
+                    Some(t) => t,
+                };
+                if t.kind == Kind::Punct {
+                    match t.text(source) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" if depth > 0 => depth -= 1,
+                        "}" => {
+                            // The match's own closing brace: the arm has
+                            // no trailing comma.
+                            arm_end = t.start;
+                            arms.push((arm_start, arm_end));
+                            return finish_arms(arms);
+                        }
+                        "," if depth == 0 => {
+                            arm_end = t.end;
+                            ti += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                ti += 1;
+            }
+        }
+        arms.push((arm_start, arm_end));
+    }
+    finish_arms(arms)
+}
+
+/// Drops degenerate cases: a single-arm match is never mutated.
+fn finish_arms(arms: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    if arms.len() < 2 {
+        Vec::new()
+    } else {
+        arms
+    }
+}
+
+/// Byte ranges covered by `#[cfg(test)]`-attributed items: from the
+/// attribute to the close of the following brace block.
+fn test_regions(source: &str, tokens: &[Token]) -> Vec<std::ops::Range<usize>> {
+    let mut regions = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = source[search..].find("#[cfg(test)]") {
+        let attr_start = search + pos;
+        search = attr_start + 1;
+        // Only honor real attribute tokens (`#` Punct), not occurrences
+        // inside strings or comments.
+        let Some(hash) = tokens.iter().find(|t| t.start == attr_start && t.kind == Kind::Punct)
+        else {
+            continue;
+        };
+        // Find the opening brace of the attributed item, then balance.
+        let mut depth = 0i64;
+        let mut end = source.len();
+        let mut opened = false;
+        for t in tokens.iter().filter(|t| t.start >= hash.start && t.kind == Kind::Punct) {
+            match t.text(source) {
+                "{" => {
+                    depth += 1;
+                    opened = true;
+                }
+                "}" => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        end = t.end;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        regions.push(attr_start..end);
+    }
+    regions
+}
+
+/// Byte offsets at which each line starts.
+fn line_starts(source: &str) -> Vec<usize> {
+    std::iter::once(0)
+        .chain(source.bytes().enumerate().filter(|(_, b)| *b == b'\n').map(|(i, _)| i + 1))
+        .collect()
+}
+
+/// 1-based (line, column) of a byte offset.
+fn position(line_starts: &[usize], offset: usize) -> (usize, usize) {
+    let line = line_starts.partition_point(|&s| s <= offset);
+    (line, offset - line_starts[line - 1] + 1)
+}
+
+/// Appends a discriminator to any IDs that would otherwise collide.
+fn dedupe_ids(mutants: &mut [Mutant]) {
+    use std::collections::BTreeMap;
+    let mut by_id: BTreeMap<String, u32> = BTreeMap::new();
+    for m in mutants.iter_mut() {
+        let n = by_id.entry(m.id()).or_insert(0);
+        *n += 1;
+        if *n > 1 {
+            // Shift the column marker so the formatted ID stays unique;
+            // columns are 1-based so a synthetic 10_000+ column cannot
+            // collide with a real site.
+            m.col += 10_000 * (*n as usize - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = "\
+/// Clamps to the saturation ceiling.
+pub fn saturate(x: u64, max: u64) -> u64 {
+    if x < max {
+        x + 1
+    } else {
+        max
+    }
+}
+
+pub fn classify(x: u64) -> u64 {
+    match x {
+        0 => 1,
+        n if n >= 10 => n * 2,
+        n => n - 1,
+    }
+}
+
+pub fn scan(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    for &x in xs {
+        if x == 0 {
+            continue;
+        }
+        if x > 100 {
+            return total;
+        }
+        total += x;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert!(super::saturate(1, 3) < 4);
+    }
+}
+";
+
+    fn ops_of<'m>(ms: &'m [Mutant], op: &str) -> Vec<&'m Mutant> {
+        ms.iter().filter(|m| m.op == op).collect()
+    }
+
+    #[test]
+    fn comparison_flip_is_generated_at_the_comparator() {
+        let ms = generate("fix.rs", "psb-core", FIXTURE);
+        let lt = ops_of(&ms, "cmp-lt-le");
+        assert_eq!(lt.len(), 1, "{lt:?}");
+        assert_eq!(lt[0].original, "<");
+        assert_eq!(lt[0].replacement, "<=");
+        // Applying produces the deliberately broken comparator…
+        let broken = lt[0].apply(FIXTURE);
+        assert!(broken.contains("if x <= max {"), "{broken}");
+        // …and the mutated file differs from the original exactly there.
+        assert_eq!(FIXTURE.len() + 1, broken.len());
+    }
+
+    #[test]
+    fn operators_inside_tests_strings_and_comments_are_skipped() {
+        let ms = generate("fix.rs", "psb-core", FIXTURE);
+        for m in &ms {
+            assert!(!FIXTURE[..m.start].contains("#[cfg(test)]"), "mutant in test region: {m:?}");
+        }
+        let src = "// a < b\nlet s = \"x < y\";\n";
+        assert!(generate("f.rs", "c", src).is_empty());
+    }
+
+    #[test]
+    fn generics_and_unary_operators_are_not_mutated() {
+        let src = "fn f(v: Vec<u64>) -> i64 {\n    let x: i64 = -1;\n    *v.first().unwrap_or(&0) as i64 * x\n}\n";
+        let ms = generate("f.rs", "c", src);
+        assert!(
+            ms.iter().all(|m| !matches!(m.op, "cmp-lt-le" | "cmp-gt-ge" | "arith-sub-add")),
+            "generic brackets / unary minus must not be flipped: {ms:?}"
+        );
+        // The spaced binary `*` is fair game.
+        assert_eq!(ops_of(&ms, "arith-mul-div").len(), 1);
+    }
+
+    #[test]
+    fn boundary_literals_and_increments() {
+        let ms = generate("fix.rs", "psb-core", FIXTURE);
+        assert!(!ops_of(&ms, "lit-0-1").is_empty());
+        assert!(!ops_of(&ms, "lit-1-0").is_empty());
+        let inc = ops_of(&ms, "lit-inc");
+        assert!(inc.iter().any(|m| m.original == "100" && m.replacement == "101"), "{inc:?}");
+        let dec = ops_of(&ms, "lit-dec");
+        assert!(dec.iter().any(|m| m.original == "10" && m.replacement == "9"), "{dec:?}");
+    }
+
+    #[test]
+    fn statement_and_arm_deletion() {
+        let ms = generate("fix.rs", "psb-core", FIXTURE);
+        let cont = ops_of(&ms, "delete-continue");
+        assert_eq!(cont.len(), 1);
+        assert!(cont[0].original.starts_with("continue"), "{cont:?}");
+        assert!(cont[0].original.ends_with(';'));
+        let ret = ops_of(&ms, "delete-return");
+        assert_eq!(ret.len(), 1);
+        assert_eq!(ret[0].original, "return total;");
+        let arms = ops_of(&ms, "delete-arm");
+        assert_eq!(arms.len(), 3, "{arms:?}");
+        assert!(arms.iter().any(|m| m.original.trim() == "0 => 1,"));
+        assert!(arms.iter().any(|m| m.original.trim() == "n => n - 1,"));
+    }
+
+    #[test]
+    fn ids_are_stable_and_unique_across_runs() {
+        let a = generate("fix.rs", "psb-core", FIXTURE);
+        let b = generate("fix.rs", "psb-core", FIXTURE);
+        assert_eq!(a, b, "generation must be deterministic");
+        let mut ids: Vec<String> = a.iter().map(Mutant::id).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "IDs must be unique");
+    }
+
+    #[test]
+    fn apply_then_revert_round_trips() {
+        let ms = generate("fix.rs", "psb-core", FIXTURE);
+        for m in &ms {
+            let mutated = m.apply(FIXTURE);
+            assert_ne!(mutated, FIXTURE, "a mutant must change the source: {m:?}");
+            // Reverting = splicing the original back over the span.
+            let mut reverted = String::new();
+            reverted.push_str(&mutated[..m.start]);
+            reverted.push_str(&m.original);
+            reverted.push_str(&mutated[m.start + m.replacement.len()..]);
+            assert_eq!(reverted, FIXTURE);
+        }
+    }
+}
