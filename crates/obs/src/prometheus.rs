@@ -1,0 +1,130 @@
+//! Prometheus text exposition rendering for registry snapshots.
+//!
+//! The live HTTP endpoint (`psbsweep --serve` / `psbsim --serve`)
+//! exposes `GET /metrics` in the Prometheus text format, version
+//! `0.0.4`, rendered from a [`RegistrySnapshot`] — never from the live
+//! `Rc`-backed handles, which must stay on the simulation thread.
+//!
+//! Mapping:
+//!
+//! * counters → `# TYPE psb_<name> counter` with the current value,
+//! * gauges → `# TYPE psb_<name> gauge` with the last sampled value,
+//! * log2 histograms → a Prometheus histogram: cumulative
+//!   `psb_<name>_bucket{le="..."}` rows at each power-of-two boundary
+//!   that has samples, plus `_sum` and `_count`.
+//!
+//! Metric names are sanitized to `[a-zA-Z0-9_]` (dots become
+//! underscores), so `sweep.cells_completed` serves as
+//! `psb_sweep_cells_completed`.
+//!
+//! # Example
+//!
+//! ```
+//! use psb_obs::metrics::Registry;
+//!
+//! let mut reg = Registry::new();
+//! reg.counter("sweep.cells_completed").add(3);
+//! let text = psb_obs::prometheus::render(&reg.snapshot());
+//! assert!(text.contains("psb_sweep_cells_completed 3"));
+//! assert!(text.contains("# TYPE psb_sweep_cells_completed counter"));
+//! ```
+
+use crate::metrics::RegistrySnapshot;
+use psb_common::stats::Log2Histogram;
+use std::fmt::Write as _;
+
+/// Prefix stamped on every exported metric name.
+const PREFIX: &str = "psb_";
+
+/// Maps a registry metric name onto a legal Prometheus metric name.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(PREFIX.len() + name.len());
+    out.push_str(PREFIX);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as a Prometheus text-exposition document.
+pub fn render(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, gauge) in &snapshot.gauges {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", gauge.last().unwrap_or(0));
+    }
+    for (name, hist) in &snapshot.hists {
+        render_histogram(&mut out, &sanitize(name), hist);
+    }
+    out
+}
+
+/// One log2 histogram as cumulative `_bucket` rows plus `_sum`/`_count`.
+fn render_histogram(out: &mut String, n: &str, hist: &Log2Histogram) {
+    let _ = writeln!(out, "# TYPE {n} histogram");
+    let mut cumulative = 0u64;
+    for (i, count) in hist.nonzero_buckets() {
+        cumulative += count;
+        let (_, hi) = Log2Histogram::bucket_range(i);
+        let _ = writeln!(out, "{n}_bucket{{le=\"{hi}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", hist.total());
+    let _ = writeln!(out, "{n}_sum {}", hist.sum());
+    let _ = writeln!(out, "{n}_count {}", hist.total());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn counters_and_gauges_render_with_type_lines() {
+        let mut reg = Registry::new();
+        reg.counter("sweep.cells_total").add(36);
+        reg.gauge("l1d.mshr.occupancy").sample(4);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE psb_sweep_cells_total counter\npsb_sweep_cells_total 36\n"));
+        assert!(
+            text.contains("# TYPE psb_l1d_mshr_occupancy gauge\npsb_l1d_mshr_occupancy 4\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let mut reg = Registry::new();
+        let h = reg.hist("sweep.cell_micros");
+        h.observe(3); // bucket [2, 3]
+        h.observe(3);
+        h.observe(100); // bucket [64, 127]
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE psb_sweep_cell_micros histogram"), "{text}");
+        assert!(text.contains("psb_sweep_cell_micros_bucket{le=\"3\"} 2"), "{text}");
+        assert!(text.contains("psb_sweep_cell_micros_bucket{le=\"127\"} 3"), "{text}");
+        assert!(text.contains("psb_sweep_cell_micros_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("psb_sweep_cell_micros_sum 106"), "{text}");
+        assert!(text.contains("psb_sweep_cell_micros_count 3"), "{text}");
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("a.b-c/d"), "psb_a_b_c_d");
+        assert_eq!(sanitize("already_ok1"), "psb_already_ok1");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_document() {
+        assert_eq!(render(&RegistrySnapshot::default()), "");
+    }
+}

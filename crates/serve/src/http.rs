@@ -1,0 +1,220 @@
+//! A std-only HTTP/1.1 listener serving `GET`-only snapshot routes.
+//!
+//! [`Server::bind`] takes a set of [`Route`]s — each a fixed path, a
+//! content type, and a [`Published<String>`] body cell — and spawns one
+//! background thread that accepts connections serially. Every request
+//! is answered from whatever document is *currently* published on the
+//! matching route, so the simulation threads never block on, or even
+//! see, the network: they publish snapshots and move on.
+//!
+//! Scope is deliberately tiny: `GET`, exact path match, one response
+//! per connection (`Connection: close`), request head capped at 8 KiB,
+//! a short socket timeout so a stalled client can't wedge the serving
+//! thread. That is all `curl`, Prometheus scrapers, and browsers need
+//! from a diagnostics endpoint, and nothing more is implemented.
+
+use crate::publish::Published;
+use psb_model::sync::atomic::{AtomicBool, Ordering};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum bytes of request head (request line + headers) we read.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Per-connection socket timeout. A diagnostics client that cannot
+/// deliver its request line in this window is dropped so the serial
+/// accept loop stays live for the next scrape.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One served path: requests for exactly `path` answer with the latest
+/// document published on `body`.
+#[derive(Debug, Clone)]
+pub struct Route {
+    path: &'static str,
+    content_type: &'static str,
+    body: Published<String>,
+}
+
+impl Route {
+    /// A route serving `body`'s current snapshot at `path` (which must
+    /// start with `/`) with the given `Content-Type`.
+    pub fn new(path: &'static str, content_type: &'static str, body: Published<String>) -> Route {
+        assert!(path.starts_with('/'), "route path must start with '/': {path:?}");
+        Route { path, content_type, body }
+    }
+}
+
+/// A running HTTP listener; dropping it (or calling
+/// [`Server::shutdown`]) stops the accept loop and joins its thread.
+pub struct Server {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<psb_model::thread::JoinHandle<()>>,
+}
+
+// Manual: the model-checked JoinHandle shim has no Debug impl.
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local", &self.local)
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:9090"`, port `0` for ephemeral)
+    /// and starts the accept loop on a background thread.
+    pub fn bind(addr: &str, routes: Vec<Route>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let handle = psb_model::thread::spawn(move || accept_loop(listener, routes, &loop_stop));
+        Ok(Server { local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address — the real port when bound with port `0`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept`; a throwaway local
+        // connection wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.local);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serial accept loop: one connection at a time, first match wins.
+fn accept_loop(listener: TcpListener, routes: Vec<Route>, stop: &AtomicBool) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Per-connection failures (slow client, mid-request hangup) are
+        // the client's problem; the loop serves the next scrape.
+        let _ = handle_connection(stream, &routes);
+    }
+}
+
+/// Reads one request head and writes one response.
+fn handle_connection(mut stream: TcpStream, routes: &[Route]) -> io::Result<()> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let head = read_head(&mut stream)?;
+    let Some((method, path)) = parse_request_line(&head) else {
+        return respond(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
+    };
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    match routes.iter().find(|r| r.path == path) {
+        Some(route) => {
+            let body = route.body.read();
+            respond(&mut stream, "200 OK", route.content_type, &body)
+        }
+        None => {
+            let known: Vec<&str> = routes.iter().map(|r| r.path).collect();
+            let body = format!("not found; routes: {}\n", known.join(" "));
+            respond(&mut stream, "404 Not Found", "text/plain", &body)
+        }
+    }
+}
+
+/// Reads until the blank line ending the request head, up to
+/// [`MAX_HEAD`] bytes. Request bodies are never read: all routes are
+/// `GET`, and the connection closes after one response anyway.
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}
+
+/// Splits the request line into `(method, path)`, stripping any query
+/// string (`/progress?x=1` matches the `/progress` route).
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+/// Writes one `Connection: close` response.
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_and_strips_query() {
+        assert_eq!(
+            parse_request_line("GET /progress HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET", "/progress"))
+        );
+        assert_eq!(
+            parse_request_line("GET /metrics?x=1 HTTP/1.0\r\n\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(parse_request_line("POST /x HTTP/1.1\r\n\r\n"), Some(("POST", "/x")));
+        assert_eq!(parse_request_line("GARBAGE"), None);
+        assert_eq!(parse_request_line("GET /x SPDY/3"), None);
+        assert_eq!(parse_request_line(""), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start with '/'")]
+    fn route_paths_must_be_absolute() {
+        let _ = Route::new("progress", "text/plain", Published::new(String::new()));
+    }
+}

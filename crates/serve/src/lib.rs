@@ -1,0 +1,28 @@
+//! `psb-serve` — the live serving half of sweep-as-a-service.
+//!
+//! A zero-dependency crate providing:
+//!
+//! * [`publish`] — [`Published<T>`], the snapshot handoff cell between
+//!   the simulation/coordinator threads (writers) and the serving
+//!   thread (reader). Writers publish whole immutable snapshots; the
+//!   reader swaps an `Arc` out from under a lock held only for the
+//!   pointer exchange, so it can never observe a torn document.
+//! * [`http`] — a std-only (`TcpListener`) HTTP/1.1 listener serving
+//!   `GET` routes whose bodies are `Published<String>` documents:
+//!   `psbsweep --serve` hangs `/progress`, `/metrics` and `/report`
+//!   here.
+//!
+//! All synchronization goes through the [`psb_model`] shims, so the
+//! handoff explored by `cargo xtask model` (`tests/model.rs`) is
+//! exactly the code production serving runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Std-only HTTP listener for `GET`-only snapshot routes.
+pub mod http;
+/// The cross-thread snapshot handoff cell.
+pub mod publish;
+
+pub use http::{Route, Server};
+pub use publish::Published;

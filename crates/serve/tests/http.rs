@@ -1,0 +1,92 @@
+//! End-to-end test of the std-only HTTP listener over real sockets.
+
+#![cfg(not(psb_model))]
+
+use psb_serve::{Published, Route, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// One raw HTTP/1.1 request; returns (status line, body).
+fn get(addr: std::net::SocketAddr, target: &str) -> (String, String) {
+    request(addr, &format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n"))
+}
+
+fn request(addr: std::net::SocketAddr, raw: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+    let status = head.lines().next().expect("status line").to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn serves_published_documents_and_sees_republication() {
+    let progress = Published::new(String::from("{\"done\":0}"));
+    let metrics = Published::new(String::from("psb_up 1\n"));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec![
+            Route::new("/progress", "application/json", progress.clone()),
+            Route::new("/metrics", "text/plain; version=0.0.4", metrics.clone()),
+        ],
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let (status, body) = get(addr, "/progress");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "{\"done\":0}");
+
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "psb_up 1\n");
+
+    // A later publication is visible to the next request, whole.
+    progress.publish(String::from("{\"done\":3}"));
+    let (status, body) = get(addr, "/progress?cache_bust=1");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "{\"done\":3}", "query strings strip to the route path");
+
+    server.shutdown();
+}
+
+#[test]
+fn unknown_paths_404_and_non_get_405() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec![Route::new("/progress", "application/json", Published::new(String::from("{}")))],
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let (status, body) = get(addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    assert!(body.contains("/progress"), "404 body lists known routes: {body}");
+
+    let (status, _) = request(addr, "POST /progress HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+
+    let (status, _) = request(addr, "GARBAGE\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_joins_and_drop_is_equivalent() {
+    let addr;
+    {
+        let server =
+            Server::bind("127.0.0.1:0", vec![Route::new("/x", "text/plain", Published::default())])
+                .expect("bind");
+        addr = server.local_addr();
+        let (status, _) = get(addr, "/x");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        // Dropped here without an explicit shutdown() call.
+    }
+    // The listener is gone: a fresh bind on the same port succeeds.
+    let rebound = Server::bind(&addr.to_string(), vec![]).expect("port released after drop");
+    rebound.shutdown();
+}

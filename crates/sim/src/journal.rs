@@ -1,0 +1,558 @@
+//! Incremental result journal: crash-safe sweep progress on disk.
+//!
+//! A long sweep that dies at cell 30 of 36 used to cost 30 cells of
+//! redone work. The journal fixes that: `psbsweep --journal <file>`
+//! appends one self-delimiting `psb-sweep-journal-v1` record per
+//! completed cell — written, flushed and fsync'd before the cell is
+//! considered done — and `--resume <file>` replays completed cells from
+//! disk, re-runs only the missing ones, and emits a final `psb-sweep-v1`
+//! artifact **byte-identical** to an uninterrupted run.
+//!
+//! # Format
+//!
+//! Line-oriented JSON (one document per `\n`-terminated line):
+//!
+//! * line 1 — header: `{"schema":"psb-sweep-journal-v1","total":N,`
+//!   `"grid":[...]}` where `grid` carries one coordinate descriptor per
+//!   cell (benchmark, config label, scale, plus `max` when the cell is
+//!   commit-capped). Resume refuses a journal whose grid differs from
+//!   the requested one ([`JournalError::GridMismatch`]) — replaying
+//!   cell 7 of a *different* sweep would corrupt results silently.
+//! * lines 2.. — records: `{"index":I,"cell":E}` where `E` is exactly
+//!   the cell's `psb-sweep-v1` entry ([`crate::sweep_cell_entry`]).
+//!
+//! # Byte-identity
+//!
+//! Records store the entry's rendered *text*, and resume splices that
+//! text verbatim into the final artifact
+//! ([`crate::sweep_report_from_texts`]). Nothing is ever re-serialized
+//! from a parsed tree, so a float's formatting cannot drift between an
+//! interrupted and an uninterrupted run.
+//!
+//! # Crash tolerance
+//!
+//! A process killed mid-append leaves a torn final line. [`read_journal`]
+//! tolerates exactly that: an unparseable **last** line is ignored and
+//! reported via `valid_len`, and resume truncates the file back to the
+//! last complete record before appending. An unparseable line in the
+//! *middle*, a duplicate index, or an out-of-range index is real
+//! corruption and fails loudly ([`JournalError::Corrupt`]).
+
+use crate::artifact::sweep_cell_entry;
+use crate::progress::SweepTracker;
+use crate::stats::SimStats;
+use crate::sweep::{SweepCell, SweepError};
+use crate::{sweep::try_run_sweep_tracked, SweepProgress};
+use psb_obs::{json, Json, Obs};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Schema identifier stamped into every journal header.
+pub const JOURNAL_SCHEMA: &str = "psb-sweep-journal-v1";
+
+/// Why a journaled sweep could not run to completion.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure reading, writing or syncing the journal.
+    Io(std::io::Error),
+    /// The journal is unreadable beyond crash-truncation: a torn or
+    /// alien line before the end, a duplicate or out-of-range record.
+    Corrupt {
+        /// 1-based journal line of the problem.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The journal's header describes a different grid than the one
+    /// being resumed; replaying its records would corrupt results.
+    GridMismatch(String),
+    /// A cell's simulation panicked while running the missing cells.
+    Sweep(SweepError),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "journal corrupt at line {line}: {reason}")
+            }
+            JournalError::GridMismatch(detail) => {
+                write!(f, "journal belongs to a different sweep grid: {detail}")
+            }
+            JournalError::Sweep(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Sweep(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// One cell's grid-coordinate descriptor, as stored in the header.
+fn grid_entry(cell: &SweepCell) -> Json {
+    let mut fields = vec![
+        ("benchmark", Json::str(cell.bench.name())),
+        ("config", Json::str(cell.label())),
+        ("scale", Json::u64(cell.scale as u64)),
+    ];
+    if cell.max_commits != u64::MAX {
+        fields.push(("max", Json::u64(cell.max_commits)));
+    }
+    Json::obj(fields)
+}
+
+/// The header line for a grid.
+fn header_line(cells: &[SweepCell]) -> String {
+    Json::obj(vec![
+        ("schema", Json::str(JOURNAL_SCHEMA)),
+        ("total", Json::u64(cells.len() as u64)),
+        ("grid", Json::Arr(cells.iter().map(grid_entry).collect())),
+    ])
+    .to_string()
+}
+
+/// Appends one line and forces it to stable storage before returning —
+/// a record the caller acts on (marking a cell done) must survive a
+/// crash immediately after.
+fn append_synced(file: &mut File, line: &str) -> std::io::Result<()> {
+    file.write_all(line.as_bytes())?;
+    file.write_all(b"\n")?;
+    file.flush()?;
+    file.sync_data()
+}
+
+/// A parsed journal: header plus every complete record.
+#[derive(Debug)]
+pub struct JournalFile {
+    /// Grid size declared by the header.
+    pub total: usize,
+    /// Rendered grid descriptors, one per cell, for identity checks.
+    pub grid: Vec<String>,
+    /// Complete records as `(grid index, raw entry text)`, in file order.
+    pub records: Vec<(usize, String)>,
+    /// Byte length of the valid prefix — everything past it is a torn
+    /// tail from a crash mid-append; resume truncates to here.
+    pub valid_len: u64,
+}
+
+/// The raw entry text of a record line `{"index":I,"cell":E}`: `E`,
+/// by byte-slicing so the stored rendering survives untouched. The line
+/// has already been validated as JSON with these exact two keys.
+fn slice_entry_text(line: &str) -> Option<&str> {
+    let marker = ",\"cell\":";
+    let at = line.find(marker)?;
+    let entry = &line[at + marker.len()..line.len().checked_sub(1)?];
+    line.ends_with('}').then_some(entry)
+}
+
+/// Reads and validates a journal file. Tolerates a torn final line
+/// (crash mid-append); anything else malformed is [`JournalError::Corrupt`].
+pub fn read_journal(path: &Path) -> Result<JournalFile, JournalError> {
+    let bytes = std::fs::read(path)?;
+    let text = String::from_utf8(bytes).map_err(|e| JournalError::Corrupt {
+        line: 0,
+        reason: format!("journal is not UTF-8: {e}"),
+    })?;
+
+    // Walk \n-terminated lines, tracking the byte offset where each
+    // starts so `valid_len` can point at the last complete record.
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+    let mut header: Option<(usize, Vec<String>)> = None;
+    let mut records: Vec<(usize, String)> = Vec::new();
+    let mut valid_len = 0u64;
+
+    while offset < text.len() {
+        line_no += 1;
+        let rest = &text[offset..];
+        // The newline is the commit marker: an unterminated final line
+        // is a torn append from a crash — ignored, whatever it holds.
+        let Some(nl) = rest.find('\n') else { break };
+        let line = &rest[..nl];
+        match parse_journal_line(line, line_no, header.as_ref(), &records)? {
+            ParsedLine::Header(total, grid) => header = Some((total, grid)),
+            ParsedLine::Record(index, entry) => records.push((index, entry)),
+        }
+        offset += nl + 1;
+        valid_len = offset as u64;
+    }
+
+    let Some((total, grid)) = header else {
+        return Err(JournalError::Corrupt {
+            line: 1,
+            reason: "missing or unreadable header line".to_string(),
+        });
+    };
+    Ok(JournalFile { total, grid, records, valid_len })
+}
+
+enum ParsedLine {
+    Header(usize, Vec<String>),
+    Record(usize, String),
+}
+
+fn parse_journal_line(
+    line: &str,
+    line_no: usize,
+    header: Option<&(usize, Vec<String>)>,
+    records: &[(usize, String)],
+) -> Result<ParsedLine, JournalError> {
+    let corrupt = |reason: String| JournalError::Corrupt { line: line_no, reason };
+    let doc = json::parse(line).map_err(|e| corrupt(format!("unparseable line: {e}")))?;
+    if line_no == 1 {
+        if doc.get("schema").and_then(Json::as_str) != Some(JOURNAL_SCHEMA) {
+            return Err(corrupt(format!("header schema is not {JOURNAL_SCHEMA:?}")));
+        }
+        let total = doc
+            .get("total")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("header missing numeric `total`".to_string()))?
+            as usize;
+        let grid = doc
+            .get("grid")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("header missing `grid` array".to_string()))?;
+        if grid.len() != total {
+            return Err(corrupt(format!(
+                "header grid has {} entries but total is {total}",
+                grid.len()
+            )));
+        }
+        return Ok(ParsedLine::Header(total, grid.iter().map(Json::to_string).collect()));
+    }
+    let Some(&(total, _)) = header else {
+        return Err(corrupt("record before header".to_string()));
+    };
+    let index =
+        doc.get("index")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("record missing numeric `index`".to_string()))? as usize;
+    if index >= total {
+        return Err(corrupt(format!("record index {index} out of range (total {total})")));
+    }
+    if records.iter().any(|&(i, _)| i == index) {
+        return Err(corrupt(format!("duplicate record for index {index}")));
+    }
+    if doc.get("cell").is_none() {
+        return Err(corrupt("record missing `cell` entry".to_string()));
+    }
+    let entry = slice_entry_text(line).ok_or_else(|| {
+        corrupt("record is not in canonical {\"index\":I,\"cell\":E} form".to_string())
+    })?;
+    Ok(ParsedLine::Record(index, entry.to_string()))
+}
+
+/// One completed cell, streamed to the caller of [`run_journaled`] in
+/// completion order — replayed cells first (journal order), then fresh
+/// cells as their simulations finish.
+#[derive(Copy, Clone, Debug)]
+pub struct JournalEvent<'a> {
+    /// The cell's index in the full grid.
+    pub index: usize,
+    /// Cells complete so far (replayed + fresh), counting this one.
+    pub done: usize,
+    /// Total cells in the grid.
+    pub total: usize,
+    /// The completed cell.
+    pub cell: &'a SweepCell,
+    /// The cell's rendered `psb-sweep-v1` entry text.
+    pub entry_text: &'a str,
+    /// Came from the journal (`true`) vs freshly simulated (`false`).
+    pub replayed: bool,
+    /// Wall-clock cost in microseconds; 0 for replayed cells.
+    pub wall_micros: u64,
+    /// Full statistics for freshly simulated cells; `None` for replays,
+    /// whose numbers live only in `entry_text` (the journal stores the
+    /// rendered entry, not the raw counters).
+    pub stats: Option<&'a SimStats>,
+}
+
+/// Runs `cells` with an incremental journal at `path`, returning every
+/// cell's entry text in submission order — ready for
+/// [`crate::sweep_report_from_texts`].
+///
+/// With `resume` false the journal is created (truncating any previous
+/// file) and every cell runs. With `resume` true the journal is read
+/// first: completed cells replay from disk (no simulation), a torn
+/// final line from a crash is truncated away, and only missing cells
+/// run — appending to the same journal, so an interrupted resume can
+/// itself be resumed.
+///
+/// `obs` and `tracker` observe only the freshly-run portion (the
+/// tracker additionally learns the replayed count); `on_event` fires
+/// once per completed cell — replays first, then fresh completions.
+pub fn run_journaled(
+    cells: &[SweepCell],
+    threads: usize,
+    obs: Option<&Obs>,
+    path: &Path,
+    resume: bool,
+    tracker: Option<&SweepTracker>,
+    mut on_event: impl FnMut(JournalEvent<'_>),
+) -> Result<Vec<String>, JournalError> {
+    let total = cells.len();
+    let mut entries: Vec<Option<String>> = vec![None; total];
+
+    let mut file = if resume {
+        let journal = read_journal(path)?;
+        let expected: Vec<String> = cells.iter().map(|c| grid_entry(c).to_string()).collect();
+        if journal.total != total {
+            return Err(JournalError::GridMismatch(format!(
+                "journal has {} cells, requested sweep has {total}",
+                journal.total
+            )));
+        }
+        if let Some(i) = (0..total).find(|&i| journal.grid[i] != expected[i]) {
+            return Err(JournalError::GridMismatch(format!(
+                "cell {i} differs: journal {} vs requested {}",
+                journal.grid[i], expected[i]
+            )));
+        }
+        for (index, text) in journal.records {
+            entries[index] = Some(text);
+        }
+        // Drop the torn tail, then append after the last good record.
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(journal.valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        file
+    } else {
+        let mut file = File::create(path)?;
+        append_synced(&mut file, &header_line(cells))?;
+        file
+    };
+
+    let replayed = entries.iter().filter(|e| e.is_some()).count();
+    if let Some(t) = tracker {
+        t.set_replayed(replayed);
+    }
+    let mut done = 0;
+    for (index, entry) in entries.iter().enumerate() {
+        if let Some(text) = entry {
+            done += 1;
+            on_event(JournalEvent {
+                index,
+                done,
+                total,
+                cell: &cells[index],
+                entry_text: text,
+                replayed: true,
+                wall_micros: 0,
+                stats: None,
+            });
+        }
+    }
+
+    let missing: Vec<usize> = (0..total).filter(|&i| entries[i].is_none()).collect();
+    let missing_cells: Vec<SweepCell> = missing.iter().map(|&i| cells[i]).collect();
+
+    // Journal appends happen inside the sweep's completion callback,
+    // which cannot return errors; park the first failure here and
+    // surface it after the sweep drains.
+    let mut append_err: Option<std::io::Error> = None;
+    {
+        let entries = &mut entries;
+        let on_fresh = |p: SweepProgress<'_>| {
+            let index = missing[p.index];
+            let entry = sweep_cell_entry(p.cell, p.stats).to_string();
+            if append_err.is_none() {
+                let record = format!("{{\"index\":{index},\"cell\":{entry}}}");
+                if let Err(e) = append_synced(&mut file, &record) {
+                    append_err = Some(e);
+                }
+            }
+            done += 1;
+            on_event(JournalEvent {
+                index,
+                done,
+                total,
+                cell: p.cell,
+                entry_text: &entry,
+                replayed: false,
+                wall_micros: p.wall_micros,
+                stats: Some(p.stats),
+            });
+            entries[index] = Some(entry);
+        };
+        try_run_sweep_tracked(&missing_cells, threads, obs, tracker, Some(&missing), on_fresh)
+            .map_err(JournalError::Sweep)?;
+    }
+    if let Some(e) = append_err {
+        return Err(JournalError::Io(e));
+    }
+
+    Ok(entries
+        .into_iter()
+        .map(|e| {
+            // Invariant: every index was either replayed or just ran.
+            e.expect("invariant: every grid cell has an entry")
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MachineConfig, PrefetcherKind};
+    use psb_workloads::Benchmark;
+
+    fn grid() -> Vec<SweepCell> {
+        [PrefetcherKind::None, PrefetcherKind::PcStride]
+            .into_iter()
+            .flat_map(|k| {
+                [Benchmark::Turb3d, Benchmark::DeltaBlue].into_iter().map(move |b| {
+                    SweepCell::new(b, MachineConfig::baseline().with_prefetcher(k), 1)
+                        .with_max_commits(10_000)
+                })
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("psb-journal-unit");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn fresh_run_writes_header_and_one_record_per_cell() {
+        let cells = grid();
+        let path = tmp("fresh.jsonl");
+        let mut events = Vec::new();
+        let texts = run_journaled(&cells, 2, None, &path, false, None, |e| {
+            events.push((e.index, e.replayed, e.done));
+        })
+        .expect("journaled run");
+        assert_eq!(texts.len(), cells.len());
+
+        let journal = read_journal(&path).expect("journal parses");
+        assert_eq!(journal.total, cells.len());
+        assert_eq!(journal.records.len(), cells.len());
+        // Stored entry text is exactly what the run returned.
+        for (index, text) in &journal.records {
+            assert_eq!(&texts[*index], text);
+        }
+        // Every event was fresh, `done` counted up to the total.
+        assert!(events.iter().all(|&(_, replayed, _)| !replayed));
+        assert_eq!(events.last().map(|&(_, _, d)| d), Some(cells.len()));
+        // valid_len covers the whole (cleanly finished) file.
+        assert_eq!(journal.valid_len, std::fs::metadata(&path).expect("meta").len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn complete_journal_resumes_without_running_anything() {
+        let cells = grid();
+        let path = tmp("complete.jsonl");
+        let straight = run_journaled(&cells, 1, None, &path, false, None, |_| {}).expect("run");
+        let mut replays = 0;
+        let resumed = run_journaled(&cells, 1, None, &path, true, None, |e| {
+            assert!(e.replayed, "nothing should re-run");
+            replays += 1;
+        })
+        .expect("resume");
+        assert_eq!(replays, cells.len());
+        assert_eq!(straight, resumed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_truncated() {
+        let cells = grid();
+        let path = tmp("torn.jsonl");
+        run_journaled(&cells, 1, None, &path, false, None, |_| {}).expect("run");
+        // Simulate a crash mid-append: drop the last record's tail and
+        // leave garbage.
+        let full = std::fs::read_to_string(&path).expect("read");
+        let keep: Vec<&str> = full.lines().take(3).collect(); // header + 2 records
+        std::fs::write(&path, format!("{}\n{{\"index\":3,\"ce", keep.join("\n"))).expect("write");
+
+        let journal = read_journal(&path).expect("torn tail tolerated");
+        assert_eq!(journal.records.len(), 2);
+        let mut fresh = Vec::new();
+        let resumed = run_journaled(&cells, 2, None, &path, true, None, |e| {
+            if !e.replayed {
+                fresh.push(e.index);
+            }
+        })
+        .expect("resume");
+        fresh.sort_unstable();
+        assert_eq!(fresh, vec![2, 3], "only the missing cells re-ran");
+        let straight = run_journaled(&cells, 1, None, &tmp("torn-ref.jsonl"), false, None, |_| {})
+            .expect("reference run");
+        assert_eq!(resumed, straight, "resume must reproduce the uninterrupted entries");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(tmp("torn-ref.jsonl")).ok();
+    }
+
+    #[test]
+    fn grid_mismatch_is_refused() {
+        let cells = grid();
+        let path = tmp("mismatch.jsonl");
+        run_journaled(&cells, 1, None, &path, false, None, |_| {}).expect("run");
+        let mut other = cells.clone();
+        other[1].scale = 3;
+        let err = run_journaled(&other, 1, None, &path, true, None, |_| {})
+            .expect_err("grid mismatch must refuse");
+        assert!(matches!(err, JournalError::GridMismatch(_)), "{err:?}");
+        assert!(err.to_string().contains("cell 1"), "{err}");
+        // A wrong total is also a mismatch.
+        let err = run_journaled(&cells[..2], 1, None, &path, true, None, |_| {})
+            .expect_err("total mismatch must refuse");
+        assert!(matches!(err, JournalError::GridMismatch(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_before_the_end_fails_loudly() {
+        let cells = grid();
+        let path = tmp("corrupt.jsonl");
+        run_journaled(&cells, 1, None, &path, false, None, |_| {}).expect("run");
+        let full = std::fs::read_to_string(&path).expect("read");
+        let mut lines: Vec<String> = full.lines().map(str::to_string).collect();
+        lines[2] = "{\"index\":1,\"ce".to_string(); // torn line in the middle
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).expect("write");
+        let err = read_journal(&path).expect_err("mid-file corruption is fatal");
+        assert!(matches!(err, JournalError::Corrupt { line: 3, .. }), "{err:?}");
+
+        // Duplicate record index: fatal even at the end.
+        let mut dup: Vec<String> = full.lines().map(str::to_string).collect();
+        dup.push(dup[1].clone());
+        std::fs::write(&path, format!("{}\n", dup.join("\n"))).expect("write");
+        let err = read_journal(&path).expect_err("duplicate index is fatal");
+        assert!(matches!(err, JournalError::Corrupt { .. }), "{err:?}");
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unterminated_final_record_is_not_committed() {
+        // The newline is the commit marker: a record missing it replays
+        // nothing and gets truncated away on resume.
+        let cells = grid();
+        let path = tmp("unterminated.jsonl");
+        run_journaled(&cells, 1, None, &path, false, None, |_| {}).expect("run");
+        let full = std::fs::read_to_string(&path).expect("read");
+        let trimmed = full.strip_suffix('\n').expect("file ends with newline");
+        std::fs::write(&path, trimmed).expect("write");
+        let journal = read_journal(&path).expect("parses");
+        assert_eq!(journal.records.len(), cells.len() - 1, "uncommitted record dropped");
+        assert_eq!(journal.valid_len as usize, trimmed.rfind('\n').expect("nl") + 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -64,6 +64,20 @@ pub fn run_ordered<I: Sync, T: Send>(
     items: &[I],
     workers: usize,
     work: impl Fn(usize, &I) -> T + Sync,
+    on_done: impl FnMut(usize, &T),
+) -> Result<Vec<T>, PoolPanic> {
+    run_ordered_tracked(items, workers, |_, i, item| work(i, item), on_done)
+}
+
+/// [`run_ordered`] with worker identity: `work` receives
+/// `(worker, index, item)`, where `worker` is a stable `0..workers` id
+/// of the thread running the item. Progress trackers hang per-worker
+/// state (current cell, heartbeats) off that id; callers that don't
+/// care use [`run_ordered`].
+pub fn run_ordered_tracked<I: Sync, T: Send>(
+    items: &[I],
+    workers: usize,
+    work: impl Fn(usize, usize, &I) -> T + Sync,
     mut on_done: impl FnMut(usize, &T),
 ) -> Result<Vec<T>, PoolPanic> {
     let total = items.len();
@@ -81,13 +95,13 @@ pub fn run_ordered<I: Sync, T: Send>(
     let work = &work;
 
     thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                let out = catch_unwind(AssertUnwindSafe(|| work(i, item)))
+                let out = catch_unwind(AssertUnwindSafe(|| work(w, i, item)))
                     .map_err(|p| panic_message(p.as_ref()));
                 if tx.send((i, out)).is_err() {
                     break;
@@ -188,6 +202,26 @@ mod tests {
             )
             .expect_err("several items fail");
             assert_eq!(err.index, 2, "workers={workers} must report the smallest index");
+        }
+    }
+
+    #[test]
+    fn tracked_work_sees_in_range_worker_ids_and_matching_indices() {
+        let items: Vec<usize> = (0..32).collect();
+        let out = run_ordered_tracked(
+            &items,
+            4,
+            |w, i, &v| {
+                assert!(w < 4, "worker id out of range: {w}");
+                assert_eq!(i, v, "claimed index must match the item");
+                (w, v * 3)
+            },
+            |_, _| {},
+        )
+        .expect("no panics");
+        for (i, &(w, tripled)) in out.iter().enumerate() {
+            assert!(w < 4);
+            assert_eq!(tripled, i * 3);
         }
     }
 

@@ -1,0 +1,290 @@
+//! Live sweep progress: per-worker state, aggregate counts and an ETA,
+//! published as self-describing `psb-sweep-progress-v1` JSON documents.
+//!
+//! A [`SweepTracker`] sits between the sweep's worker pool (which calls
+//! [`SweepTracker::worker_started`] / [`SweepTracker::worker_finished`]
+//! from worker threads) and whatever wants to watch the sweep — the
+//! `--serve` HTTP thread reads the rendered document through a
+//! [`Published<String>`] handle, so observation never blocks or even
+//! touches the workers. When nothing is attached, nobody calls the
+//! tracker and sweeps run exactly as before: the tracker is an
+//! `Option<&SweepTracker>` everywhere, costing a branch per cell.
+//!
+//! Every mutation bumps a global monotonic sequence number and stamps
+//! it on the worker row that moved, so a consumer can order per-worker
+//! events in *sim-submitted* order across workers without trusting
+//! host clocks. The ETA comes from the completed-cell wall-clock
+//! histogram: mean cell cost × remaining cells ÷ workers — coarse, but
+//! derived entirely from already-measured telemetry (wall-clock never
+//! reaches the deterministic artifact; see [`crate::sweep`]).
+
+use psb_common::stats::Log2Histogram;
+use psb_model::sync::Mutex;
+use psb_obs::Json;
+use psb_serve::Published;
+use std::sync::Arc;
+
+/// Schema identifier stamped into every progress document.
+pub const PROGRESS_SCHEMA: &str = "psb-sweep-progress-v1";
+
+/// One worker's live state.
+#[derive(Clone, Debug, Default)]
+struct WorkerRow {
+    /// Currently simulating a cell (vs. idle/drained).
+    running: bool,
+    /// Label of the cell being (or last) worked, e.g. `health/Base`.
+    cell: String,
+    /// Submission index of that cell in the full grid.
+    index: Option<usize>,
+    /// Cells this worker completed.
+    done: usize,
+    /// Tracker events from this worker (starts, beats, finishes).
+    heartbeats: u64,
+    /// Global sequence number of this worker's latest event.
+    last_seq: u64,
+}
+
+/// Aggregate state behind the tracker's mutex.
+#[derive(Debug)]
+struct TrackerState {
+    total: usize,
+    fresh_done: usize,
+    replayed: usize,
+    seq: u64,
+    workers: Vec<WorkerRow>,
+    cell_micros: Log2Histogram,
+}
+
+impl TrackerState {
+    fn row(&mut self, worker: usize) -> &mut WorkerRow {
+        if worker >= self.workers.len() {
+            self.workers.resize(worker + 1, WorkerRow::default());
+        }
+        &mut self.workers[worker]
+    }
+
+    /// Mean completed-cell cost × remaining ÷ workers, in microseconds;
+    /// `None` until at least one cell has completed in this process.
+    fn eta_micros(&self) -> Option<u64> {
+        let done = self.fresh_done + self.replayed;
+        let remaining = self.total.saturating_sub(done);
+        if self.cell_micros.total() == 0 || remaining == 0 {
+            return None;
+        }
+        let lanes = self.workers.len().max(1) as f64;
+        Some((self.cell_micros.mean() * remaining as f64 / lanes) as u64)
+    }
+
+    fn render(&self) -> String {
+        let done = self.fresh_done + self.replayed;
+        let running = self.workers.iter().filter(|w| w.running).count();
+        let workers = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(id, w)| {
+                Json::obj(vec![
+                    ("id", Json::u64(id as u64)),
+                    ("state", Json::str(if w.running { "running" } else { "idle" })),
+                    ("cell", Json::str(&w.cell)),
+                    ("index", w.index.map_or(Json::Null, |i| Json::u64(i as u64))),
+                    ("done", Json::u64(w.done as u64)),
+                    ("heartbeats", Json::u64(w.heartbeats)),
+                    ("last_seq", Json::u64(w.last_seq)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::str(PROGRESS_SCHEMA)),
+            ("total", Json::u64(self.total as u64)),
+            ("done", Json::u64(done as u64)),
+            ("replayed", Json::u64(self.replayed as u64)),
+            ("running", Json::u64(running as u64)),
+            ("workers_configured", Json::u64(self.workers.len() as u64)),
+            ("eta_micros", self.eta_micros().map_or(Json::Null, Json::u64)),
+            ("seq", Json::u64(self.seq)),
+            ("workers", Json::Arr(workers)),
+        ])
+        .to_string()
+    }
+}
+
+/// Shared, thread-safe progress tracker for one sweep (or one single
+/// run served live — a sweep of one cell). Clone freely: clones share
+/// state and the published document.
+#[derive(Clone, Debug)]
+pub struct SweepTracker {
+    state: Arc<Mutex<TrackerState>>,
+    doc: Published<String>,
+}
+
+impl SweepTracker {
+    /// A tracker for a grid of `total` cells, with its initial
+    /// (all-zero) document already published.
+    pub fn new(total: usize) -> SweepTracker {
+        let state = TrackerState {
+            total,
+            fresh_done: 0,
+            replayed: 0,
+            seq: 0,
+            workers: Vec::new(),
+            cell_micros: Log2Histogram::default(),
+        };
+        let doc = Published::new(state.render());
+        SweepTracker { state: Arc::new(Mutex::new(state)), doc }
+    }
+
+    /// The handle the HTTP layer serves: always holds the latest
+    /// rendered `psb-sweep-progress-v1` document.
+    pub fn handle(&self) -> Published<String> {
+        self.doc.clone()
+    }
+
+    /// The latest rendered progress document.
+    pub fn progress_json(&self) -> String {
+        (*self.doc.read()).clone()
+    }
+
+    /// Applies one mutation, bumps the global sequence number, and
+    /// republishes — under one state lock, so the published document
+    /// order matches the event order exactly.
+    fn mutate(&self, f: impl FnOnce(&mut TrackerState)) {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut st);
+        st.seq += 1;
+        self.doc.publish(st.render());
+    }
+
+    /// Declares the worker pool: `workers` rows, all idle.
+    pub fn begin(&self, workers: usize) {
+        self.mutate(|st| {
+            st.workers = vec![WorkerRow::default(); workers.max(1)];
+        });
+    }
+
+    /// Declares `n` cells replayed from a journal (counted into `done`
+    /// without touching any worker row or the ETA histogram).
+    pub fn set_replayed(&self, n: usize) {
+        self.mutate(|st| st.replayed = n);
+    }
+
+    /// Worker `worker` began simulating grid cell `index` (`label` is
+    /// its human name, e.g. `health/ConfAlloc-Priority`).
+    pub fn worker_started(&self, worker: usize, index: usize, label: &str) {
+        self.mutate(|st| {
+            let seq = st.seq + 1;
+            let row = st.row(worker);
+            row.running = true;
+            row.cell = label.to_string();
+            row.index = Some(index);
+            row.heartbeats += 1;
+            row.last_seq = seq;
+        });
+    }
+
+    /// Worker `worker` is alive mid-cell (e.g. one interval epoch
+    /// closed). Progress consumers use this to tell "slow cell" from
+    /// "stuck worker".
+    pub fn worker_heartbeat(&self, worker: usize) {
+        self.mutate(|st| {
+            let seq = st.seq + 1;
+            let row = st.row(worker);
+            row.heartbeats += 1;
+            row.last_seq = seq;
+        });
+    }
+
+    /// Worker `worker` finished its current cell after `wall_micros`.
+    pub fn worker_finished(&self, worker: usize, wall_micros: u64) {
+        self.mutate(|st| {
+            let seq = st.seq + 1;
+            let row = st.row(worker);
+            row.running = false;
+            row.done += 1;
+            row.heartbeats += 1;
+            row.last_seq = seq;
+            st.fresh_done += 1;
+            st.cell_micros.add(wall_micros);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_obs::json;
+
+    fn parsed(t: &SweepTracker) -> Json {
+        json::parse(&t.progress_json()).expect("progress document must be valid JSON")
+    }
+
+    #[test]
+    fn initial_document_is_schema_tagged_and_zeroed() {
+        let t = SweepTracker::new(12);
+        let doc = parsed(&t);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(PROGRESS_SCHEMA));
+        assert_eq!(doc.get("total").and_then(Json::as_u64), Some(12));
+        assert_eq!(doc.get("done").and_then(Json::as_u64), Some(0));
+        assert!(matches!(doc.get("eta_micros"), Some(Json::Null)));
+        assert_eq!(doc.get("workers").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+    }
+
+    #[test]
+    fn lifecycle_updates_counts_rows_and_sequence() {
+        let t = SweepTracker::new(4);
+        t.begin(2);
+        t.worker_started(0, 0, "health/Base");
+        t.worker_started(1, 1, "health/Stride");
+        t.worker_heartbeat(0);
+        t.worker_finished(0, 1000);
+        let doc = parsed(&t);
+        assert_eq!(doc.get("done").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("running").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("workers_configured").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("seq").and_then(Json::as_u64), Some(5));
+        let workers = doc.get("workers").and_then(Json::as_arr).expect("workers");
+        assert_eq!(workers[0].get("state").and_then(Json::as_str), Some("idle"));
+        assert_eq!(workers[0].get("done").and_then(Json::as_u64), Some(1));
+        assert_eq!(workers[0].get("heartbeats").and_then(Json::as_u64), Some(3));
+        assert_eq!(workers[1].get("state").and_then(Json::as_str), Some("running"));
+        assert_eq!(workers[1].get("cell").and_then(Json::as_str), Some("health/Stride"));
+        assert_eq!(workers[1].get("index").and_then(Json::as_u64), Some(1));
+        // Per-worker last_seq orders events across workers.
+        let s0 = workers[0].get("last_seq").and_then(Json::as_u64).unwrap();
+        let s1 = workers[1].get("last_seq").and_then(Json::as_u64).unwrap();
+        assert!(s0 > s1, "worker 0 moved last: {s0} vs {s1}");
+        // One completed cell at 1000us, three remaining, two lanes.
+        assert_eq!(doc.get("eta_micros").and_then(Json::as_u64), Some(1500));
+    }
+
+    #[test]
+    fn replayed_cells_count_into_done_but_not_eta() {
+        let t = SweepTracker::new(6);
+        t.set_replayed(4);
+        let doc = parsed(&t);
+        assert_eq!(doc.get("done").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.get("replayed").and_then(Json::as_u64), Some(4));
+        assert!(matches!(doc.get("eta_micros"), Some(Json::Null)), "no measured cells yet");
+    }
+
+    #[test]
+    fn eta_clears_when_the_grid_completes() {
+        let t = SweepTracker::new(1);
+        t.begin(1);
+        t.worker_started(0, 0, "x");
+        t.worker_finished(0, 500);
+        let doc = parsed(&t);
+        assert_eq!(doc.get("done").and_then(Json::as_u64), Some(1));
+        assert!(matches!(doc.get("eta_micros"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn handle_and_progress_json_agree() {
+        let t = SweepTracker::new(2);
+        t.begin(1);
+        let h = t.handle();
+        t.worker_started(0, 1, "gs/Base");
+        assert_eq!(*h.read(), t.progress_json());
+        assert!(h.read().contains("gs/Base"));
+    }
+}

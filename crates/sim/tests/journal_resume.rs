@@ -1,0 +1,113 @@
+//! Kill-and-resume byte-identity: a sweep interrupted mid-run and
+//! resumed from its journal must emit a final `psb-sweep-v1` artifact
+//! byte-identical to an uninterrupted run — at every worker count.
+//!
+//! This extends the `--threads 1/2/4` byte-identity regression
+//! (`sweep_determinism.rs`) across process death: the journal's stored
+//! entry texts are spliced verbatim into the final document, so not
+//! even float formatting can drift.
+
+use psb_sim::{
+    run_journaled, run_sweep, sweep_report, sweep_report_from_texts, MachineConfig, PrefetcherKind,
+    SweepCell,
+};
+use psb_workloads::Benchmark;
+use std::path::PathBuf;
+
+fn grid() -> Vec<SweepCell> {
+    [PrefetcherKind::None, PrefetcherKind::PcStride]
+        .into_iter()
+        .flat_map(|k| {
+            [Benchmark::Turb3d, Benchmark::DeltaBlue].into_iter().map(move |b| {
+                SweepCell::new(b, MachineConfig::baseline().with_prefetcher(k), 1)
+                    .with_max_commits(10_000)
+            })
+        })
+        .collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("psb-journal-resume");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+/// Simulates a `kill -9` after `keep` cells: truncates the journal to
+/// header + `keep` records and appends a torn half-record, exactly the
+/// state a crash mid-append leaves behind.
+fn kill_after(path: &PathBuf, keep: usize) {
+    let full = std::fs::read_to_string(path).expect("read journal");
+    let prefix: Vec<&str> = full.lines().take(1 + keep).collect();
+    std::fs::write(path, format!("{}\n{{\"index\":{keep},\"ce", prefix.join("\n")))
+        .expect("write torn journal");
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_across_thread_counts() {
+    let cells = grid();
+
+    // The ground truth: an uninterrupted in-memory sweep, tree-rendered.
+    let reference = sweep_report(&cells, &run_sweep(&cells, 1)).to_string();
+
+    for threads in [1usize, 2, 4] {
+        // Uninterrupted journaled run.
+        let straight_path = tmp(&format!("straight-{threads}.jsonl"));
+        let straight = run_journaled(&cells, threads, None, &straight_path, false, None, |_| {})
+            .expect("uninterrupted journaled run");
+        assert_eq!(
+            sweep_report_from_texts(&straight),
+            reference,
+            "threads={threads}: journaled text splice must match the tree render"
+        );
+
+        // Killed after 2 of 4 cells, then resumed.
+        let killed_path = tmp(&format!("killed-{threads}.jsonl"));
+        run_journaled(&cells, threads, None, &killed_path, false, None, |_| {})
+            .expect("run before the kill");
+        kill_after(&killed_path, 2);
+
+        let mut fresh = Vec::new();
+        let mut replayed = Vec::new();
+        let resumed = run_journaled(&cells, threads, None, &killed_path, true, None, |e| {
+            if e.replayed {
+                replayed.push(e.index);
+            } else {
+                fresh.push(e.index);
+            }
+        })
+        .expect("resume after the kill");
+
+        // Records land in completion order, so which two cells survive
+        // the kill depends on the worker interleaving — but exactly two
+        // replay and exactly the complement re-runs.
+        assert_eq!(replayed.len(), 2, "threads={threads}: two cells replay");
+        assert_eq!(fresh.len(), 2, "threads={threads}: two cells re-run");
+        let mut covered = replayed.clone();
+        covered.extend(&fresh);
+        covered.sort_unstable();
+        assert_eq!(covered, vec![0, 1, 2, 3], "threads={threads}: replay+fresh cover the grid");
+        assert_eq!(
+            sweep_report_from_texts(&resumed),
+            reference,
+            "threads={threads}: kill+resume must be byte-identical to uninterrupted"
+        );
+
+        std::fs::remove_file(&straight_path).ok();
+        std::fs::remove_file(&killed_path).ok();
+    }
+}
+
+#[test]
+fn an_interrupted_resume_can_itself_be_resumed() {
+    let cells = grid();
+    let reference = sweep_report(&cells, &run_sweep(&cells, 1)).to_string();
+    let path = tmp("double-kill.jsonl");
+
+    run_journaled(&cells, 2, None, &path, false, None, |_| {}).expect("initial run");
+    kill_after(&path, 1);
+    run_journaled(&cells, 2, None, &path, true, None, |_| {}).expect("first resume");
+    kill_after(&path, 3);
+    let resumed = run_journaled(&cells, 2, None, &path, true, None, |_| {}).expect("second resume");
+    assert_eq!(sweep_report_from_texts(&resumed), reference);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,99 @@
+//! Live serving end-to-end: a tracked sweep published over the real
+//! HTTP stack, polled concurrently by a reader over raw sockets — the
+//! same wiring `psbsweep --serve` runs.
+
+use psb_obs::{json, Json, Obs};
+use psb_serve::{Published, Route, Server};
+use psb_sim::{
+    try_run_sweep_tracked, MachineConfig, PrefetcherKind, SweepCell, SweepTracker, PROGRESS_SCHEMA,
+};
+use psb_workloads::Benchmark;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn grid() -> Vec<SweepCell> {
+    [PrefetcherKind::None, PrefetcherKind::PcStride]
+        .into_iter()
+        .flat_map(|k| {
+            [Benchmark::Turb3d, Benchmark::DeltaBlue].into_iter().map(move |b| {
+                SweepCell::new(b, MachineConfig::baseline().with_prefetcher(k), 1)
+                    .with_max_commits(10_000)
+            })
+        })
+        .collect()
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response.split_once("\r\n\r\n").expect("head/body").1.to_string()
+}
+
+#[test]
+fn progress_and_metrics_serve_live_during_a_sweep() {
+    let cells = grid();
+    let tracker = SweepTracker::new(cells.len());
+    let metrics = Published::new(String::new());
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec![
+            Route::new("/progress", "application/json", tracker.handle()),
+            Route::new("/metrics", "text/plain; version=0.0.4", metrics.clone()),
+        ],
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // A live reader polling over real sockets while the sweep runs.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reader_stop = stop.clone();
+    let reader = std::thread::spawn(move || {
+        let mut polls = 0u32;
+        while !reader_stop.load(std::sync::atomic::Ordering::SeqCst) {
+            let body = http_get(addr, "/progress");
+            let doc = json::parse(&body).expect("every /progress body is valid JSON");
+            assert_eq!(doc.get("schema").and_then(Json::as_str), Some(PROGRESS_SCHEMA));
+            let done = doc.get("done").and_then(Json::as_u64).expect("done");
+            let total = doc.get("total").and_then(Json::as_u64).expect("total");
+            assert!(done <= total, "done must never exceed total");
+            polls += 1;
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        polls
+    });
+
+    let obs = Obs::new();
+    try_run_sweep_tracked(&cells, 2, Some(&obs), Some(&tracker), None, |_| {
+        // The same republish `psbsweep --serve` does per finished cell.
+        metrics.publish(psb_obs::prometheus::render(&obs.registry_snapshot()));
+    })
+    .expect("sweep");
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let polls = reader.join().expect("reader thread");
+    assert!(polls > 0, "the reader must have observed the sweep live");
+
+    // Final progress document: everything done, nonzero heartbeats.
+    let doc = json::parse(&http_get(addr, "/progress")).expect("final progress");
+    assert_eq!(doc.get("done").and_then(Json::as_u64), Some(cells.len() as u64));
+    assert_eq!(doc.get("running").and_then(Json::as_u64), Some(0));
+    let workers = doc.get("workers").and_then(Json::as_arr).expect("workers");
+    let beats: u64 =
+        workers.iter().map(|w| w.get("heartbeats").and_then(Json::as_u64).unwrap()).sum();
+    assert!(beats >= 2 * cells.len() as u64, "start+finish per cell, got {beats}");
+
+    // Final metrics document: Prometheus text with the sweep counters.
+    let metrics_body = http_get(addr, "/metrics");
+    assert!(metrics_body.contains("# TYPE psb_sweep_cells_completed counter"), "{metrics_body}");
+    assert!(
+        metrics_body.contains(&format!("psb_sweep_cells_completed {}", cells.len())),
+        "{metrics_body}"
+    );
+    assert!(metrics_body.contains("psb_sweep_cell_micros_count"), "{metrics_body}");
+
+    server.shutdown();
+}

@@ -30,11 +30,18 @@
 //!                    stream buffer)
 //!   --interval N     sample the interval time series every N cycles
 //!                    (recorded into the --json artifact)
+//!   --serve ADDR     serve GET /progress, /metrics and /report over
+//!                    HTTP on ADDR (e.g. 127.0.0.1:9090) while the
+//!                    simulation runs; implies --interval 100000 when
+//!                    no interval is given (epoch closes drive the
+//!                    live updates)
 //! ```
 
 use psb::cpu::Disambiguation;
 use psb::mem::CacheConfig;
-use psb::sim::{f2, pct, MachineConfig, PrefetcherKind, SimStats, Simulation, Table};
+use psb::obs::{prometheus, Json};
+use psb::serve::{Published, Route, Server};
+use psb::sim::{f2, pct, MachineConfig, PrefetcherKind, SimStats, Simulation, SweepTracker, Table};
 use psb::workloads::Benchmark;
 
 fn usage() -> ! {
@@ -42,7 +49,8 @@ fn usage() -> ! {
         "usage: psbsim [--prefetcher KIND] [--l1d GEOM] [--no-dis] \
          [--scale N] [--max N] [--compare] [--dump FILE] [--load FILE] \
          [--victim N] [--csv] [--log N] [--log-last N] [--json FILE] \
-         [--trace-out FILE] [--interval N] [--bench NAME | <benchmark>]\n\
+         [--trace-out FILE] [--interval N] [--serve ADDR] \
+         [--bench NAME | <benchmark>]\n\
          kinds: none sequential next-line demand-markov fetch-directed pc-stride \
          2miss-rr 2miss-priority conf-rr conf-priority\n\
          benchmarks: health burg deltablue gs sis turb3d\n\
@@ -88,6 +96,7 @@ fn main() {
     let mut json_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut interval: Option<u64> = None;
+    let mut serve_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -138,6 +147,7 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--serve" => serve_addr = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             "--bench" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(b)) if bench.is_none() => bench = Some(b),
@@ -199,6 +209,11 @@ fn main() {
 
     // The observability hub rides along on every run; tracing and
     // interval sampling only collect when their flags ask for them.
+    // Live serving needs epoch closes to drive its updates, so --serve
+    // without --interval samples at a default cadence.
+    if serve_addr.is_some() && interval.is_none() {
+        interval = Some(100_000);
+    }
     let obs = psb::obs::Obs::new();
     if trace_out.is_some() {
         obs.enable_trace(1 << 20);
@@ -215,11 +230,62 @@ fn main() {
     };
 
     let bench_label = bench.map_or_else(|| "trace".to_owned(), |b| b.to_string());
+
+    // The --serve plane: a single-cell progress tracker (heartbeats per
+    // closed epoch), Prometheus metrics, and a partial psb-run-v1
+    // report that fills in when the run completes.
+    let serving = serve_addr.as_deref().map(|addr| {
+        let tracker = SweepTracker::new(1);
+        tracker.begin(1);
+        let metrics = Published::new(prometheus::render(&obs.registry_snapshot()));
+        let report = Published::new(
+            Json::obj(vec![
+                ("schema", Json::str("psb-run-v1")),
+                ("benchmark", Json::str(&bench_label)),
+                ("prefetcher", Json::str(kind.label())),
+                ("partial", Json::Bool(true)),
+                ("aggregate", Json::Null),
+            ])
+            .to_string(),
+        );
+        let server = Server::bind(
+            addr,
+            vec![
+                Route::new("/progress", "application/json", tracker.handle()),
+                Route::new("/metrics", "text/plain; version=0.0.4", metrics.clone()),
+                Route::new("/report", "application/json", report.clone()),
+            ],
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("psbsim: cannot serve on {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("serving /progress /metrics /report on http://{}/", server.local_addr());
+        // Each closed interval epoch beats the tracker (proof of life
+        // mid-run) and refreshes the served metrics snapshot.
+        let hook_tracker = tracker.clone();
+        let hook_metrics = metrics.clone();
+        obs.set_epoch_hook(move |obs| {
+            hook_tracker.worker_heartbeat(0);
+            hook_metrics.publish(prometheus::render(&obs.registry_snapshot()));
+        });
+        tracker.worker_started(0, 0, &format!("{bench_label}/{}", kind.label()));
+        (server, tracker, metrics, report)
+    });
+
+    let run_start = std::time::Instant::now();
     let mut sim = Simulation::new(config, trace.clone(), max).with_obs(obs.clone());
     if let Some(log) = &log {
         sim = sim.with_event_log(log.clone());
     }
     let main_stats = sim.run();
+
+    if let Some((_, tracker, metrics, report)) = &serving {
+        tracker.worker_finished(0, run_start.elapsed().as_micros() as u64);
+        metrics.publish(prometheus::render(&obs.registry_snapshot()));
+        let doc = psb::sim::json_report(&bench_label, kind.label(), &main_stats, Some(&obs));
+        report.publish(doc.to_string());
+    }
 
     if let Some(path) = &json_out {
         let doc = psb::sim::json_report(&bench_label, kind.label(), &main_stats, Some(&obs));

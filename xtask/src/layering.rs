@@ -35,6 +35,10 @@ const LAYERS: &[(&str, &[&str], &[&str])] = &[
     ("crates/mem", &["psb-common", "psb-obs", "psb-check"], &[]),
     ("crates/core", &["psb-common", "psb-check"], &["psb-obs"]),
     ("crates/workloads", &["psb-common", "psb-cpu", "psb-model"], &[]),
+    // The serving plane sits beside obs: plain-data documents in, HTTP
+    // out. It must never see the simulator, so a sweep can publish to it
+    // but it cannot reach back.
+    ("crates/serve", &["psb-common", "psb-obs", "psb-model"], &[]),
     (
         "crates/sim",
         &[
@@ -45,6 +49,7 @@ const LAYERS: &[(&str, &[&str], &[&str])] = &[
             "psb-obs",
             "psb-workloads",
             "psb-model",
+            "psb-serve",
             "psb-check",
         ],
         &[],
@@ -64,6 +69,7 @@ const LAYERS: &[(&str, &[&str], &[&str])] = &[
             "psb-obs",
             "psb-workloads",
             "psb-sim",
+            "psb-serve",
             "psb-model",
             "psb-check",
         ],

@@ -552,7 +552,7 @@ pub fn lint_determinism(rel_path: &str, source: &str) -> Vec<Finding> {
 /// Crates whose concurrency runs under the model checker: every
 /// synchronization primitive must come from the `psb-model` shims so
 /// `cargo xtask model` exercises the *same* code paths production runs.
-pub const MODEL_CHECKED_CRATES: [&str; 2] = ["crates/sim/", "crates/workloads/"];
+pub const MODEL_CHECKED_CRATES: [&str; 3] = ["crates/serve/", "crates/sim/", "crates/workloads/"];
 
 /// `std::sync`/`std::thread` items that have a `psb_model` shim and are
 /// therefore banned in model-checked crates. `Arc` is exempt: it is pure
