@@ -2,8 +2,8 @@
 //! implemented hardware-prefetching model side by side, per benchmark.
 //!
 //! Compares the demand-based schemes (Smith next-line, Joseph & Grunwald
-//! Markov) and the decoupled schemes (Jouppi sequential, Farkas
-//! PC-stride, the paper's PSB) over the full suite.
+//! Markov, Pangloss, DSPatch) and the decoupled schemes (Jouppi
+//! sequential, Farkas PC-stride, the paper's PSB) over the full suite.
 
 use psb_bench::{machine_banner, scale_arg};
 use psb_sim::{run_point, PrefetcherKind, Table};
@@ -16,6 +16,8 @@ fn main() {
     let kinds = [
         PrefetcherKind::NextLine,
         PrefetcherKind::DemandMarkov,
+        PrefetcherKind::Pangloss,
+        PrefetcherKind::Dspatch,
         PrefetcherKind::FetchDirected,
         PrefetcherKind::Sequential,
         PrefetcherKind::PcStride,
@@ -26,7 +28,7 @@ fn main() {
     let mut t = Table::new(headers);
 
     for bench in Benchmark::ALL {
-        eprintln!("running {bench} (7 configurations)...");
+        eprintln!("running {bench} ({} configurations)...", kinds.len() + 1);
         let base = run_point(bench, PrefetcherKind::None, scale);
         let mut cells = vec![bench.name().to_owned()];
         for kind in kinds {

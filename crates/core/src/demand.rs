@@ -22,41 +22,48 @@ use std::collections::VecDeque;
 
 /// One slot of a prefetch buffer.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-struct PbEntry {
-    block: BlockAddr,
-    ready: Cycle,
+pub(crate) struct PbEntry {
+    pub(crate) block: BlockAddr,
+    pub(crate) ready: Cycle,
     lru: u64,
 }
 
 /// A small fully-associative prefetch buffer with LRU replacement, as
 /// used by the demand-based schemes (prefetched data is staged here, not
-/// in the cache, to avoid pollution).
+/// in the cache, to avoid pollution). Shared with the other demand-side
+/// engines under `predictor/` (Pangloss, DSPatch).
 #[derive(Clone, Debug)]
-struct PrefetchBuffer {
+pub(crate) struct PrefetchBuffer {
     entries: Vec<PbEntry>,
     capacity: usize,
     stamp: u64,
 }
 
 impl PrefetchBuffer {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "prefetch buffer needs at least one entry");
         PrefetchBuffer { entries: Vec::with_capacity(capacity), capacity, stamp: 0 }
     }
 
-    fn contains(&self, block: BlockAddr) -> bool {
+    pub(crate) fn contains(&self, block: BlockAddr) -> bool {
         self.entries.iter().any(|e| e.block == block)
+    }
+
+    /// The configured number of slots (not the current occupancy).
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Removes and returns the entry for `block`, if present (a hit moves
     /// the block into the cache).
-    fn take(&mut self, block: BlockAddr) -> Option<PbEntry> {
+    pub(crate) fn take(&mut self, block: BlockAddr) -> Option<PbEntry> {
         let idx = self.entries.iter().position(|e| e.block == block)?;
         Some(self.entries.swap_remove(idx))
     }
 
     /// Inserts a block; returns the evicted (unused) block, if any.
-    fn insert(&mut self, block: BlockAddr, ready: Cycle) -> Option<BlockAddr> {
+    pub(crate) fn insert(&mut self, block: BlockAddr, ready: Cycle) -> Option<BlockAddr> {
         self.stamp += 1;
         if let Some(e) = self.entries.iter_mut().find(|e| e.block == block) {
             e.lru = self.stamp;
@@ -106,7 +113,22 @@ pub struct NextLinePrefetcher {
     stats: PrefetchStats,
 }
 
+/// Block size of [`NextLinePrefetcher::baseline`], matching the
+/// machine's 32-byte L1 lines.
+pub const NEXT_LINE_BASELINE_BLOCK: u64 = 32;
+
+/// Prefetch-buffer capacity of [`NextLinePrefetcher::baseline`]: the
+/// 16-entry staging buffer used by the demand-based comparison points.
+pub const NEXT_LINE_BASELINE_CAPACITY: usize = 16;
+
 impl NextLinePrefetcher {
+    /// The baseline configuration the registry builds: 32-byte blocks
+    /// (the machine's L1 line size) staged through a 16-entry buffer,
+    /// matching [`DemandMarkovPrefetcher::baseline`]'s buffer.
+    pub fn baseline() -> Self {
+        NextLinePrefetcher::new(NEXT_LINE_BASELINE_BLOCK, NEXT_LINE_BASELINE_CAPACITY)
+    }
+
     /// Creates a next-line prefetcher for `block`-byte lines with a
     /// `capacity`-entry prefetch buffer.
     pub fn new(block: u64, capacity: usize) -> Self {
@@ -472,6 +494,19 @@ mod tests {
             !new.contains(&&dead.block_base(32)),
             "disabled transition must stop prefetching: {new:?}"
         );
+    }
+
+    #[test]
+    fn nlp_baseline_pins_block_and_capacity() {
+        // The registry's next-line row must keep building the historical
+        // configuration: 32-byte blocks, 16-entry buffer. (These used to
+        // be magic numbers inlined at the `PrefetcherKind::build` call
+        // site — the same bug class as PR 4's stray priority cap.)
+        assert_eq!(NEXT_LINE_BASELINE_BLOCK, 32);
+        assert_eq!(NEXT_LINE_BASELINE_CAPACITY, 16);
+        let nlp = NextLinePrefetcher::baseline();
+        assert_eq!(nlp.block, 32);
+        assert_eq!(nlp.buffer.capacity, 16);
     }
 
     #[test]

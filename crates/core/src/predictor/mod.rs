@@ -5,6 +5,12 @@
 //! the next address in the stream. The predictor's tables are updated only
 //! in the write-back stage of missing loads ([`StreamPredictor::train`]),
 //! never by predictions — Section 4 of the paper.
+//!
+//! This module also hosts the self-contained modern engines that plug
+//! into the registry as whole [`crate::Prefetcher`]s rather than as
+//! stream-buffer predictors: [`PanglossPrefetcher`] and
+//! [`DspatchPrefetcher`]. A new engine is one file here plus one
+//! registry row (see `crate::registry`).
 
 mod markov;
 mod pc_stride;
@@ -13,7 +19,12 @@ mod sfm;
 mod sfm2;
 mod stride;
 
+pub(crate) mod dspatch;
+pub(crate) mod pangloss;
+
+pub use dspatch::DspatchPrefetcher;
 pub use markov::MarkovTable;
+pub use pangloss::PanglossPrefetcher;
 pub use pc_stride::PcStridePredictor;
 pub use sequential::SequentialPredictor;
 pub use sfm::SfmPredictor;

@@ -1,0 +1,202 @@
+//! The prefetcher plugin registry.
+//!
+//! Every prefetch engine the workspace knows about is described by one
+//! [`EngineDescriptor`] row in [`ENGINES`]. The simulator's
+//! `PrefetcherKind`, its `FromStr` parser, the sweep grids and both CLI
+//! front ends enumerate this table instead of open-coding engine lists,
+//! so adding an engine costs one file in `crates/core/src/predictor/`
+//! plus one row here — not synchronized edits across five match sites.
+//!
+//! Ordering is the CLI/reporting order: the historical and demand-based
+//! baselines first, the modern competitors next, and the paper's own
+//! Figure 5–9 grid last. Filtering [`ENGINES`] by
+//! [`EngineDescriptor::paper`] in table order yields exactly the
+//! figures' reporting order (`Base` through `ConfAlloc-Priority`), which
+//! is what `PrefetcherKind::PAPER` relies on.
+
+use crate::demand::{DemandMarkovPrefetcher, NextLinePrefetcher};
+use crate::fetch_directed::FetchDirectedPrefetcher;
+use crate::prefetcher::{NoPrefetch, Prefetcher};
+use crate::stream::{PsbPrefetcher, SbConfig, SequentialStreamBuffers, StrideStreamBuffers};
+
+/// One registered prefetch engine: the names the front ends and reports
+/// use, whether it belongs to the paper's figure grid, and how to build
+/// its baseline configuration.
+pub struct EngineDescriptor {
+    /// The CLI name (`--prefetcher <name>`; the `FromStr` spelling).
+    pub name: &'static str,
+    /// The label used in the paper's figures and report tables.
+    pub label: &'static str,
+    /// Member of the six-configuration grid of Figures 5–9.
+    pub paper: bool,
+    /// Constructs the engine in its baseline configuration.
+    pub build: fn() -> Box<dyn Prefetcher>,
+}
+
+/// Every known engine, in CLI/reporting order. See the module docs for
+/// the ordering contract.
+pub const ENGINES: &[EngineDescriptor] = &[
+    EngineDescriptor {
+        name: "none",
+        label: "Base",
+        paper: true,
+        build: || Box::new(NoPrefetch::new()),
+    },
+    EngineDescriptor {
+        name: "sequential",
+        label: "Sequential",
+        paper: false,
+        build: || Box::new(SequentialStreamBuffers::sequential()),
+    },
+    EngineDescriptor {
+        name: "next-line",
+        label: "Next-Line",
+        paper: false,
+        build: || Box::new(NextLinePrefetcher::baseline()),
+    },
+    EngineDescriptor {
+        name: "demand-markov",
+        label: "Demand-Markov",
+        paper: false,
+        build: || Box::new(DemandMarkovPrefetcher::baseline()),
+    },
+    EngineDescriptor {
+        name: "fetch-directed",
+        label: "Fetch-Directed",
+        paper: false,
+        build: || Box::new(FetchDirectedPrefetcher::baseline()),
+    },
+    crate::predictor::pangloss::DESCRIPTOR,
+    crate::predictor::dspatch::DESCRIPTOR,
+    EngineDescriptor {
+        name: "pc-stride",
+        label: "PC-stride",
+        paper: true,
+        build: || Box::new(StrideStreamBuffers::pc_stride()),
+    },
+    EngineDescriptor {
+        name: "2miss-rr",
+        label: "2Miss-RR",
+        paper: true,
+        build: || Box::new(PsbPrefetcher::psb(SbConfig::psb_two_miss_rr())),
+    },
+    EngineDescriptor {
+        name: "2miss-priority",
+        label: "2Miss-Priority",
+        paper: true,
+        build: || Box::new(PsbPrefetcher::psb(SbConfig::psb_two_miss_priority())),
+    },
+    EngineDescriptor {
+        name: "conf-rr",
+        label: "ConfAlloc-RR",
+        paper: true,
+        build: || Box::new(PsbPrefetcher::psb(SbConfig::psb_conf_rr())),
+    },
+    EngineDescriptor {
+        name: "conf-priority",
+        label: "ConfAlloc-Priority",
+        paper: true,
+        build: || Box::new(PsbPrefetcher::psb(SbConfig::psb_conf_priority())),
+    },
+];
+
+/// Compile-time string equality (stable `const fn` has no `==` for
+/// `str`), so registry positions can be resolved into constants.
+const fn str_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut i = 0;
+    while i < a.len() {
+        if a[i] != b[i] {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Resolves a CLI name to its [`ENGINES`] index at compile time.
+///
+/// # Panics
+///
+/// Compile error (const panic) when `name` is not registered — a
+/// `PrefetcherKind` constant naming a missing engine cannot build.
+pub const fn engine_index(name: &str) -> usize {
+    let mut i = 0;
+    while i < ENGINES.len() {
+        if str_eq(ENGINES[i].name, name) {
+            return i;
+        }
+        i += 1;
+    }
+    panic!("engine name not present in the psb-core registry")
+}
+
+/// Number of registered engines in the paper's figure grid.
+pub const fn paper_engine_count() -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    while i < ENGINES.len() {
+        if ENGINES[i].paper {
+            n += 1;
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Looks up an engine by CLI name at runtime.
+pub fn find_engine(name: &str) -> Option<&'static EngineDescriptor> {
+    ENGINES.iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        for (i, e) in ENGINES.iter().enumerate() {
+            assert_eq!(engine_index(e.name), i, "{} resolves to its own row", e.name);
+            assert_eq!(find_engine(e.name).unwrap().label, e.label);
+        }
+        assert!(find_engine("bogus").is_none());
+    }
+
+    #[test]
+    fn built_engines_report_coherent_names() {
+        // Engine self-reported names need not equal CLI names (the PSB
+        // family shares one type), but every build must succeed and the
+        // no-prefetch baseline keeps its identity.
+        for e in ENGINES {
+            let engine = (e.build)();
+            assert!(!engine.name().is_empty(), "{} builds a named engine", e.name);
+        }
+        assert_eq!((find_engine("none").unwrap().build)().name(), "none");
+    }
+
+    #[test]
+    fn paper_grid_is_the_figure_five_lineup() {
+        let labels: Vec<&str> = ENGINES.iter().filter(|e| e.paper).map(|e| e.label).collect();
+        assert_eq!(
+            labels,
+            [
+                "Base",
+                "PC-stride",
+                "2Miss-RR",
+                "2Miss-Priority",
+                "ConfAlloc-RR",
+                "ConfAlloc-Priority"
+            ]
+        );
+        assert_eq!(paper_engine_count(), 6);
+    }
+
+    #[test]
+    fn const_name_resolution_matches_runtime() {
+        const PC_STRIDE: usize = engine_index("pc-stride");
+        assert_eq!(ENGINES[PC_STRIDE].label, "PC-stride");
+    }
+}

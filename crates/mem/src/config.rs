@@ -95,6 +95,9 @@ pub struct MemConfig {
     pub l2_mem_bytes_per_cycle: u64,
     /// Number of L1 data-cache MSHRs.
     pub l1d_mshrs: usize,
+    /// Number of L1 instruction-cache MSHRs (sized independently of the
+    /// data cache's).
+    pub l1i_mshrs: usize,
     /// Data TLB entries.
     pub dtlb_entries: usize,
     /// Data TLB associativity.
@@ -119,6 +122,7 @@ impl MemConfig {
             l1_l2_bytes_per_cycle: 8,
             l2_mem_bytes_per_cycle: 4,
             l1d_mshrs: 16,
+            l1i_mshrs: 16,
             dtlb_entries: 128,
             dtlb_assoc: 4,
             dtlb_miss_latency: 30,
@@ -172,6 +176,19 @@ mod tests {
         assert_eq!(m.l1_l2_bytes_per_cycle, 8);
         assert_eq!(m.l2_mem_bytes_per_cycle, 4);
         assert_eq!(m.l2_pipeline_depth, 3);
+        assert_eq!(m.l1d_mshrs, 16);
+        assert_eq!(m.l1i_mshrs, 16);
+    }
+
+    #[test]
+    fn l1i_mshrs_size_independently_of_l1d() {
+        // Regression: the i-cache used to be built from `l1d_mshrs`, so
+        // shrinking the d-cache's miss parallelism silently throttled
+        // instruction fetch too.
+        let m = MemConfig { l1d_mshrs: 4, ..MemConfig::baseline() };
+        assert_eq!(m.l1i_mshrs, 16, "i-cache MSHRs must not track the d-cache's");
+        let m = MemConfig { l1i_mshrs: 2, ..MemConfig::baseline() };
+        assert_eq!(m.l1d_mshrs, 16, "d-cache MSHRs must not track the i-cache's");
     }
 
     #[test]

@@ -175,6 +175,11 @@ impl L1Cache {
         self.mshr.in_flight()
     }
 
+    /// Total number of MSHRs (the miss-parallelism bound).
+    pub fn mshr_capacity(&self) -> usize {
+        self.mshr.capacity()
+    }
+
     /// Hit/miss statistics (in-flight accesses counted as misses).
     pub fn stats(&self) -> CacheStats {
         self.stats

@@ -1,116 +1,113 @@
 //! Whole-machine configuration.
 
-use psb_core::{
-    DemandMarkovPrefetcher, FetchDirectedPrefetcher, NextLinePrefetcher, NoPrefetch, Prefetcher,
-    PsbPrefetcher, SbConfig, SequentialStreamBuffers, StrideStreamBuffers,
-};
+use psb_core::registry::{engine_index, paper_engine_count, ENGINES};
+use psb_core::Prefetcher;
 use psb_cpu::{CpuConfig, Disambiguation};
 use psb_mem::{CacheConfig, MemConfig};
 
 /// Which prefetcher sits beside the L1 data cache.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub enum PrefetcherKind {
+///
+/// A `PrefetcherKind` is an index into the psb-core engine registry
+/// ([`psb_core::ENGINES`]): every registered engine is a valid kind, and
+/// the named constants below are provided for the configurations code
+/// refers to directly. Labels, CLI names and construction all delegate
+/// to the registry row, so adding an engine there makes it reachable
+/// here with no further edits.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct PrefetcherKind(u16);
+
+#[allow(non_upper_case_globals)] // constants stand in for former enum variants
+impl PrefetcherKind {
     /// No prefetching (the paper's `Base`).
-    None,
+    pub const None: PrefetcherKind = PrefetcherKind::of("none");
     /// Jouppi-style sequential stream buffers (historical baseline).
-    Sequential,
+    pub const Sequential: PrefetcherKind = PrefetcherKind::of("sequential");
     /// Smith's next-line prefetching (demand-based baseline, Section 3.2).
-    NextLine,
+    pub const NextLine: PrefetcherKind = PrefetcherKind::of("next-line");
     /// Joseph & Grunwald's demand Markov prefetcher (Section 3.2).
-    DemandMarkov,
+    pub const DemandMarkov: PrefetcherKind = PrefetcherKind::of("demand-markov");
     /// Chen & Baer-style fetch-stream stride prefetching (Section 3.1).
-    FetchDirected,
+    pub const FetchDirected: PrefetcherKind = PrefetcherKind::of("fetch-directed");
+    /// Pangloss: compressed frequency-based Markov chain over deltas
+    /// (arXiv:1906.00877).
+    pub const Pangloss: PrefetcherKind = PrefetcherKind::of("pangloss");
+    /// DSPatch: dual spatial bit-pattern prefetcher (arXiv:1910.03075).
+    pub const Dspatch: PrefetcherKind = PrefetcherKind::of("dspatch");
     /// PC-stride stream buffers of Farkas et al. (the paper's
     /// "PC-stride" comparison point).
-    PcStride,
+    pub const PcStride: PrefetcherKind = PrefetcherKind::of("pc-stride");
     /// PSB, two-miss filter, round-robin scheduling ("2Miss-RR").
-    Psb2MissRr,
+    pub const Psb2MissRr: PrefetcherKind = PrefetcherKind::of("2miss-rr");
     /// PSB, two-miss filter, priority scheduling ("2Miss-Priority").
-    Psb2MissPriority,
+    pub const Psb2MissPriority: PrefetcherKind = PrefetcherKind::of("2miss-priority");
     /// PSB, confidence allocation, round-robin ("ConfAlloc-RR").
-    PsbConfRr,
+    pub const PsbConfRr: PrefetcherKind = PrefetcherKind::of("conf-rr");
     /// PSB, confidence allocation, priority scheduling
     /// ("ConfAlloc-Priority") — the paper's best configuration.
-    PsbConfPriority,
-}
+    pub const PsbConfPriority: PrefetcherKind = PrefetcherKind::of("conf-priority");
 
-impl PrefetcherKind {
-    /// The six configurations of Figures 5–9, in reporting order.
-    pub const PAPER: [PrefetcherKind; 6] = [
-        PrefetcherKind::None,
-        PrefetcherKind::PcStride,
-        PrefetcherKind::Psb2MissRr,
-        PrefetcherKind::Psb2MissPriority,
-        PrefetcherKind::PsbConfRr,
-        PrefetcherKind::PsbConfPriority,
-    ];
-
-    /// The label used in the paper's figures.
-    pub fn label(self) -> &'static str {
-        match self {
-            PrefetcherKind::None => "Base",
-            PrefetcherKind::Sequential => "Sequential",
-            PrefetcherKind::NextLine => "Next-Line",
-            PrefetcherKind::DemandMarkov => "Demand-Markov",
-            PrefetcherKind::FetchDirected => "Fetch-Directed",
-            PrefetcherKind::PcStride => "PC-stride",
-            PrefetcherKind::Psb2MissRr => "2Miss-RR",
-            PrefetcherKind::Psb2MissPriority => "2Miss-Priority",
-            PrefetcherKind::PsbConfRr => "ConfAlloc-RR",
-            PrefetcherKind::PsbConfPriority => "ConfAlloc-Priority",
+    /// Every registered kind, in registry (CLI/reporting) order.
+    pub const ALL: [PrefetcherKind; ENGINES.len()] = {
+        let mut all = [PrefetcherKind(0); ENGINES.len()];
+        let mut i = 0;
+        while i < all.len() {
+            all[i] = PrefetcherKind(i as u16);
+            i += 1;
         }
+        all
+    };
+
+    /// The six configurations of Figures 5–9, in reporting order (the
+    /// registry's `paper` rows, whose table order is the figures' order).
+    pub const PAPER: [PrefetcherKind; paper_engine_count()] = {
+        let mut paper = [PrefetcherKind(0); paper_engine_count()];
+        let mut i = 0;
+        let mut n = 0;
+        while i < ENGINES.len() {
+            if ENGINES[i].paper {
+                paper[n] = PrefetcherKind(i as u16);
+                n += 1;
+            }
+            i += 1;
+        }
+        paper
+    };
+
+    /// Resolves a registry CLI name into a kind at compile time.
+    ///
+    /// # Panics
+    ///
+    /// Compile error (const panic) when `name` is not in the registry.
+    const fn of(name: &str) -> Self {
+        PrefetcherKind(engine_index(name) as u16)
+    }
+
+    /// The registry row backing this kind.
+    fn descriptor(self) -> &'static psb_core::EngineDescriptor {
+        &ENGINES[self.0 as usize]
+    }
+
+    /// The label used in the paper's figures and report tables.
+    pub fn label(self) -> &'static str {
+        self.descriptor().label
     }
 
     /// The name the command-line front ends accept for this kind
     /// (the inverse of the `FromStr` impl).
     pub fn cli_name(self) -> &'static str {
-        match self {
-            PrefetcherKind::None => "none",
-            PrefetcherKind::Sequential => "sequential",
-            PrefetcherKind::NextLine => "next-line",
-            PrefetcherKind::DemandMarkov => "demand-markov",
-            PrefetcherKind::FetchDirected => "fetch-directed",
-            PrefetcherKind::PcStride => "pc-stride",
-            PrefetcherKind::Psb2MissRr => "2miss-rr",
-            PrefetcherKind::Psb2MissPriority => "2miss-priority",
-            PrefetcherKind::PsbConfRr => "conf-rr",
-            PrefetcherKind::PsbConfPriority => "conf-priority",
-        }
+        self.descriptor().name
     }
 
-    /// Every kind, in CLI/reporting order (for help text and `all`
-    /// grid specs).
-    pub const ALL: [PrefetcherKind; 10] = [
-        PrefetcherKind::None,
-        PrefetcherKind::Sequential,
-        PrefetcherKind::NextLine,
-        PrefetcherKind::DemandMarkov,
-        PrefetcherKind::FetchDirected,
-        PrefetcherKind::PcStride,
-        PrefetcherKind::Psb2MissRr,
-        PrefetcherKind::Psb2MissPriority,
-        PrefetcherKind::PsbConfRr,
-        PrefetcherKind::PsbConfPriority,
-    ];
-
-    /// Instantiates the prefetch engine.
+    /// Instantiates the prefetch engine in its registered baseline
+    /// configuration.
     pub fn build(self) -> Box<dyn Prefetcher> {
-        match self {
-            PrefetcherKind::None => Box::new(NoPrefetch::new()),
-            PrefetcherKind::Sequential => Box::new(SequentialStreamBuffers::sequential()),
-            PrefetcherKind::NextLine => Box::new(NextLinePrefetcher::new(32, 16)),
-            PrefetcherKind::DemandMarkov => Box::new(DemandMarkovPrefetcher::baseline()),
-            PrefetcherKind::FetchDirected => Box::new(FetchDirectedPrefetcher::baseline()),
-            PrefetcherKind::PcStride => Box::new(StrideStreamBuffers::pc_stride()),
-            PrefetcherKind::Psb2MissRr => Box::new(PsbPrefetcher::psb(SbConfig::psb_two_miss_rr())),
-            PrefetcherKind::Psb2MissPriority => {
-                Box::new(PsbPrefetcher::psb(SbConfig::psb_two_miss_priority()))
-            }
-            PrefetcherKind::PsbConfRr => Box::new(PsbPrefetcher::psb(SbConfig::psb_conf_rr())),
-            PrefetcherKind::PsbConfPriority => {
-                Box::new(PsbPrefetcher::psb(SbConfig::psb_conf_priority()))
-            }
-        }
+        (self.descriptor().build)()
+    }
+}
+
+impl std::fmt::Debug for PrefetcherKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PrefetcherKind({})", self.cli_name())
     }
 }
 
@@ -121,11 +118,11 @@ pub struct ParsePrefetcherError(String);
 impl std::fmt::Display for ParsePrefetcherError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "unknown prefetcher `{}` (expected one of ", self.0)?;
-        for (i, k) in PrefetcherKind::ALL.iter().enumerate() {
+        for (i, e) in ENGINES.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
-            f.write_str(k.cli_name())?;
+            f.write_str(e.name)?;
         }
         f.write_str(")")
     }
@@ -137,9 +134,10 @@ impl std::str::FromStr for PrefetcherKind {
     type Err = ParsePrefetcherError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        PrefetcherKind::ALL
-            .into_iter()
-            .find(|k| k.cli_name() == s)
+        ENGINES
+            .iter()
+            .position(|e| e.name == s)
+            .map(|i| PrefetcherKind(i as u16))
             .ok_or_else(|| ParsePrefetcherError(s.to_owned()))
     }
 }
@@ -221,12 +219,49 @@ mod tests {
     }
 
     #[test]
+    fn all_covers_the_registry_in_order() {
+        assert_eq!(PrefetcherKind::ALL.len(), ENGINES.len());
+        for (k, e) in PrefetcherKind::ALL.iter().zip(ENGINES) {
+            assert_eq!(k.cli_name(), e.name);
+            assert_eq!(k.label(), e.label);
+        }
+        assert!(
+            PrefetcherKind::ALL.len() >= 12,
+            "the modern-competitor zoo keeps at least 12 engines"
+        );
+    }
+
+    #[test]
+    fn paper_grid_is_a_registry_subset() {
+        for k in PrefetcherKind::PAPER {
+            assert!(
+                ENGINES[k.0 as usize].paper,
+                "{} must be flagged as a paper engine",
+                k.cli_name()
+            );
+            assert!(PrefetcherKind::ALL.contains(&k));
+        }
+    }
+
+    #[test]
+    fn labels_and_cli_names_are_unique() {
+        for (i, a) in PrefetcherKind::ALL.iter().enumerate() {
+            for b in &PrefetcherKind::ALL[i + 1..] {
+                assert_ne!(a.cli_name(), b.cli_name());
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+
+    #[test]
     fn build_produces_matching_engines() {
         assert_eq!(PrefetcherKind::None.build().name(), "none");
         assert_eq!(PrefetcherKind::PcStride.build().name(), "pc-stride");
         assert_eq!(PrefetcherKind::Psb2MissRr.build().name(), "psb-2miss-rr");
         assert_eq!(PrefetcherKind::PsbConfPriority.build().name(), "psb-confalloc-priority");
         assert_eq!(PrefetcherKind::Sequential.build().name(), "sequential");
+        assert_eq!(PrefetcherKind::Pangloss.build().name(), "pangloss");
+        assert_eq!(PrefetcherKind::Dspatch.build().name(), "dspatch");
     }
 
     #[test]
@@ -235,7 +270,15 @@ mod tests {
             assert_eq!(k.cli_name().parse::<PrefetcherKind>(), Ok(k));
         }
         let err = "bogus".parse::<PrefetcherKind>().unwrap_err();
-        assert!(err.to_string().contains("conf-priority"), "{err}");
+        // The error enumerates the live registry, not a stale copy.
+        for e in ENGINES {
+            assert!(err.to_string().contains(e.name), "{err} should list {}", e.name);
+        }
+    }
+
+    #[test]
+    fn debug_prints_the_cli_name() {
+        assert_eq!(format!("{:?}", PrefetcherKind::Pangloss), "PrefetcherKind(pangloss)");
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub use report::{f2, pct, Table};
 pub use simulator::Simulation;
 pub use stats::SimStats;
 pub use sweep::{
-    paper_cells, run_sweep, run_sweep_with, try_run_sweep_tracked, try_run_sweep_with, SweepCell,
-    SweepError, SweepOutcome, SweepProgress,
+    paper_cells, run_sweep, run_sweep_with, shootout_cells, try_run_sweep_tracked,
+    try_run_sweep_with, SweepCell, SweepError, SweepOutcome, SweepProgress,
 };

@@ -169,7 +169,7 @@ impl SimMemory {
         let mem = &config.mem;
         SimMemory {
             l1d: L1Cache::new(mem.l1d, mem.l1_latency, mem.l1d_mshrs),
-            l1i: L1Cache::new(mem.l1i, mem.l1_latency, mem.l1d_mshrs),
+            l1i: L1Cache::new(mem.l1i, mem.l1_latency, mem.l1i_mshrs),
             inner: Lower {
                 lower: LowerMemory::new(mem),
                 dtlb: Tlb::new(
@@ -483,6 +483,18 @@ mod tests {
 
     fn memsys(kind: PrefetcherKind) -> SimMemory {
         SimMemory::new(&MachineConfig::baseline().with_prefetcher(kind))
+    }
+
+    #[test]
+    fn l1i_and_l1d_mshrs_size_independently() {
+        // Regression: the i-cache used to be built with `l1d_mshrs`, so
+        // the two files could never be sized apart.
+        let mut config = MachineConfig::baseline();
+        config.mem.l1d_mshrs = 4;
+        config.mem.l1i_mshrs = 2;
+        let m = SimMemory::new(&config);
+        assert_eq!(m.l1d().mshr_capacity(), 4);
+        assert_eq!(m.l1i().mshr_capacity(), 2);
     }
 
     #[test]

@@ -159,6 +159,22 @@ pub fn paper_cells(benches: &[Benchmark], scale: u32) -> Vec<SweepCell> {
         .collect()
 }
 
+/// The shootout grid for `benches`: every engine in the psb-core
+/// registry ([`PrefetcherKind::ALL`]) on every benchmark,
+/// benchmark-major in registry order. A superset of [`paper_cells`]
+/// that puts the paper's grid beside the historical baselines and the
+/// modern competitors (Pangloss, DSPatch).
+pub fn shootout_cells(benches: &[Benchmark], scale: u32) -> Vec<SweepCell> {
+    benches
+        .iter()
+        .flat_map(|&bench| {
+            PrefetcherKind::ALL.into_iter().map(move |kind| {
+                SweepCell::new(bench, MachineConfig::baseline().with_prefetcher(kind), scale)
+            })
+        })
+        .collect()
+}
+
 /// Resolves a requested worker count: 0 means one worker per available
 /// core, and the pool never exceeds the number of cells.
 fn effective_threads(requested: usize, cells: usize) -> usize {
@@ -454,6 +470,25 @@ mod tests {
         assert_eq!(cells[5].config.prefetcher, PrefetcherKind::PsbConfPriority);
         assert_eq!(cells[6].bench, Benchmark::Gs);
         assert!(cells.iter().all(|c| c.scale == 2 && c.max_commits == u64::MAX));
+    }
+
+    #[test]
+    fn shootout_cells_cover_the_whole_registry() {
+        let cells = shootout_cells(&[Benchmark::Health], 1);
+        assert_eq!(cells.len(), PrefetcherKind::ALL.len());
+        assert!(cells.len() >= 12, "the shootout must carry at least 12 engines");
+        // Registry order, including the modern competitors.
+        let labels: Vec<&str> =
+            cells.iter().map(|c| c.config.prefetcher.label()).collect();
+        assert!(labels.contains(&"Pangloss"));
+        assert!(labels.contains(&"DSPatch"));
+        // The paper grid is an ordered subgrid of the shootout.
+        let paper: Vec<_> = cells
+            .iter()
+            .map(|c| c.config.prefetcher)
+            .filter(|k| PrefetcherKind::PAPER.contains(k))
+            .collect();
+        assert_eq!(paper, PrefetcherKind::PAPER);
     }
 
     #[test]

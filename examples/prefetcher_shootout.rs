@@ -1,32 +1,34 @@
-//! Run the paper's six machine configurations across the whole benchmark
-//! suite and print a Figure-5-style comparison.
+//! Run every engine in the psb-core registry across the whole benchmark
+//! suite and print a Figure-5-style comparison — the paper's six
+//! configurations beside the historical baselines and the modern
+//! competitors (Pangloss, DSPatch).
 //!
 //! ```sh
 //! cargo run --release --example prefetcher_shootout [scale]
 //! ```
 //!
 //! `scale` multiplies trace length (default 1 ≈ 300k instructions per
-//! benchmark; the bench harness uses 2). All 36 cells run concurrently on
+//! benchmark; the bench harness uses 2). All cells run concurrently on
 //! the sweep work queue (`psb::sim::run_sweep`), sharing one generated
-//! trace per benchmark; the printed table is identical to the old
-//! serial run.
+//! trace per benchmark; the printed table is identical to a serial run.
 
-use psb::sim::{paper_cells, run_sweep_with, PrefetcherKind, Table};
+use psb::sim::{run_sweep_with, shootout_cells, PrefetcherKind, Table};
 use psb::workloads::Benchmark;
 
 fn main() {
     let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     let mut headers = vec!["benchmark".into()];
-    headers.extend(PrefetcherKind::PAPER.iter().skip(1).map(|k| k.label().to_owned()));
+    headers.extend(PrefetcherKind::ALL.iter().skip(1).map(|k| k.label().to_owned()));
     let mut table = Table::new(headers);
 
-    let cells = paper_cells(&Benchmark::ALL, scale);
+    let cells = shootout_cells(&Benchmark::ALL, scale);
     let outcomes = run_sweep_with(&cells, 0, None, |p| {
         eprintln!("[{}/{}] {}/{}", p.done, p.total, p.cell.bench.name(), p.cell.label());
     });
 
-    let per_row = PrefetcherKind::PAPER.len();
+    // Registry row 0 is the no-prefetch baseline each other cell compares to.
+    let per_row = PrefetcherKind::ALL.len();
     for (bench, row) in Benchmark::ALL.iter().zip(outcomes.chunks(per_row)) {
         let base = &row[0].stats;
         let mut cells = vec![bench.name().to_owned()];
@@ -35,6 +37,6 @@ fn main() {
         }
         table.row(cells);
     }
-    println!("\npercent speedup over the no-prefetch baseline (Figure 5):\n");
+    println!("\npercent speedup over the no-prefetch baseline (registry shootout):\n");
     print!("{table}");
 }

@@ -8,9 +8,10 @@
 //!                    (also accepted as `--bench <benchmark>`)
 //!
 //! OPTIONS:
-//!   --prefetcher X   none | sequential | next-line | demand-markov |
-//!                    pc-stride | 2miss-rr | 2miss-priority | conf-rr |
-//!                    conf-priority            [default: conf-priority]
+//!   --prefetcher X   any engine registered in psb-core (run with
+//!                    `--help` for the live list: none, sequential,
+//!                    pangloss, dspatch, conf-priority, ...)
+//!                                             [default: conf-priority]
 //!   --l1d X          32k4 | 32k2 | 16k4       [default: 32k4]
 //!   --no-dis         disable perfect store-set disambiguation
 //!   --scale N        trace scale              [default: 1]
@@ -45,16 +46,17 @@ use psb::sim::{f2, pct, MachineConfig, PrefetcherKind, SimStats, Simulation, Swe
 use psb::workloads::Benchmark;
 
 fn usage() -> ! {
+    let kinds: Vec<&str> = PrefetcherKind::ALL.iter().map(|k| k.cli_name()).collect();
     eprintln!(
         "usage: psbsim [--prefetcher KIND] [--l1d GEOM] [--no-dis] \
          [--scale N] [--max N] [--compare] [--dump FILE] [--load FILE] \
          [--victim N] [--csv] [--log N] [--log-last N] [--json FILE] \
          [--trace-out FILE] [--interval N] [--serve ADDR] \
          [--bench NAME | <benchmark>]\n\
-         kinds: none sequential next-line demand-markov fetch-directed pc-stride \
-         2miss-rr 2miss-priority conf-rr conf-priority\n\
+         kinds: {}\n\
          benchmarks: health burg deltablue gs sis turb3d\n\
-         l1d geometries: 32k4 32k2 16k4"
+         l1d geometries: 32k4 32k2 16k4",
+        kinds.join(" ")
     );
     std::process::exit(2);
 }

@@ -8,8 +8,11 @@
 //! OPTIONS:
 //!   --bench LIST       comma-separated benchmarks, or `all`
 //!                      (health burg deltablue gs sis turb3d) [default: all]
-//!   --prefetcher LIST  comma-separated kinds, `paper` (the six Figure-5
-//!                      configs) or `all`               [default: paper]
+//!                      (`--benches` is accepted as an alias)
+//!   --prefetcher LIST  comma-separated registry names, `paper` (the six
+//!                      Figure-5 configs) or `all` (every registered
+//!                      engine)                         [default: paper]
+//!                      (`--prefetchers` is accepted as an alias)
 //!   --l1d LIST         comma-separated geometries: 32k4 | 32k2 | 16k4
 //!                                                   [default: 32k4]
 //!   --scale N          trace scale                   [default: 1]
@@ -47,15 +50,22 @@ use psb::sim::{
 };
 use psb::workloads::Benchmark;
 
+/// The registry's engine names, for help text that cannot drift from
+/// the engines actually registered.
+fn kind_names() -> String {
+    let names: Vec<&str> = PrefetcherKind::ALL.iter().map(|k| k.cli_name()).collect();
+    names.join(" ")
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: psbsweep [--bench LIST|all] [--prefetcher LIST|paper|all] \
          [--l1d LIST] [--scale N] [--max N] [--threads N] [--csv] \
          [--json FILE] [--journal FILE] [--resume FILE] [--serve ADDR] [--quiet]\n\
-         kinds: none sequential next-line demand-markov fetch-directed pc-stride \
-         2miss-rr 2miss-priority conf-rr conf-priority\n\
+         kinds: {}\n\
          benchmarks: health burg deltablue gs sis turb3d\n\
-         l1d geometries: 32k4 32k2 16k4"
+         l1d geometries: 32k4 32k2 16k4",
+        kind_names()
     );
     std::process::exit(2);
 }
@@ -215,8 +225,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--bench" => benches = parse_benches(&args.next().unwrap_or_else(|| usage())),
-            "--prefetcher" => kinds = parse_kinds(&args.next().unwrap_or_else(|| usage())),
+            "--bench" | "--benches" => {
+                benches = parse_benches(&args.next().unwrap_or_else(|| usage()))
+            }
+            "--prefetcher" | "--prefetchers" => {
+                kinds = parse_kinds(&args.next().unwrap_or_else(|| usage()))
+            }
             "--l1d" => geometries = parse_geometries(&args.next().unwrap_or_else(|| usage())),
             "--scale" => {
                 scale = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())

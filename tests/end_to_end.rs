@@ -183,6 +183,53 @@ fn trace_serialization_round_trips_through_the_simulator() {
 }
 
 #[test]
+fn readme_engine_table_matches_the_registry() {
+    // README's "Prefetcher engines" table is hand-written prose; this
+    // keeps it honest against the psb-core registry. Every registered
+    // engine must appear as a `` `name` `` table row, in registry
+    // order, with paper-grid rows (and only those) starred.
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md next to Cargo.toml");
+    let rows: Vec<&str> = readme
+        .lines()
+        .filter(|l| l.starts_with("| `") && l.contains(" | "))
+        .collect();
+    assert_eq!(
+        rows.len(),
+        psb::core::ENGINES.len(),
+        "README engine table must have one row per registered engine"
+    );
+    for (row, engine) in rows.iter().zip(psb::core::ENGINES) {
+        let cell = row.trim_start_matches("| ").split(" | ").next().unwrap();
+        assert_eq!(
+            cell.trim_end_matches(" ★"),
+            format!("`{}`", engine.name),
+            "README row order must match the registry: {row}"
+        );
+        assert_eq!(
+            cell.ends_with('★'),
+            engine.paper,
+            "{}: ★ marks exactly the paper-grid engines",
+            engine.name
+        );
+    }
+}
+
+#[test]
+fn registry_engines_run_end_to_end() {
+    // One short window through the full machine for the two engines new
+    // to the registry: they must produce traffic and stay deterministic.
+    for kind in [PrefetcherKind::Pangloss, PrefetcherKind::Dspatch] {
+        let a = run(Benchmark::Health, kind);
+        let b = run(Benchmark::Health, kind);
+        assert!(a.cpu.committed >= WINDOW, "{kind:?} completes");
+        assert!(a.prefetch.issued > 0, "{kind:?} must issue prefetches on health");
+        assert_eq!(a.cpu.cycles, b.cpu.cycles, "{kind:?} must be deterministic");
+        assert_eq!(a.prefetch, b.prefetch, "{kind:?} must be deterministic");
+    }
+}
+
+#[test]
 fn fetch_directed_prefetcher_runs_end_to_end() {
     let s = run(Benchmark::Turb3d, PrefetcherKind::FetchDirected);
     assert!(s.prefetch.issued > 0, "fetch sightings must trigger prefetches");

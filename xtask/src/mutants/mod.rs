@@ -36,6 +36,8 @@ use std::time::Duration;
 pub const TARGETS: &[(&str, &str)] = &[
     ("psb-core", "crates/core/src/predictor/stride.rs"),
     ("psb-core", "crates/core/src/predictor/markov.rs"),
+    ("psb-core", "crates/core/src/predictor/pangloss.rs"),
+    ("psb-core", "crates/core/src/predictor/dspatch.rs"),
     ("psb-core", "crates/core/src/stream/buffer.rs"),
     ("psb-mem", "crates/mem/src/cache.rs"),
 ];
