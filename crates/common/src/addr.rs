@@ -40,20 +40,49 @@ impl Addr {
 
     /// Returns the cache-block index for a block of `block_size` bytes.
     ///
+    /// Implemented as a shift (block sizes are powers of two by
+    /// contract), so the hottest address mapping in the simulator has no
+    /// division and no panic path.
+    ///
     /// # Panics
     ///
     /// Panics in debug builds if `block_size` is not a power of two.
     #[inline]
     pub fn block(self, block_size: u64) -> BlockAddr {
         debug_assert!(block_size.is_power_of_two());
-        BlockAddr(self.0 / block_size)
+        BlockAddr(self.0 >> block_size.trailing_zeros())
     }
 
     /// Returns the page index for a page of `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `page_size` is not a power of two.
     #[inline]
     pub fn page(self, page_size: u64) -> PageAddr {
         debug_assert!(page_size.is_power_of_two());
-        PageAddr(self.0 / page_size)
+        PageAddr(self.0 >> page_size.trailing_zeros())
+    }
+
+    /// Returns the byte offset of this address within its `page_size`
+    /// page — the sanctioned replacement for `addr.raw() % page_size`
+    /// at translation boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `page_size` is not a power of two.
+    #[inline]
+    pub fn offset_in(self, page_size: u64) -> u64 {
+        debug_assert!(page_size.is_power_of_two());
+        self.0 & (page_size - 1)
+    }
+
+    /// Returns the instruction-word index (`raw >> 2`) as a table key —
+    /// the sanctioned home of the PC-to-`usize` narrowing every
+    /// PC-indexed predictor table performs.
+    #[inline]
+    pub fn word_index(self) -> usize {
+        (self.0 >> 2) as usize
     }
 
     /// Returns the address rounded down to the containing block boundary.

@@ -141,10 +141,7 @@ impl DspatchPrefetcher {
         buffer: usize,
     ) -> Self {
         assert!(block.is_power_of_two(), "block size must be a power of two");
-        assert!(
-            page_entries > 0 && spt_entries > 0 && degree > 0,
-            "zero-sized DSPatch structure"
-        );
+        assert!(page_entries > 0 && spt_entries > 0 && degree > 0, "zero-sized DSPatch structure");
         DspatchPrefetcher {
             page_buffer: vec![
                 PageBufferEntry {
@@ -206,9 +203,7 @@ impl DspatchPrefetcher {
         }
         // Score each pattern against what the region actually touched:
         // good when at least half of its predicted blocks were used.
-        for (pattern, quality) in
-            [(s.covp, &mut s.covp_quality), (s.accp, &mut s.accp_quality)]
-        {
+        for (pattern, quality) in [(s.covp, &mut s.covp_quality), (s.accp, &mut s.accp_quality)] {
             let predicted = (pattern & !1).count_ones();
             let used = (pattern & !1 & observed).count_ones();
             if predicted == 0 || used * 2 >= predicted {
@@ -245,8 +240,7 @@ impl DspatchPrefetcher {
         // Dual-pattern selection: coverage while it stays accurate
         // enough, accuracy once CovP's quality drops (the paper would
         // also consult DRAM bandwidth headroom here).
-        let pattern = if s.covp_quality.is_high() || s.covp_quality.get() >= s.accp_quality.get()
-        {
+        let pattern = if s.covp_quality.is_high() || s.covp_quality.get() >= s.accp_quality.get() {
             s.covp
         } else {
             s.accp
@@ -450,7 +444,9 @@ mod tests {
         let (idx_a, _) = ds.spt_index(Addr::new(0x0));
         let pc_b = (1..)
             .map(|i| Addr::new(i * 4 * 0x1000))
-            .find(|pc| ds.spt_index(*pc).0 == idx_a && ds.spt_index(*pc).1 != ds.spt_index(Addr::new(0)).1)
+            .find(|pc| {
+                ds.spt_index(*pc).0 == idx_a && ds.spt_index(*pc).1 != ds.spt_index(Addr::new(0)).1
+            })
             .unwrap();
         // Establish a *valid* entry for PC A first (several closes), so
         // the reset below exercises the tag-mismatch arm, not the
@@ -483,10 +479,7 @@ mod tests {
         assert_eq!(ds.pending.len(), 4, "degree bounds the burst");
         drain(&mut ds, &mut sink, 1, 16);
         // Nearest blocks after the trigger come first.
-        assert_eq!(
-            sink.fetched,
-            (1..5).map(|i| Addr::new(0x50_0000 + i * 32)).collect::<Vec<_>>()
-        );
+        assert_eq!(sink.fetched, (1..5).map(|i| Addr::new(0x50_0000 + i * 32)).collect::<Vec<_>>());
     }
 
     #[test]
@@ -659,7 +652,9 @@ mod tests {
         let (idx_a, _) = ds.spt_index(Addr::new(0x0));
         let pc_b = (1..)
             .map(|i| Addr::new(i * 4 * 0x1000))
-            .find(|pc| ds.spt_index(*pc).0 == idx_a && ds.spt_index(*pc).1 != ds.spt_index(Addr::new(0)).1)
+            .find(|pc| {
+                ds.spt_index(*pc).0 == idx_a && ds.spt_index(*pc).1 != ds.spt_index(Addr::new(0)).1
+            })
             .unwrap();
         touch(&mut ds, Addr::new(0), 0x10_0000, &[0, 3]);
         touch(&mut ds, Addr::new(0), 0x20_0000, &[0, 3]); // A's entry goes valid
@@ -685,7 +680,8 @@ mod tests {
         let s = &ds.spt[idx];
         assert_eq!((s.covp_quality.get(), s.accp_quality.get()), (1, 1));
         assert_eq!((s.covp, s.accp), (0b111, 0b001));
-        let want: Vec<BlockAddr> = [1u64, 2].iter().map(|i| BlockAddr(0x30_0000 / 32 + i)).collect();
+        let want: Vec<BlockAddr> =
+            [1u64, 2].iter().map(|i| BlockAddr(0x30_0000 / 32 + i)).collect();
         let got: Vec<BlockAddr> = ds.pending.iter().copied().collect();
         assert_eq!(got, want, "the quality tie must replay CovP");
     }

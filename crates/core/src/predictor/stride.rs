@@ -137,7 +137,7 @@ impl StrideTable {
     }
 
     fn set_and_tag(&self, pc: Addr) -> (usize, u64) {
-        let idx = (pc.raw() >> 2) as usize;
+        let idx = pc.word_index();
         match self.set_shift {
             Some(shift) => (idx & (self.num_sets - 1), (idx >> shift) as u64),
             None => (idx % self.num_sets, (idx / self.num_sets) as u64),

@@ -116,7 +116,7 @@ impl Tlb {
     pub fn physical(&mut self, addr: Addr) -> Addr {
         let vpn = addr.page(self.page_size);
         let ppn = self.page_of(vpn);
-        Addr::new(ppn * self.page_size + addr.raw() % self.page_size)
+        Addr::new(ppn * self.page_size + addr.offset_in(self.page_size))
     }
 
     /// Accumulated statistics.

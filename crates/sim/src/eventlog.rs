@@ -86,7 +86,7 @@ impl fmt::Display for MemEvent {
         if let Some(pc) = self.pc {
             write!(f, " pc={pc}")?;
         }
-        write!(f, " ready=cy{} (+{})", self.ready.raw(), self.ready.raw() - self.cycle.raw())
+        write!(f, " ready=cy{} (+{})", self.ready.raw(), self.ready.since(self.cycle))
     }
 }
 
@@ -189,9 +189,12 @@ impl MemLog {
         if self.events.len() < self.capacity {
             self.events.push(event);
         } else {
-            // Ring mode, saturated: overwrite the oldest entry.
+            // Ring mode, saturated: overwrite the oldest entry. Plain
+            // wrap-around comparison instead of `%` keeps the recording
+            // hot path free of a division (and its zero-divisor panic
+            // class — capacity >= 1 is already guarded above).
             self.events[self.head] = event;
-            self.head = (self.head + 1) % self.capacity;
+            self.head = if self.head + 1 == self.capacity { 0 } else { self.head + 1 };
         }
     }
 

@@ -478,8 +478,7 @@ mod tests {
         assert_eq!(cells.len(), PrefetcherKind::ALL.len());
         assert!(cells.len() >= 12, "the shootout must carry at least 12 engines");
         // Registry order, including the modern competitors.
-        let labels: Vec<&str> =
-            cells.iter().map(|c| c.config.prefetcher.label()).collect();
+        let labels: Vec<&str> = cells.iter().map(|c| c.config.prefetcher.label()).collect();
         assert!(labels.contains(&"Pangloss"));
         assert!(labels.contains(&"DSPatch"));
         // The paper grid is an ordered subgrid of the shootout.

@@ -190,10 +190,8 @@ fn readme_engine_table_matches_the_registry() {
     // order, with paper-grid rows (and only those) starred.
     let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
         .expect("README.md next to Cargo.toml");
-    let rows: Vec<&str> = readme
-        .lines()
-        .filter(|l| l.starts_with("| `") && l.contains(" | "))
-        .collect();
+    let rows: Vec<&str> =
+        readme.lines().filter(|l| l.starts_with("| `") && l.contains(" | ")).collect();
     assert_eq!(
         rows.len(),
         psb::core::ENGINES.len(),

@@ -1,0 +1,301 @@
+//! Pass 3: cast/unit safety.
+//!
+//! The address (`Addr`) and cycle newtypes exist so raw `u64`s never
+//! carry unit meaning around the workspace. Two constructs erode that
+//! boundary and are flagged outside the annotated boundary files
+//! (`crates/common/src/addr.rs`, `crates/common/src/cycle.rs`, where
+//! the newtypes themselves live):
+//!
+//! * **Truncating casts** (kind `trunc`): an `as` cast to a narrower
+//!   integer type (`usize`, `u32`, …, `i8`) applied in address/cycle
+//!   context — the few preceding tokens mention the unit vocabulary
+//!   (`addr`, `pc`, `cycle`, `block`, …) or a `.raw()` extraction.
+//!   Silent truncation of a 64-bit address is exactly the bug class the
+//!   newtypes were introduced to kill.
+//! * **Raw-unit arithmetic** (kind `raw`): a `.raw()` call whose result
+//!   immediately feeds an arithmetic operator or another `as` cast —
+//!   unit-typed math should happen on the newtype (which checks
+//!   alignment and wrap), not on the escaped integer.
+//!
+//! Findings are grouped per (file, fn, kind) like the panic pass and
+//! gated against the same committed baseline; a justified boundary
+//! (e.g. an arena index derived from a set-mapped PC) earns a reasoned
+//! entry, an accidental one earns a fix.
+
+use super::tokentree::{CallKind, Tree, NO_MATCH};
+use super::{Finding, Workspace};
+use crate::lexer::Kind;
+use std::collections::BTreeMap;
+
+/// The crates whose code is checked.
+pub const CAST_CRATES: &[&str] = &["common", "core", "mem", "sim"];
+
+/// Files allowed to handle raw units: the newtype definitions.
+pub const BOUNDARY_FILES: &[&str] = &["crates/common/src/addr.rs", "crates/common/src/cycle.rs"];
+
+/// Narrower-than-`u64` integer targets whose `as` casts can truncate.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
+
+/// Identifier vocabulary marking address/cycle context.
+const UNIT_VOCAB: &[&str] =
+    &["addr", "address", "vaddr", "paddr", "pc", "cycle", "cycles", "block", "line_addr", "raw"];
+
+/// How many significant tokens before an `as` to scan for vocabulary.
+const LOOKBACK: usize = 6;
+
+/// What the pass computed.
+pub struct CastsReport {
+    /// Functions scanned.
+    pub scanned: usize,
+    /// One finding per (file, fn, kind), source order.
+    pub findings: Vec<Finding>,
+}
+
+/// Runs the pass over the workspace.
+pub fn run(ws: &Workspace) -> CastsReport {
+    let mut grouped: BTreeMap<(String, String, &'static str), Vec<usize>> = BTreeMap::new();
+    let mut scanned = 0usize;
+    for f in &ws.files {
+        if !CAST_CRATES.contains(&f.krate.as_str()) || BOUNDARY_FILES.contains(&f.rel.as_str()) {
+            continue;
+        }
+        for item in &f.tree.fns {
+            if item.in_test {
+                continue;
+            }
+            scanned += 1;
+            let (lo, hi) = item.body;
+            let mut add = |kind: &'static str, line: usize| {
+                grouped.entry((f.rel.clone(), item.qual.clone(), kind)).or_default().push(line);
+            };
+            for i in trunc_sites(&f.tree, lo, hi) {
+                add("trunc", f.tree.toks[i].line);
+            }
+            for i in raw_arith_sites(&f.tree, lo, hi) {
+                add("raw", f.tree.toks[i].line);
+            }
+        }
+    }
+    let mut findings: Vec<Finding> = grouped
+        .into_iter()
+        .map(|((file, qual, kind), mut lines)| {
+            lines.sort_unstable();
+            lines.dedup();
+            Finding { id: format!("casts:{file}:{qual}:{kind}"), file, qual, kind, lines }
+        })
+        .collect();
+    findings.sort_by(|a, b| {
+        (&a.file, a.lines.first(), &a.qual, a.kind).cmp(&(
+            &b.file,
+            b.lines.first(),
+            &b.qual,
+            b.kind,
+        ))
+    });
+    CastsReport { scanned, findings }
+}
+
+/// Token indices of `as` keywords casting unit-context values to a
+/// narrower integer type within `[lo, hi]`.
+fn trunc_sites(tree: &Tree, lo: usize, hi: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in lo..=hi.min(tree.toks.len().saturating_sub(1)) {
+        if !tree.is_ident(i, "as") {
+            continue;
+        }
+        let Some(next) = tree.toks.get(i + 1) else { continue };
+        if next.kind != Kind::Ident || !NARROW_INTS.contains(&tree.text(i + 1)) {
+            continue;
+        }
+        let from = i.saturating_sub(LOOKBACK).max(lo);
+        let in_unit_context = (from..i).any(|j| {
+            tree.toks[j].kind == Kind::Ident
+                && UNIT_VOCAB.contains(&tree.text(j).to_ascii_lowercase().as_str())
+        });
+        if in_unit_context {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Token indices of `.raw()` calls whose result immediately feeds
+/// arithmetic or an `as` cast within `[lo, hi]`.
+fn raw_arith_sites(tree: &Tree, lo: usize, hi: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for call in tree.calls_in(lo, hi) {
+        if call.kind != CallKind::Method || call.name != "raw" {
+            continue;
+        }
+        // `.raw ( )` — find the close paren, then look at what follows.
+        let open = call.tok + 1;
+        if open >= tree.toks.len() || !tree.is_punct(open, "(") {
+            continue;
+        }
+        let close = tree.match_of[open];
+        if close == NO_MATCH {
+            continue;
+        }
+        let Some(after) = tree.toks.get(close + 1) else { continue };
+        let feeds_arith = match after.kind {
+            Kind::Punct => {
+                matches!(tree.text(close + 1), "+" | "-" | "*" | "/" | "%" | "<<" | ">>")
+            }
+            Kind::Ident => tree.text(close + 1) == "as",
+            _ => false,
+        };
+        // Also catch the operand position: `x + a.raw()`.
+        let before_recv = receiver_start(tree, call.tok).and_then(|s| s.checked_sub(1));
+        let preceded_by_arith = before_recv.is_some_and(|p| {
+            tree.toks[p].kind == Kind::Punct
+                && matches!(tree.text(p), "+" | "-" | "*" | "/" | "%" | "<<" | ">>")
+        });
+        if feeds_arith || preceded_by_arith {
+            out.push(call.tok);
+        }
+    }
+    out
+}
+
+/// The first token of the receiver chain of the method call at
+/// `name_tok`: walks `a.b.c` / `f(x).c` chains backward.
+fn receiver_start(tree: &Tree, name_tok: usize) -> Option<usize> {
+    let mut j = name_tok.checked_sub(1)?; // the `.`
+    if !tree.is_punct(j, ".") {
+        return None;
+    }
+    loop {
+        let p = j.checked_sub(1)?;
+        match tree.toks[p].kind {
+            Kind::Ident | Kind::Number => {
+                j = p;
+                let Some(pp) = p.checked_sub(1) else { return Some(j) };
+                if tree.is_punct(pp, ".") {
+                    j = pp;
+                    continue;
+                }
+                return Some(j);
+            }
+            Kind::Punct if matches!(tree.text(p), ")" | "]") => {
+                let m = tree.match_of[p];
+                if m == NO_MATCH {
+                    return Some(p);
+                }
+                j = m;
+                let Some(pp) = m.checked_sub(1) else { return Some(j) };
+                if tree.toks[pp].kind == Kind::Ident {
+                    j = pp;
+                    let Some(ppp) = pp.checked_sub(1) else { return Some(j) };
+                    if tree.is_punct(ppp, ".") {
+                        j = ppp;
+                        continue;
+                    }
+                }
+                return Some(j);
+            }
+            _ => return Some(j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Workspace;
+    use super::*;
+
+    fn kinds_and_lines(w: &Workspace) -> Vec<(String, Vec<usize>)> {
+        run(w).findings.into_iter().map(|f| (f.id, f.lines)).collect()
+    }
+
+    /// Teeth: the stride-table pattern `(pc.raw() >> 2) as usize` is
+    /// flagged as both a raw-arith site and a truncating cast.
+    #[test]
+    fn stride_set_mapping_is_flagged() {
+        let w = Workspace::from_sources(&[(
+            "crates/core/src/predictor/x.rs",
+            "impl T {\n\
+                 fn set_of(&self, pc: Addr) -> usize {\n\
+                     (pc.raw() >> 2) as usize & self.mask\n\
+                 }\n\
+             }\n",
+        )]);
+        let got = kinds_and_lines(&w);
+        let ids: Vec<&str> = got.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "casts:crates/core/src/predictor/x.rs:T::set_of:raw",
+                "casts:crates/core/src/predictor/x.rs:T::set_of:trunc",
+            ],
+            "{got:?}"
+        );
+    }
+
+    /// A widening cast (`u32 as u64`) and a unit-free narrowing cast
+    /// (`len as u32`) are both clean.
+    #[test]
+    fn widening_and_unit_free_casts_are_clean() {
+        let w = Workspace::from_sources(&[(
+            "crates/mem/src/x.rs",
+            "fn f(n: u32, len: usize) -> u64 {\n\
+                 let wide = n as u64;\n\
+                 let small = len as u32;\n\
+                 wide + small as u64\n\
+             }\n",
+        )]);
+        assert!(kinds_and_lines(&w).is_empty(), "{:?}", run(&w).findings);
+    }
+
+    /// `.raw()` used for display or comparison (no arithmetic) is not
+    /// flagged — only escaped-unit *math* is.
+    #[test]
+    fn raw_without_arithmetic_is_clean() {
+        let w = Workspace::from_sources(&[(
+            "crates/sim/src/x.rs",
+            "fn f(a: Addr, b: Addr) -> bool {\n\
+                 log(a.raw());\n\
+                 a.raw() == b.raw()\n\
+             }\n\
+             fn log(_: u64) {}\n",
+        )]);
+        assert!(kinds_and_lines(&w).is_empty(), "{:?}", run(&w).findings);
+    }
+
+    /// Operand position is caught too: `base + off.raw()`.
+    #[test]
+    fn raw_as_right_operand_is_flagged() {
+        let w = Workspace::from_sources(&[(
+            "crates/sim/src/x.rs",
+            "fn f(base: u64, off: Addr) -> u64 { base + off.raw() }\n",
+        )]);
+        let got = kinds_and_lines(&w);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, "casts:crates/sim/src/x.rs:f:raw");
+    }
+
+    /// The boundary files themselves are exempt: the newtype may
+    /// manipulate its own representation.
+    #[test]
+    fn boundary_files_are_exempt() {
+        let w = Workspace::from_sources(&[(
+            "crates/common/src/addr.rs",
+            "impl Addr {\n\
+                 fn block_index(self) -> usize { (self.raw() >> 6) as usize }\n\
+             }\n",
+        )]);
+        assert!(kinds_and_lines(&w).is_empty(), "{:?}", run(&w).findings);
+    }
+
+    /// Crates outside the cast universe (xtask-adjacent tooling) are
+    /// not scanned.
+    #[test]
+    fn out_of_scope_crates_are_not_scanned() {
+        let w = Workspace::from_sources(&[(
+            "crates/bench/src/x.rs",
+            "fn f(pc: u64) -> usize { pc as usize }\n",
+        )]);
+        let r = run(&w);
+        assert_eq!(r.scanned, 0);
+        assert!(r.findings.is_empty());
+    }
+}

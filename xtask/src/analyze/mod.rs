@@ -1,0 +1,518 @@
+//! `cargo xtask analyze` — token-tree semantic analysis over the whole
+//! workspace.
+//!
+//! Three passes, all built on the shared [`crate::lexer`] and the
+//! [`tokentree`] layer (no rustc, no syn — xtask stays zero-dep and
+//! offline):
+//!
+//! 1. [`panics`] — hot-path panic-freedom: an approximate call graph
+//!    rooted at the prefetcher-engine and memory-system entry points,
+//!    flagging every reachable `unwrap`/`expect`/`panic!`/indexing/
+//!    division site.
+//! 2. [`locks`] — static lock-order: acquisition orders across the
+//!    threaded crates, failing outright on any cycle.
+//! 3. [`casts`] — cast/unit safety: truncating `as` casts and raw-unit
+//!    arithmetic outside the `Addr`/cycle newtype boundary.
+//!
+//! Panic and cast findings are gated against a committed baseline
+//! (`PANICS.toml`, schema `psb-analyze-v1`, `[[allow]]` stanzas with
+//! mandatory reasons — same discipline as `MUTANTS.toml`): new findings
+//! fail the run with paste-ready stanzas, stale entries warn. Lock
+//! cycles are never baselineable.
+//!
+//! `--report FILE` writes a `psb-analyze-v1` JSON report that
+//! `cargo xtask validate-artifacts` knows how to shape-check.
+
+pub mod callgraph;
+pub mod casts;
+pub mod locks;
+pub mod panics;
+pub mod tokentree;
+
+use crate::baseline::{self, BaselineFile};
+use psb_obs::json::Json;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tokentree::Tree;
+
+/// The report/baseline schema identifier.
+pub const SCHEMA: &str = "psb-analyze-v1";
+
+/// Default baseline file name at the repo root.
+pub const BASELINE_FILE: &str = "PANICS.toml";
+
+/// One parsed workspace source file.
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub rel: String,
+    /// Short crate name (`crates/<name>/…`), `xtask`, or `root`.
+    pub krate: String,
+    /// The token tree.
+    pub tree: Tree,
+}
+
+/// Every parsed source file of the workspace.
+pub struct Workspace {
+    /// Files in path order.
+    pub files: Vec<SourceFile>,
+}
+
+/// One gateable finding: a (file, function, kind) group of sites.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable baseline ID: `<pass>:<file>:<qual>:<kind>`.
+    pub id: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// Qualified function name (`Type::name` or bare name).
+    pub qual: String,
+    /// Site kind within the pass (`unwrap`, `index`, `trunc`, …).
+    pub kind: &'static str,
+    /// 1-based lines of the individual sites, sorted, deduplicated.
+    pub lines: Vec<usize>,
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory `(path, source)` pairs — the
+    /// fixture entry point every pass test uses.
+    #[cfg(test)]
+    pub fn from_sources(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(rel, source)| SourceFile {
+                    rel: rel.to_string(),
+                    krate: krate_of(rel),
+                    tree: Tree::parse(source),
+                })
+                .collect(),
+        }
+    }
+
+    /// Loads and parses every `src/**/*.rs` of every workspace crate.
+    pub fn load(root: &Path) -> Workspace {
+        let mut files = Vec::new();
+        for crate_dir in crate::crate_dirs(root) {
+            for file in crate::rust_files(&crate_dir.join("src")) {
+                let Ok(source) = std::fs::read_to_string(&file) else {
+                    continue;
+                };
+                let rel =
+                    file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+                files.push(SourceFile { krate: krate_of(&rel), rel, tree: Tree::parse(&source) });
+            }
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Workspace { files }
+    }
+}
+
+/// The short crate name of a repo-relative path.
+fn krate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        (Some("xtask"), _) => "xtask".to_string(),
+        _ => "root".to_string(),
+    }
+}
+
+/// Which passes a run executes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Pass {
+    /// Hot-path panic-freedom.
+    Panics,
+    /// Static lock-order.
+    Locks,
+    /// Cast/unit safety.
+    Casts,
+}
+
+impl Pass {
+    /// All passes, in run order.
+    pub const ALL: [Pass; 3] = [Pass::Panics, Pass::Locks, Pass::Casts];
+
+    /// The CLI / finding-ID name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Panics => "panics",
+            Pass::Locks => "locks",
+            Pass::Casts => "casts",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Pass> {
+        Pass::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// Everything one analysis run computed — separated from the CLI so the
+/// gate logic is testable on fixture workspaces.
+pub struct Outcome {
+    /// Pass 1 results, when run.
+    pub panics: Option<panics::PanicsReport>,
+    /// Pass 2 results, when run.
+    pub locks: Option<locks::LocksReport>,
+    /// Pass 3 results, when run.
+    pub casts: Option<casts::CastsReport>,
+    /// Findings not covered by the baseline (gate failures).
+    pub new: Vec<Finding>,
+    /// Findings covered by the baseline.
+    pub baselined: usize,
+    /// Baseline IDs (of executed passes) with no matching finding.
+    pub stale: Vec<String>,
+}
+
+impl Outcome {
+    /// True when the gate passes: no new findings, no lock cycles.
+    pub fn ok(&self) -> bool {
+        self.new.is_empty() && self.locks.as_ref().is_none_or(|l| l.cycles.is_empty())
+    }
+}
+
+/// Runs `passes` over `ws` and gates panic/cast findings against
+/// `baseline`.
+pub fn evaluate(ws: &Workspace, passes: &[Pass], baseline: &BaselineFile) -> Outcome {
+    let panics = passes.contains(&Pass::Panics).then(|| panics::run(ws));
+    let locks = passes.contains(&Pass::Locks).then(|| locks::run(ws));
+    let casts = passes.contains(&Pass::Casts).then(|| casts::run(ws));
+
+    let findings: Vec<&Finding> = panics
+        .iter()
+        .flat_map(|p| p.findings.iter())
+        .chain(casts.iter().flat_map(|c| c.findings.iter()))
+        .collect();
+    let ids: BTreeSet<&str> = findings.iter().map(|f| f.id.as_str()).collect();
+    let mut new = Vec::new();
+    let mut baselined = 0usize;
+    for f in &findings {
+        if baseline.entries.contains_key(&f.id) {
+            baselined += 1;
+        } else {
+            new.push((*f).clone());
+        }
+    }
+    // A baseline entry is stale only when the pass that owns it ran and
+    // did not produce it — a casts-only run must not call panic entries
+    // stale.
+    let ran: Vec<&str> = passes.iter().map(|p| p.name()).collect();
+    let stale: Vec<String> = baseline
+        .entries
+        .keys()
+        .filter(|id| {
+            ran.iter().any(|p| id.starts_with(&format!("{p}:"))) && !ids.contains(id.as_str())
+        })
+        .cloned()
+        .collect();
+    Outcome { panics, locks, casts, new, baselined, stale }
+}
+
+/// `cargo xtask analyze` entry point.
+pub fn analyze(args: &[String]) -> ExitCode {
+    let Some(opts) = Opts::parse(args) else {
+        eprintln!(
+            "usage: cargo xtask analyze [--pass panics|locks|casts] [--baseline FILE] \
+             [--report FILE]"
+        );
+        return ExitCode::from(2);
+    };
+    let root = crate::repo_root();
+    let baseline = match BaselineFile::load(&opts.baseline, SCHEMA, "allow") {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask analyze: baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ws = Workspace::load(&root);
+    println!(
+        "xtask analyze: {} file(s), passes: {}",
+        ws.files.len(),
+        opts.passes.iter().map(|p| p.name()).collect::<Vec<_>>().join(", ")
+    );
+    let out = evaluate(&ws, &opts.passes, &baseline);
+
+    if let Some(p) = &out.panics {
+        println!(
+            "xtask analyze: panics: {} root(s), {} reachable fn(s), {} finding(s)",
+            p.roots,
+            p.reachable,
+            p.findings.len()
+        );
+    }
+    if let Some(l) = &out.locks {
+        println!(
+            "xtask analyze: locks: {} class(es), {} edge(s), {} wait(s), {} cycle(s)",
+            l.classes.len(),
+            l.edges.len(),
+            l.waits,
+            l.cycles.len()
+        );
+        for e in &l.edges {
+            let via = e.via.as_deref().map(|v| format!(" via {v}()")).unwrap_or_default();
+            println!("  order {} -> {}{via}  ({}:{})", e.from, e.to, e.file, e.line);
+        }
+        for c in &l.cycles {
+            eprintln!("xtask analyze: LOCK CYCLE: {} -> {}", c.join(" -> "), c[0]);
+        }
+    }
+    if let Some(c) = &out.casts {
+        println!(
+            "xtask analyze: casts: {} fn(s) scanned, {} finding(s)",
+            c.scanned,
+            c.findings.len()
+        );
+    }
+    if out.baselined > 0 {
+        println!("xtask analyze: {} finding(s) covered by the baseline", out.baselined);
+    }
+    for id in &out.stale {
+        eprintln!("xtask analyze: warning: stale baseline entry {id} (no such finding)");
+    }
+    if !out.new.is_empty() {
+        eprintln!();
+        eprintln!(
+            "xtask analyze: {} new finding(s) — fix them or add justified entries to {}:",
+            out.new.len(),
+            opts.baseline.display()
+        );
+        eprintln!();
+        for f in &out.new {
+            let lines: Vec<String> = f.lines.iter().map(|l| l.to_string()).collect();
+            eprintln!("# {} line(s) {}", f.file, lines.join(", "));
+            eprintln!("{}", baseline::stanza("allow", &f.id, "TODO: why this cannot fire"));
+        }
+    }
+
+    if let Some(path) = &opts.report {
+        let json = report_json(&ws, &opts.passes, &out);
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("xtask analyze: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xtask analyze: report written to {}", path.display());
+    }
+
+    if out.ok() {
+        println!("xtask analyze: ok");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask analyze: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+struct Opts {
+    passes: Vec<Pass>,
+    baseline: PathBuf,
+    report: Option<PathBuf>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Option<Opts> {
+        let mut passes = Vec::new();
+        let mut baseline = None;
+        let mut report = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--pass" => {
+                    let p = Pass::parse(it.next()?)?;
+                    if !passes.contains(&p) {
+                        passes.push(p);
+                    }
+                }
+                "--baseline" => baseline = Some(PathBuf::from(it.next()?)),
+                "--report" => report = Some(PathBuf::from(it.next()?)),
+                _ => return None,
+            }
+        }
+        if passes.is_empty() {
+            passes = Pass::ALL.to_vec();
+        }
+        Some(Opts {
+            passes,
+            baseline: baseline.unwrap_or_else(|| crate::repo_root().join(BASELINE_FILE)),
+            report,
+        })
+    }
+}
+
+/// Builds the `psb-analyze-v1` report.
+fn report_json(ws: &Workspace, passes: &[Pass], out: &Outcome) -> Json {
+    let finding_json = |f: &Finding, baselined: bool| {
+        Json::obj([
+            ("id", Json::str(&*f.id)),
+            ("file", Json::str(&*f.file)),
+            ("fn", Json::str(&*f.qual)),
+            ("kind", Json::str(f.kind)),
+            ("lines", Json::arr(f.lines.iter().map(|&l| Json::u64(l as u64)))),
+            ("baselined", Json::Bool(baselined)),
+        ])
+    };
+    let is_new = |f: &Finding| out.new.iter().any(|n| n.id == f.id);
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("schema", Json::str(SCHEMA)),
+        ("passes", Json::arr(passes.iter().map(|p| Json::str(p.name())))),
+        ("files", Json::u64(ws.files.len() as u64)),
+    ];
+    if let Some(p) = &out.panics {
+        fields.push((
+            "panics",
+            Json::obj([
+                ("roots", Json::u64(p.roots as u64)),
+                ("reachable", Json::u64(p.reachable as u64)),
+                ("findings", Json::arr(p.findings.iter().map(|f| finding_json(f, !is_new(f))))),
+            ]),
+        ));
+    }
+    if let Some(l) = &out.locks {
+        fields.push((
+            "locks",
+            Json::obj([
+                ("classes", Json::arr(l.classes.iter().map(|c| Json::str(&**c)))),
+                (
+                    "edges",
+                    Json::arr(l.edges.iter().map(|e| {
+                        Json::obj([
+                            ("from", Json::str(&*e.from)),
+                            ("to", Json::str(&*e.to)),
+                            ("file", Json::str(&*e.file)),
+                            ("line", Json::u64(e.line as u64)),
+                            ("via", e.via.as_deref().map_or(Json::Null, Json::str)),
+                        ])
+                    })),
+                ),
+                ("waits", Json::u64(l.waits as u64)),
+                (
+                    "cycles",
+                    Json::arr(
+                        l.cycles.iter().map(|c| Json::arr(c.iter().map(|s| Json::str(&**s)))),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    if let Some(c) = &out.casts {
+        fields.push((
+            "casts",
+            Json::obj([
+                ("scanned", Json::u64(c.scanned as u64)),
+                ("findings", Json::arr(c.findings.iter().map(|f| finding_json(f, !is_new(f))))),
+            ]),
+        ));
+    }
+    fields.push(("new", Json::u64(out.new.len() as u64)));
+    fields.push(("baselined", Json::u64(out.baselined as u64)));
+    fields.push(("stale", Json::arr(out.stale.iter().map(|s| Json::str(&**s)))));
+    fields.push(("ok", Json::Bool(out.ok())));
+    Json::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEEDED_PANIC: (&str, &str) = (
+        "crates/core/src/x.rs",
+        "impl E {\n    fn tick(&mut self) { step(self.v); }\n}\n\
+         fn step(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    );
+
+    fn base(entries: &[(&str, &str)]) -> BaselineFile {
+        let mut text = format!("schema = \"{SCHEMA}\"\n");
+        for (id, reason) in entries {
+            text.push_str(&baseline::stanza("allow", id, reason));
+        }
+        BaselineFile::parse(&text, SCHEMA, "allow").unwrap()
+    }
+
+    /// Teeth: a seeded defect with an empty baseline fails the gate.
+    #[test]
+    fn seeded_defect_fails_the_gate() {
+        let ws = Workspace::from_sources(&[SEEDED_PANIC]);
+        let out = evaluate(&ws, &Pass::ALL, &BaselineFile::default());
+        assert!(!out.ok());
+        assert_eq!(out.new.len(), 1);
+        assert_eq!(out.new[0].id, "panics:crates/core/src/x.rs:step:unwrap");
+    }
+
+    /// The same defect with a justified baseline entry passes, and the
+    /// entry is not stale.
+    #[test]
+    fn baselined_finding_passes_the_gate() {
+        let ws = Workspace::from_sources(&[SEEDED_PANIC]);
+        let b = base(&[("panics:crates/core/src/x.rs:step:unwrap", "fixture invariant")]);
+        let out = evaluate(&ws, &Pass::ALL, &b);
+        assert!(out.ok(), "{:?}", out.new);
+        assert_eq!(out.baselined, 1);
+        assert!(out.stale.is_empty(), "{:?}", out.stale);
+    }
+
+    /// An entry with no matching finding is stale — but only when its
+    /// pass actually ran.
+    #[test]
+    fn stale_entries_are_scoped_to_executed_passes() {
+        let ws = Workspace::from_sources(&[("crates/core/src/x.rs", "fn quiet() {}\n")]);
+        let b = base(&[("panics:crates/core/src/x.rs:gone:unwrap", "was fixed")]);
+        let out = evaluate(&ws, &Pass::ALL, &b);
+        assert_eq!(out.stale, ["panics:crates/core/src/x.rs:gone:unwrap"]);
+        assert!(out.ok(), "stale warns, never fails");
+        let casts_only = evaluate(&ws, &[Pass::Casts], &b);
+        assert!(casts_only.stale.is_empty(), "{:?}", casts_only.stale);
+    }
+
+    /// Teeth: a lock cycle fails the gate even with an empty-new run —
+    /// cycles are not baselineable.
+    #[test]
+    fn lock_cycle_fails_regardless_of_baseline() {
+        let ws = Workspace::from_sources(&[(
+            "crates/model/src/x.rs",
+            "impl S {\n\
+                 fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+                 fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }\n\
+             }\n",
+        )]);
+        let out = evaluate(&ws, &[Pass::Locks], &BaselineFile::default());
+        assert!(out.new.is_empty());
+        assert!(!out.ok());
+    }
+
+    /// Teeth: a seeded truncating cast fails via the casts pass.
+    #[test]
+    fn seeded_cast_defect_fails_the_gate() {
+        let ws = Workspace::from_sources(&[(
+            "crates/mem/src/x.rs",
+            "fn set_of(addr: u64) -> usize { addr as usize }\n",
+        )]);
+        let out = evaluate(&ws, &[Pass::Casts], &BaselineFile::default());
+        assert_eq!(out.new.len(), 1, "{:?}", out.new);
+        assert_eq!(out.new[0].id, "casts:crates/mem/src/x.rs:set_of:trunc");
+        assert!(!out.ok());
+    }
+
+    /// The report round-trips through the psb-obs parser and carries
+    /// the gate verdict.
+    #[test]
+    fn report_round_trips_and_carries_the_verdict() {
+        let ws = Workspace::from_sources(&[SEEDED_PANIC]);
+        let out = evaluate(&ws, &Pass::ALL, &BaselineFile::default());
+        let text = report_json(&ws, &Pass::ALL, &out).to_string();
+        let back = psb_obs::json::parse(&text).unwrap();
+        assert_eq!(back.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(back.get("ok"), Some(&Json::Bool(false)));
+        let findings =
+            back.get("panics").and_then(|p| p.get("findings")).and_then(Json::as_arr).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].get("baselined"), Some(&Json::Bool(false)));
+    }
+
+    /// Crate names derive from the path layout.
+    #[test]
+    fn krate_names_follow_the_layout() {
+        assert_eq!(krate_of("crates/core/src/lib.rs"), "core");
+        assert_eq!(krate_of("xtask/src/main.rs"), "xtask");
+        assert_eq!(krate_of("src/main.rs"), "root");
+    }
+}

@@ -1,12 +1,15 @@
-//! A minimal Rust lexer for the mutation engine, pure std.
+//! A minimal Rust lexer, pure std — the shared foundation of every
+//! token-level tool in xtask: the mutation engine (`cargo xtask
+//! mutants`), the semantic analysis passes (`cargo xtask analyze`), and
+//! the source lints (`cargo xtask lint`).
 //!
-//! The engine needs just enough token structure to place mutations
-//! safely: operators must not be found inside strings, comments, char
-//! literals or lifetimes, and every byte of the input must be covered so
-//! mutants can be applied by byte-span splicing. The lexer therefore
-//! produces a *total* token stream — concatenating the spans of all
-//! tokens reproduces the source byte-for-byte (the round-trip property
-//! the engine's self-tests check against every `.rs` file in the
+//! These tools need just enough token structure to work safely:
+//! operators must not be found inside strings, comments, char literals
+//! or lifetimes, and every byte of the input must be covered so mutants
+//! can be applied by byte-span splicing. The lexer therefore produces a
+//! *total* token stream — concatenating the spans of all tokens
+//! reproduces the source byte-for-byte (the round-trip property the
+//! mutation engine's self-tests check against every `.rs` file in the
 //! workspace).
 //!
 //! It is deliberately not a full lexer: tokens carry no parsed values,

@@ -1,0 +1,122 @@
+//! `psb-lint:` suppression directives: parsing, application, and the
+//! `stale-allow` rule that keeps every allow honest.
+
+use super::{classify, Finding, LineInfo, RULES};
+
+/// One parsed `psb-lint:` directive.
+struct Suppression {
+    /// The rule it names.
+    rule: String,
+    /// 1-based line of the directive comment.
+    line: usize,
+    /// `allow-file` form: covers the whole file.
+    file_level: bool,
+    /// Whether any finding was actually suppressed by it.
+    used: bool,
+}
+
+/// Scans a file for `psb-lint:` directives. Returns the suppressions
+/// plus findings for directives that cannot possibly work (malformed,
+/// or naming an unknown rule). Directives inside test regions are
+/// ignored entirely: test code is not linted, so they are inert.
+fn scan_directives(rel_path: &str, lines: &[LineInfo]) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test {
+            continue;
+        }
+        // The comment text comes from the lexer's token stream
+        // (directive text inside a string literal is a `Str` token,
+        // never a comment).
+        let Some(text) = li.comment.as_deref() else {
+            continue;
+        };
+        // Strip doc-comment markers and indentation; a directive must
+        // open the comment (prose that mentions the syntax mid-sentence
+        // is not a directive).
+        let text = text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = text.strip_prefix("psb-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (file_level, rest) = match rest.strip_prefix("allow-file(") {
+            Some(r) => (true, r),
+            None => match rest.strip_prefix("allow(") {
+                Some(r) => (false, r),
+                None => {
+                    bad.push(Finding {
+                        rule: "stale-allow",
+                        file: rel_path.to_string(),
+                        line: i + 1,
+                        msg: "malformed psb-lint directive; expected \
+                              `psb-lint: allow(<rule>)` or `psb-lint: allow-file(<rule>)`"
+                            .to_string(),
+                    });
+                    continue;
+                }
+            },
+        };
+        let Some(rule) = rest.split(')').next().filter(|_| rest.contains(')')) else {
+            bad.push(Finding {
+                rule: "stale-allow",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "malformed psb-lint directive: missing `)`".to_string(),
+            });
+            continue;
+        };
+        if !RULES.contains(&rule) {
+            bad.push(Finding {
+                rule: "stale-allow",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: format!(
+                    "psb-lint directive names unknown rule {rule:?} (known: {})",
+                    RULES.join(", "),
+                ),
+            });
+            continue;
+        }
+        sups.push(Suppression { rule: rule.to_string(), line: i + 1, file_level, used: false });
+    }
+    (sups, bad)
+}
+
+/// Applies the file's suppression directives to raw findings: covered
+/// findings are dropped, and every directive that covered nothing
+/// becomes a `stale-allow` finding — an allow must never outlive the
+/// code it excuses.
+pub fn apply_suppressions(rel_path: &str, source: &str, raw: Vec<Finding>) -> Vec<Finding> {
+    let lines = classify(source);
+    let (mut sups, mut out) = scan_directives(rel_path, &lines);
+    for f in raw {
+        let mut covered = false;
+        for s in &mut sups {
+            if s.rule == f.rule && (s.file_level || f.line == s.line || f.line == s.line + 1) {
+                s.used = true;
+                covered = true;
+            }
+        }
+        if !covered {
+            out.push(f);
+        }
+    }
+    for s in &sups {
+        if !s.used {
+            let form = if s.file_level { "allow-file" } else { "allow" };
+            out.push(Finding {
+                rule: "stale-allow",
+                file: rel_path.to_string(),
+                line: s.line,
+                msg: format!(
+                    "psb-lint: {form}({}) suppresses nothing — the code it excused \
+                     is gone; remove the comment",
+                    s.rule,
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}

@@ -1,0 +1,230 @@
+//! Source-level lints on the shared [`crate::lexer`] token stream.
+//!
+//! The rules:
+//!
+//! * `addr-arith` — raw wrapping/`as u64` arithmetic on addresses; go
+//!   through [`Addr::offset`]/[`Addr::delta`] so overflow semantics
+//!   live in one place. The helpers' own home,
+//!   `crates/common/src/addr.rs`, opts out with a file-level allow —
+//!   an in-source directive like every other exemption, not a path
+//!   list buried in this file.
+//! * `unwrap` — `.unwrap()` is forbidden in non-test code of the
+//!   hot-path crates (`mem`, `core`, `cpu`); `.expect(...)` is allowed
+//!   only when justified by an invariant comment (the word "invariant"
+//!   on the line, in the message, or in the two preceding lines).
+//! * `hashmap-report` — `HashMap` in `stats.rs`/`report.rs` files
+//!   feeds figure output in nondeterministic iteration order; use
+//!   `BTreeMap` or sort before emitting.
+//! * `missing-docs` — in crates that declare `#![warn(missing_docs)]`,
+//!   every `pub` item needs a doc comment even when the toolchain's
+//!   own `missing_docs` pass is unavailable offline.
+//! * `determinism` — `Instant::now`/`SystemTime` in simulation-result
+//!   crates: host wall-clock must never reach a result artifact, which
+//!   has to be byte-identical across `--threads` counts.
+//! * `sync-shims` — raw `std::sync`/`std::thread` in the model-checked
+//!   crates (`sim`, `workloads`); concurrency there goes through the
+//!   `psb_model` shims so `cargo xtask model` explores the real code.
+//!
+//! The crate-layering pass lives in [`crate::layering`].
+//!
+//! Comment and string-literal content is excluded by lexing, not by
+//! per-rule character walking: [`classify`] derives each line's code
+//! and comment text from the same total token stream the mutation
+//! engine and `cargo xtask analyze` use, and the `addr-arith` /
+//! `unwrap` rules work on the [`crate::analyze::tokentree`] layer
+//! directly. The pass bodies live in [`passes`], the suppression
+//! machinery in [`directives`].
+//!
+//! ## Suppressions
+//!
+//! Any finding can be suppressed with a comment that *starts* with the
+//! directive — on the offending line or the line above to excuse one
+//! site, or anywhere in the file with the `-file` form to exempt the
+//! whole file:
+//!
+//! ```text
+//! // psb-lint: allow(unwrap): length checked two lines up
+//! // psb-lint: allow-file(addr-arith): this module owns address math
+//! ```
+//!
+//! Suppressions are themselves linted: a directive that suppresses
+//! nothing (the code it excused is gone, or the rule name is unknown)
+//! is a `stale-allow` finding, so allows cannot outlive their excuse.
+//! Directives must open the comment; prose that merely *mentions* the
+//! syntax, like this paragraph, is not a directive.
+
+mod directives;
+mod passes;
+#[cfg(test)]
+mod tests;
+
+pub use directives::apply_suppressions;
+pub use passes::{
+    lint_addr_arith, lint_determinism, lint_hashmap_report, lint_missing_docs, lint_println,
+    lint_sync_shims, lint_unwrap,
+};
+
+use crate::lexer::{self, Kind};
+use std::fmt;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `"addr-arith"`.
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Every rule a suppression directive may name.
+pub const RULES: [&str; 7] = [
+    "addr-arith",
+    "unwrap",
+    "hashmap-report",
+    "println",
+    "determinism",
+    "sync-shims",
+    "missing-docs",
+];
+
+/// Per-line context computed in one lexer pass over a file.
+pub(super) struct LineInfo {
+    /// The line's code content: string-literal bodies collapsed to `""`,
+    /// comments and char literals dropped, spacing preserved.
+    pub(super) code: String,
+    /// The raw line (for invariant-comment and doc scanning).
+    pub(super) raw: String,
+    /// The text of the line's `//` comment (doc markers included), if any.
+    pub(super) comment: Option<String>,
+    /// Inside a `#[cfg(test)]` module (or other test-only region).
+    pub(super) in_test: bool,
+    /// The line is entirely a comment (`//`, `///`, `//!`), an
+    /// attribute, or blank.
+    pub(super) comment_only: bool,
+}
+
+/// Annotate every line of a file with code, comment, and test-region
+/// context, derived from the shared lexer's total token stream — one
+/// tokenizer for the whole workspace instead of per-lint string
+/// walking. Test regions are `#[cfg(test)]`-attributed items: we track
+/// the brace depth where the region starts and leave it when the
+/// braces balance.
+pub(super) fn classify(source: &str) -> Vec<LineInfo> {
+    let mut out: Vec<LineInfo> = source
+        .lines()
+        .map(|raw| {
+            let t = raw.trim_start();
+            let comment_only =
+                t.is_empty() || t.starts_with("//") || t.starts_with("#!") || t.starts_with("#[");
+            LineInfo {
+                code: String::new(),
+                raw: raw.to_string(),
+                comment: None,
+                in_test: false,
+                comment_only,
+            }
+        })
+        .collect();
+
+    // Distribute token text over the lines. Tokens tile the source, so
+    // counting newlines in every token's text tracks the line exactly;
+    // whitespace is kept (split at newlines) so spacing-sensitive
+    // patterns still see it, string bodies collapse to `""`, and char
+    // literals and comments vanish from the code view.
+    let mut line = 0usize;
+    for tok in lexer::lex(source) {
+        let text = tok.text(source);
+        match tok.kind {
+            Kind::Whitespace => {
+                for (k, seg) in text.split('\n').enumerate() {
+                    if let Some(li) = out.get_mut(line + k) {
+                        if !seg.is_empty() {
+                            li.code.push_str(seg);
+                        }
+                    }
+                }
+            }
+            Kind::LineComment => {
+                if let Some(li) = out.get_mut(line) {
+                    if li.comment.is_none() {
+                        li.comment = Some(text[2..].to_string());
+                    }
+                }
+            }
+            Kind::BlockComment | Kind::Char => {}
+            Kind::Str | Kind::RawStr => {
+                if let Some(li) = out.get_mut(line) {
+                    li.code.push_str("\"\"");
+                }
+            }
+            _ => {
+                if let Some(li) = out.get_mut(line) {
+                    li.code.push_str(text);
+                }
+            }
+        }
+        line += text.matches('\n').count();
+    }
+
+    // Test-region pass over the classified lines.
+    let mut depth: i64 = 0;
+    // Depth at which the current #[cfg(test)] region opened, if any.
+    let mut test_depth: Option<i64> = None;
+    // Saw #[cfg(test)] and waiting for the region's opening brace.
+    let mut pending_test_attr = false;
+    for li in &mut out {
+        if li.comment_only {
+            li.code.clear();
+        }
+        let trimmed = li.raw.trim_start();
+        if trimmed.starts_with("#[cfg(test)") || trimmed.starts_with("#[test]") {
+            pending_test_attr = true;
+        }
+        let opens = li.code.matches('{').count() as i64;
+        let closes = li.code.matches('}').count() as i64;
+        if pending_test_attr && opens > 0 && test_depth.is_none() {
+            test_depth = Some(depth);
+            pending_test_attr = false;
+        }
+        depth += opens - closes;
+        li.in_test = test_depth.is_some();
+        if let Some(td) = test_depth {
+            if depth <= td {
+                test_depth = None;
+            }
+        }
+    }
+    out
+}
+
+/// Runs every source rule on one file and applies the suppression pass.
+/// `check_docs` enables `missing-docs` (crates that opted in via
+/// `#![warn(missing_docs)]`).
+pub fn lint_file(rel_path: &str, source: &str, check_docs: bool) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    raw.extend(lint_addr_arith(rel_path, source));
+    raw.extend(lint_unwrap(rel_path, source));
+    raw.extend(lint_hashmap_report(rel_path, source));
+    raw.extend(lint_println(rel_path, source));
+    raw.extend(lint_determinism(rel_path, source));
+    raw.extend(lint_sync_shims(rel_path, source));
+    if check_docs {
+        raw.extend(lint_missing_docs(rel_path, source));
+    }
+    apply_suppressions(rel_path, source, raw)
+}
+
+/// Whether a crate's `lib.rs`/`main.rs` opts into `missing_docs`.
+pub fn wants_missing_docs(lib_source: &str) -> bool {
+    lib_source.contains("#![warn(missing_docs)]") || lib_source.contains("#![deny(missing_docs)]")
+}

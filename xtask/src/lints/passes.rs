@@ -1,0 +1,335 @@
+//! The lint rule bodies.
+//!
+//! `addr-arith` and `unwrap` run directly on the
+//! [`crate::analyze::tokentree`] significant-token stream (the same
+//! layer the semantic analysis passes use), so a string literal or a
+//! comment can never trigger them. The remaining rules are
+//! line-oriented pattern matches over the lexer-derived code view
+//! produced by [`classify`].
+
+use super::{classify, Finding};
+use crate::analyze::tokentree::Tree;
+use crate::lexer::Kind;
+use std::path::Path;
+
+/// Per-line evidence collected by the `addr-arith` token scan.
+#[derive(Default)]
+struct AddrLine {
+    /// The line talks about an address: an identifier containing
+    /// `addr`, a standalone `pc`, or a `.raw()` accessor.
+    mentions: bool,
+    /// A `wrapping_add(`/`wrapping_sub(` call.
+    wrapping: bool,
+    /// An `as u64` cast.
+    cast: bool,
+    /// A binary `+` or `-` (previous token ends a value).
+    arith: bool,
+}
+
+/// Identifiers after which a `+`/`-` is a unary sign, not arithmetic.
+const UNARY_CONTEXT: [&str; 8] =
+    ["return", "if", "else", "match", "in", "break", "continue", "while"];
+
+/// Rule `addr-arith`: wrapping or raw-cast arithmetic on addresses.
+/// The sanctioned home of that arithmetic, `common/src/addr.rs`, is
+/// not special-cased here — it carries a file-level
+/// `psb-lint: allow-file(addr-arith)` directive like any other
+/// exemption.
+pub fn lint_addr_arith(rel_path: &str, source: &str) -> Vec<Finding> {
+    let tree = Tree::parse(source);
+    let mut lines: std::collections::BTreeMap<usize, AddrLine> = std::collections::BTreeMap::new();
+    for (i, t) in tree.toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        match t.kind {
+            Kind::Ident => {
+                let name = tree.text(i);
+                let st = lines.entry(t.line).or_default();
+                if name.to_ascii_lowercase().contains("addr") || name.eq_ignore_ascii_case("pc") {
+                    st.mentions = true;
+                }
+                let called = i + 1 < tree.toks.len() && tree.is_punct(i + 1, "(");
+                if called && matches!(name, "wrapping_add" | "wrapping_sub") {
+                    st.wrapping = true;
+                }
+                if called && name == "raw" && i >= 1 && tree.is_punct(i - 1, ".") {
+                    st.mentions = true;
+                }
+                if name == "as" && i + 1 < tree.toks.len() && tree.is_ident(i + 1, "u64") {
+                    st.cast = true;
+                }
+            }
+            Kind::Punct if matches!(tree.text(i), "+" | "-") && i >= 1 => {
+                let binary = match tree.toks[i - 1].kind {
+                    Kind::Ident => !UNARY_CONTEXT.contains(&tree.text(i - 1)),
+                    Kind::Number => true,
+                    Kind::Punct => matches!(tree.text(i - 1), ")" | "]" | "?"),
+                    _ => false,
+                };
+                if binary {
+                    lines.entry(t.line).or_default().arith = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    for (line, st) in lines {
+        if st.mentions && (st.wrapping || (st.cast && st.arith)) {
+            out.push(Finding {
+                rule: "addr-arith",
+                file: rel_path.to_string(),
+                line,
+                msg: "raw wrapping/cast arithmetic on an address; use Addr::offset \
+                      / Addr::delta so overflow semantics live in addr.rs"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Crates whose non-test code may not `.unwrap()` and must justify
+/// `.expect(...)` with an invariant comment.
+pub const HOT_PATH_CRATES: [&str; 3] = ["crates/mem/", "crates/core/", "crates/cpu/"];
+
+/// Rule `unwrap`: panics in hot-path non-test code.
+pub fn lint_unwrap(rel_path: &str, source: &str) -> Vec<Finding> {
+    if !HOT_PATH_CRATES.iter().any(|c| rel_path.starts_with(c)) {
+        return Vec::new();
+    }
+    let tree = Tree::parse(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+    for (i, t) in tree.toks.iter().enumerate() {
+        if t.in_test || t.kind != Kind::Ident {
+            continue;
+        }
+        let is_method_call = i >= 1
+            && tree.is_punct(i - 1, ".")
+            && i + 1 < tree.toks.len()
+            && tree.is_punct(i + 1, "(");
+        if !is_method_call {
+            continue;
+        }
+        match tree.text(i) {
+            "unwrap" => out.push(Finding {
+                rule: "unwrap",
+                file: rel_path.to_string(),
+                line: t.line,
+                msg: ".unwrap() in hot-path non-test code; return a typed error or \
+                      use .expect() with an invariant comment"
+                    .to_string(),
+            }),
+            "expect" => {
+                // Justified when an invariant comment appears nearby or
+                // the message itself names the invariant; the raw lines
+                // keep both the comments and the string literal.
+                let idx = t.line - 1; // 1-based line -> raw_lines index
+                let justified = raw_lines[idx.saturating_sub(2)..=idx]
+                    .iter()
+                    .any(|l| l.to_ascii_lowercase().contains("invariant"));
+                if !justified {
+                    out.push(Finding {
+                        rule: "unwrap",
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        msg: ".expect() without an invariant justification; say why the \
+                              invariant holds in the message or a nearby comment"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Rule `hashmap-report`: nondeterministic iteration feeding figures.
+pub fn lint_hashmap_report(rel_path: &str, source: &str) -> Vec<Finding> {
+    let name = Path::new(rel_path).file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name != "stats.rs" && name != "report.rs" {
+        return Vec::new();
+    }
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test || li.comment_only {
+            continue;
+        }
+        if li.code.contains("HashMap") {
+            out.push(Finding {
+                rule: "hashmap-report",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "HashMap in stats/report code iterates in nondeterministic \
+                      order; use BTreeMap or sort before emitting"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Rule `println`: console output from library crate code. All
+/// human-readable output belongs in the binaries (`src/bin`, the bench
+/// `benches/` targets, xtask) or behind the report/obs layer, so
+/// figure scripts never have to scrape stray prints out of stdout.
+pub fn lint_println(rel_path: &str, source: &str) -> Vec<Finding> {
+    let in_library = rel_path.starts_with("crates/")
+        && rel_path.contains("/src/")
+        && !rel_path.contains("/src/bin/");
+    if !in_library {
+        return Vec::new();
+    }
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test || li.comment_only {
+            continue;
+        }
+        if ["println!", "print!", "eprintln!", "eprint!"].iter().any(|m| li.code.contains(m)) {
+            out.push(Finding {
+                rule: "println",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "console output in library code; route through the report/obs \
+                      layer (or move it into a binary)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Crates whose library code feeds simulation results and must stay
+/// bit-reproducible: no host wall-clock may flow into anything a result
+/// artifact could carry.
+pub const DETERMINISTIC_CRATES: [&str; 5] =
+    ["crates/sim/", "crates/core/", "crates/mem/", "crates/cpu/", "crates/workloads/"];
+
+/// Rule `determinism`: host time sources in simulation-result crates.
+///
+/// `Instant::now()` / `SystemTime` readings differ run to run, so a
+/// value derived from one that leaks into a result path breaks the
+/// sweep's byte-identical-across-`--threads` contract. Timing that is
+/// *presentation only* (the sweep coordinator's progress/wall-clock
+/// lines, which are kept out of the artifact by construction) carries a
+/// `psb-lint: allow(determinism)` comment stating exactly that.
+pub fn lint_determinism(rel_path: &str, source: &str) -> Vec<Finding> {
+    if !DETERMINISTIC_CRATES.iter().any(|c| rel_path.starts_with(c)) {
+        return Vec::new();
+    }
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test || li.comment_only {
+            continue;
+        }
+        let wall_clock = li.code.contains("Instant::now")
+            || li.code.contains("SystemTime")
+            || li.code.contains("UNIX_EPOCH");
+        if wall_clock {
+            out.push(Finding {
+                rule: "determinism",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "host wall-clock in a simulation-result crate; results must be \
+                      bit-reproducible — derive times from simulated cycles, or mark \
+                      presentation-only timing with psb-lint: allow(determinism)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Crates whose concurrency runs under the model checker: every
+/// synchronization primitive must come from the `psb-model` shims so
+/// `cargo xtask model` exercises the *same* code paths production runs.
+pub const MODEL_CHECKED_CRATES: [&str; 3] = ["crates/serve/", "crates/sim/", "crates/workloads/"];
+
+/// `std::sync`/`std::thread` items that have a `psb_model` shim and are
+/// therefore banned in model-checked crates. `Arc` is exempt: it is pure
+/// reference counting with no blocking or ordering decisions to explore.
+const SHIMMED_SYNC: [&str; 10] = [
+    "Mutex", "RwLock", "OnceLock", "Once", "Condvar", "Barrier", "mpsc", "atomic", "Atomic",
+    "LazyLock",
+];
+
+/// Rule `sync-shims`: raw std synchronization in model-checked crates.
+pub fn lint_sync_shims(rel_path: &str, source: &str) -> Vec<Finding> {
+    if !MODEL_CHECKED_CRATES.iter().any(|c| rel_path.starts_with(c)) {
+        return Vec::new();
+    }
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test || li.comment_only {
+            continue;
+        }
+        let raw_sync =
+            li.code.contains("std::sync") && SHIMMED_SYNC.iter().any(|t| li.code.contains(t));
+        let raw_thread = li.code.contains("std::thread");
+        if raw_sync || raw_thread {
+            out.push(Finding {
+                rule: "sync-shims",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: "raw std synchronization in a model-checked crate; use the \
+                      psb_model::{sync, thread} shims so `cargo xtask model` explores \
+                      this code (Arc is exempt)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+const DOC_ITEMS: [&str; 8] =
+    ["fn ", "struct ", "enum ", "trait ", "type ", "const ", "static ", "mod "];
+
+/// Rule `missing-docs`: public items without a doc comment in crates
+/// that opted into `#![warn(missing_docs)]`. `pub use` re-exports and
+/// restricted visibility (`pub(crate)`, `pub(super)`) are exempt, as
+/// is anything inside a test region.
+pub fn lint_missing_docs(rel_path: &str, source: &str) -> Vec<Finding> {
+    let lines = classify(source);
+    let mut out = Vec::new();
+    for (i, li) in lines.iter().enumerate() {
+        if li.in_test {
+            continue;
+        }
+        let trimmed = li.raw.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        if !DOC_ITEMS.iter().any(|kw| rest.starts_with(kw)) && !rest.starts_with("unsafe fn ") {
+            continue;
+        }
+        // Walk backwards over attributes to the nearest doc comment.
+        let mut j = i;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let prev = lines[j].raw.trim_start();
+            if prev.starts_with("#[") || prev.ends_with("]") && prev.starts_with("#") {
+                continue;
+            }
+            documented = prev.starts_with("///") || prev.starts_with("#[doc");
+            break;
+        }
+        if !documented {
+            let item: String = rest.chars().take(40).collect();
+            out.push(Finding {
+                rule: "missing-docs",
+                file: rel_path.to_string(),
+                line: i + 1,
+                msg: format!("public item `pub {item}…` has no doc comment"),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,328 @@
+use super::*;
+
+// -- addr-arith -------------------------------------------------------
+
+#[test]
+fn addr_arith_fires_on_wrapping_pc_math() {
+    let src = "fn f(pc: u64, prev_pc: u64) -> u64 {\n    pc.wrapping_sub(prev_pc)\n}\n";
+    let f = lint_addr_arith("crates/workloads/src/serial.rs", src);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].line, 2);
+}
+
+#[test]
+fn addr_arith_fires_on_raw_cast_sum() {
+    let src = "let next = base_addr + delta as u64 + 4;\n";
+    let f = lint_addr_arith("crates/core/src/x.rs", src);
+    assert_eq!(f.len(), 1, "{f:?}");
+}
+
+#[test]
+fn addr_arith_exempted_by_file_directive_and_silent_on_non_address_math() {
+    // addr.rs-style exemption: a file-level directive, not a path
+    // list in this file.
+    let addr_src = "// psb-lint: allow-file(addr-arith): home of address math\n\
+                    fn offset(a: Addr, d: i64) -> Addr {\n    \
+                    Addr(a.0.wrapping_add(d as u64))\n}\n";
+    assert!(lint_file("crates/common/src/addr.rs", addr_src, false).is_empty());
+    // Bit-mixing with no address vocabulary is fine.
+    let rng_src = "z = z.wrapping_add(0x9e3779b97f4a7c15);\n";
+    assert!(lint_addr_arith("crates/common/src/rng.rs", rng_src).is_empty());
+}
+
+#[test]
+fn addr_arith_respects_allow_comment() {
+    let src = "// psb-lint: allow(addr-arith): hashing, not address math\n\
+               let h = pc.wrapping_add(seed);\n";
+    assert!(lint_file("crates/cpu/src/x.rs", src, false).is_empty());
+}
+
+#[test]
+fn addr_arith_ignores_comments_and_strings() {
+    let src = "// pc.wrapping_add(4) would be wrong\n\
+               let s = \"pc.wrapping_add(4)\";\n";
+    assert!(lint_addr_arith("crates/cpu/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn addr_arith_ignores_block_comments_and_unary_signs() {
+    // The token stream drops block comments wholesale — even ones that
+    // the old line-oriented scan could not see.
+    let block = "/* pc.wrapping_add(4) in a block comment */\nlet x = 1;\n";
+    assert!(lint_addr_arith("crates/cpu/src/x.rs", block).is_empty());
+    // A unary minus after `return` is not address arithmetic.
+    let unary = "fn f(addr_delta: i64) -> i64 { return -addr_delta as u64 as i64; }\n";
+    assert!(lint_addr_arith("crates/cpu/src/x.rs", unary).is_empty(), "unary sign, no arithmetic");
+}
+
+// -- unwrap -----------------------------------------------------------
+
+#[test]
+fn unwrap_fires_in_hot_path_non_test_code() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let f = lint_unwrap("crates/mem/src/mshr.rs", src);
+    assert_eq!(f.len(), 1, "{f:?}");
+}
+
+#[test]
+fn unwrap_silent_outside_hot_path_crates() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lint_unwrap("crates/workloads/src/gen.rs", src).is_empty());
+}
+
+#[test]
+fn unwrap_silent_in_test_module() {
+    let src = "fn live() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() { Some(1).unwrap(); }\n\
+               }\n";
+    assert!(lint_unwrap("crates/mem/src/mshr.rs", src).is_empty());
+}
+
+#[test]
+fn expect_requires_invariant_justification() {
+    let bare = "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\n";
+    assert_eq!(lint_unwrap("crates/core/src/x.rs", bare).len(), 1);
+
+    let justified = "fn f(x: Option<u32>) -> u32 {\n    \
+                     // Invariant: caller checked is_some().\n    \
+                     x.expect(\"checked by caller\")\n}\n";
+    assert!(lint_unwrap("crates/core/src/x.rs", justified).is_empty());
+
+    let in_message =
+        "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"invariant: caller checked\")\n}\n";
+    assert!(lint_unwrap("crates/core/src/x.rs", in_message).is_empty());
+}
+
+#[test]
+fn unwrap_is_a_method_token_not_a_substring() {
+    // `unwrap_or` shares the prefix; a path call `unwrap()` with no
+    // receiver dot is not the method form the rule bans.
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+    assert!(lint_unwrap("crates/mem/src/x.rs", src).is_empty());
+    let in_string = "fn f() -> &'static str { \".unwrap()\" }\n";
+    assert!(lint_unwrap("crates/mem/src/x.rs", in_string).is_empty());
+}
+
+// -- hashmap-report ---------------------------------------------------
+
+#[test]
+fn hashmap_fires_only_in_stats_or_report_files() {
+    let src = "use std::collections::HashMap;\n";
+    assert_eq!(lint_hashmap_report("crates/sim/src/stats.rs", src).len(), 1);
+    assert_eq!(lint_hashmap_report("crates/sim/src/report.rs", src).len(), 1);
+    assert!(lint_hashmap_report("crates/sim/src/memsys.rs", src).is_empty());
+}
+
+// -- println ----------------------------------------------------------
+
+#[test]
+fn println_fires_in_library_crate_code() {
+    let src = "pub fn noisy() {\n    println!(\"hi\");\n}\n";
+    let f = lint_println("crates/sim/src/memsys.rs", src);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].line, 2);
+}
+
+#[test]
+fn println_silent_in_binaries_tests_and_comments() {
+    let src = "pub fn noisy() { println!(\"hi\"); }\n";
+    assert!(lint_println("src/bin/psbsim.rs", src).is_empty());
+    assert!(lint_println("crates/sim/src/bin/tool.rs", src).is_empty());
+    assert!(lint_println("xtask/src/main.rs", src).is_empty());
+
+    let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"x\"); }\n}\n";
+    assert!(lint_println("crates/sim/src/memsys.rs", test_src).is_empty());
+
+    let doc_src = "//! println!(\"in a doc example\");\n";
+    assert!(lint_println("crates/sim/src/lib.rs", doc_src).is_empty());
+}
+
+#[test]
+fn println_respects_allow_comment_above_or_on_the_line() {
+    let above = "// psb-lint: allow(println): harness output\nprintln!(\"ok\");\n";
+    assert!(lint_file("crates/bench/src/micro.rs", above, false).is_empty());
+    let same_line = "println!(\"ok\"); // psb-lint: allow(println): harness output\n";
+    assert!(lint_file("crates/bench/src/micro.rs", same_line, false).is_empty());
+}
+
+// -- determinism ------------------------------------------------------
+
+#[test]
+fn determinism_fires_on_wall_clock_in_result_crates() {
+    let src = "let start = std::time::Instant::now();\n";
+    assert_eq!(lint_determinism("crates/sim/src/runner.rs", src).len(), 1);
+    let sys = "let stamp = SystemTime::now();\n";
+    assert_eq!(lint_determinism("crates/core/src/x.rs", sys).len(), 1);
+}
+
+#[test]
+fn determinism_silent_outside_result_crates_tests_and_allows() {
+    let src = "let start = std::time::Instant::now();\n";
+    assert!(lint_determinism("crates/obs/src/trace.rs", src).is_empty());
+    assert!(lint_determinism("src/bin/psbsweep.rs", src).is_empty());
+    let allowed_src = "// psb-lint: allow(determinism): presentation only\n\
+                       let start = std::time::Instant::now();\n";
+    assert!(lint_file("crates/sim/src/sweep.rs", allowed_src, false).is_empty());
+    let test_src = "#[cfg(test)]\nmod tests {\n    \
+                    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+    assert!(lint_determinism("crates/sim/src/x.rs", test_src).is_empty());
+}
+
+// -- sync-shims -------------------------------------------------------
+
+#[test]
+fn sync_shims_fires_on_raw_std_primitives() {
+    let m = "use std::sync::Mutex;\n";
+    assert_eq!(lint_sync_shims("crates/sim/src/pool.rs", m).len(), 1);
+    let grouped = "use std::sync::{Arc, OnceLock};\n";
+    assert_eq!(lint_sync_shims("crates/workloads/src/cache.rs", grouped).len(), 1);
+    let th = "std::thread::spawn(|| {});\n";
+    assert_eq!(lint_sync_shims("crates/sim/src/sweep.rs", th).len(), 1);
+}
+
+#[test]
+fn sync_shims_exempts_arc_shims_tests_and_other_crates() {
+    let arc = "use std::sync::Arc;\n";
+    assert!(lint_sync_shims("crates/workloads/src/cache.rs", arc).is_empty());
+    let shim = "use psb_model::sync::{mpsc, Mutex};\nuse psb_model::thread;\n";
+    assert!(lint_sync_shims("crates/sim/src/pool.rs", shim).is_empty());
+    let other = "use std::sync::Mutex;\n";
+    assert!(lint_sync_shims("crates/mem/src/x.rs", other).is_empty());
+    let test_src = "#[cfg(test)]\nmod tests {\n    \
+                    fn t() { std::thread::spawn(|| {}); }\n}\n";
+    assert!(lint_sync_shims("crates/sim/src/pool.rs", test_src).is_empty());
+}
+
+// -- missing-docs -----------------------------------------------------
+
+#[test]
+fn missing_docs_fires_on_undocumented_pub_item() {
+    let src = "pub fn frob() {}\n";
+    let f = lint_missing_docs("crates/common/src/x.rs", src);
+    assert_eq!(f.len(), 1, "{f:?}");
+}
+
+#[test]
+fn missing_docs_accepts_doc_comment_above_attributes() {
+    let src = "/// Frobnicates.\n#[inline]\npub fn frob() {}\n";
+    assert!(lint_missing_docs("crates/common/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn missing_docs_exempts_reexports_and_restricted_visibility() {
+    let src = "pub use crate::foo::Bar;\npub(crate) fn helper() {}\n";
+    assert!(lint_missing_docs("crates/common/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn wants_missing_docs_detects_attribute() {
+    assert!(wants_missing_docs("#![warn(missing_docs)]\n"));
+    assert!(!wants_missing_docs("#![allow(dead_code)]\n"));
+}
+
+// -- stale-allow ------------------------------------------------------
+
+#[test]
+fn stale_allow_fires_when_a_directive_suppresses_nothing() {
+    // The unwrap the directive excused is gone; the comment must go
+    // with it.
+    let src = "// psb-lint: allow(unwrap): length checked above\n\
+               let x = 1;\n";
+    let f = lint_file("crates/mem/src/x.rs", src, false);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "stale-allow");
+    assert_eq!(f[0].line, 1);
+    assert!(f[0].msg.contains("suppresses nothing"), "{}", f[0].msg);
+}
+
+#[test]
+fn stale_allow_fires_on_an_unused_file_directive() {
+    let src = "// psb-lint: allow-file(addr-arith): home of address math\n\
+               let x = 1;\n";
+    let f = lint_file("crates/common/src/other.rs", src, false);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "stale-allow");
+}
+
+#[test]
+fn used_directives_are_not_stale() {
+    let src = "// psb-lint: allow(unwrap): length checked above\n\
+               let x = opt.unwrap();\n";
+    assert!(lint_file("crates/mem/src/x.rs", src, false).is_empty());
+    // A file-level directive used once anywhere is not stale.
+    let file_src = "// psb-lint: allow-file(unwrap): fixture\n\
+                    fn a(o: Option<u32>) -> u32 { o.unwrap() }\n\
+                    fn b(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    assert!(lint_file("crates/mem/src/x.rs", file_src, false).is_empty());
+}
+
+#[test]
+fn unknown_rule_and_malformed_directives_are_flagged() {
+    let unknown = "// psb-lint: allow(no-such-rule): typo\n";
+    let f = lint_file("crates/mem/src/x.rs", unknown, false);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].msg.contains("unknown rule"), "{}", f[0].msg);
+
+    let malformed = "// psb-lint: alow(unwrap)\n";
+    let f = lint_file("crates/mem/src/x.rs", malformed, false);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].msg.contains("malformed"), "{}", f[0].msg);
+}
+
+#[test]
+fn prose_mentions_strings_and_test_regions_are_not_directives() {
+    // Mid-comment prose about the syntax is not a directive.
+    let prose = "// suppress with psb-lint: allow(unwrap) if justified\n";
+    assert!(lint_file("crates/mem/src/x.rs", prose, false).is_empty());
+    // Directive text inside a string literal is not a comment.
+    let in_str = "let s = \"// psb-lint: allow(unwrap)\";\n";
+    assert!(lint_file("crates/workloads/src/x.rs", in_str, false).is_empty());
+    // Directives in test code are inert, never stale.
+    let in_test = "#[cfg(test)]\nmod tests {\n    \
+                   // psb-lint: allow(unwrap): test-only\n    \
+                   fn t() { Some(1).unwrap(); }\n}\n";
+    assert!(lint_file("crates/mem/src/x.rs", in_test, false).is_empty());
+}
+
+#[test]
+fn doc_comment_directives_work() {
+    let src = "/// psb-lint: allow(unwrap): doc-comment directive\n\
+               pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    assert!(lint_file("crates/mem/src/x.rs", src, false).is_empty());
+}
+
+// -- region tracking --------------------------------------------------
+
+#[test]
+fn code_after_test_module_is_linted_again() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+                   fn t() { Some(1).unwrap(); }\n\
+               }\n\
+               pub fn hot(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let f = lint_unwrap("crates/mem/src/x.rs", src);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].line, 6);
+}
+
+// -- lexer-derived classification -------------------------------------
+
+#[test]
+fn classify_collapses_strings_and_drops_comments() {
+    let lines =
+        classify("let s = \"HashMap here\"; // HashMap in prose\nlet m = HashMap::new();\n");
+    assert!(!lines[0].code.contains("HashMap"), "{:?}", lines[0].code);
+    assert_eq!(lines[0].comment.as_deref(), Some(" HashMap in prose"));
+    assert!(lines[1].code.contains("HashMap"));
+}
+
+#[test]
+fn classify_handles_multi_line_strings_and_block_comments() {
+    let src = "let s = \"first\nInstant::now() inside\";\n/* Instant::now()\n   still comment */\nlet t = 1;\n";
+    let lines = classify(src);
+    assert!(lines.iter().all(|l| !l.code.contains("Instant")), "string/comment content leaked");
+    assert!(lines[4].code.contains("let t"));
+}

@@ -22,9 +22,17 @@
 //! * `bench-gate` — re-run the micro benches and fail if any row
 //!   regressed beyond a tolerance against the committed
 //!   `BENCH_psb.json` baseline (see [`benchgate`]).
+//! * `mutants` — mutation-test the hot-path files against the committed
+//!   `MUTANTS.toml` survivor baseline (see [`mutants`]).
+//! * `analyze` — token-tree semantic analysis: hot-path panic-freedom,
+//!   static lock-order, cast/unit safety, gated against the committed
+//!   `PANICS.toml` baseline (see [`analyze`]).
 
+mod analyze;
+mod baseline;
 mod benchgate;
 mod layering;
+mod lexer;
 mod lints;
 mod mutants;
 mod validate;
@@ -104,6 +112,21 @@ const COMMANDS: &[Cmd] = &[
             "  --report FILE     write a psb-mutants-v1 JSON report",
         ],
         run: mutants::mutants,
+    },
+    Cmd {
+        name: "analyze",
+        synopsis: "[--pass panics|locks|casts] [--baseline FILE] [--report FILE]",
+        help: &[
+            "token-tree semantic analysis over the workspace:",
+            "hot-path panic-freedom (call graph rooted at the",
+            "engine/memory entry points), static lock-order",
+            "(fails on cycles), and cast/unit safety; panic and",
+            "cast findings gate against the committed PANICS.toml",
+            "  --pass NAME       run one pass (repeatable; default all)",
+            "  --baseline FILE   finding baseline (default PANICS.toml)",
+            "  --report FILE     write a psb-analyze-v1 JSON report",
+        ],
+        run: analyze::analyze,
     },
 ];
 

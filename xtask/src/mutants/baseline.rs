@@ -8,7 +8,8 @@
 //! killed with a test or consciously admitted here, never silently
 //! accumulated.
 //!
-//! The format is a deliberately tiny TOML subset (xtask is zero-dep):
+//! Parsing is the shared TOML subset in [`crate::baseline`], with
+//! schema `psb-mutants-v1` and `[[survivor]]` stanzas:
 //!
 //! ```toml
 //! schema = "psb-mutants-v1"
@@ -17,13 +18,13 @@
 //! id = "crates/core/src/stream/buffer.rs:41:17:lit-inc"
 //! reason = "capacity +1 only changes allocation, not behavior"
 //! ```
-//!
-//! Parsed forms: `key = "value"` pairs, `[[survivor]]` stanza headers,
-//! comments and blank lines. Anything else is a parse error — strict
-//! beats lenient for a gate input.
 
+use crate::baseline::BaselineFile;
 use std::collections::BTreeMap;
 use std::path::Path;
+
+/// The schema string this baseline requires.
+pub const SCHEMA: &str = "psb-mutants-v1";
 
 /// One baseline entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,103 +55,22 @@ impl Baseline {
 
     /// Parses the TOML subset described in the module docs.
     pub fn parse(text: &str) -> Result<Self, String> {
-        let mut survivors = BTreeMap::new();
-        let mut schema_seen = false;
-        // Fields of the stanza currently being parsed; None outside one.
-        let mut current: Option<BTreeMap<String, String>> = None;
-
-        let mut flush = |fields: BTreeMap<String, String>| -> Result<(), String> {
-            let id = fields.get("id").ok_or("a [[survivor]] stanza is missing `id`")?.clone();
-            let reason = fields
-                .get("reason")
-                .ok_or_else(|| format!("survivor {id:?} is missing `reason`"))?
-                .clone();
-            if reason.trim().is_empty() {
-                return Err(format!("survivor {id:?} has an empty `reason`"));
-            }
-            if survivors.insert(id.clone(), Survivor { id: id.clone(), reason }).is_some() {
-                return Err(format!("duplicate survivor {id:?}"));
-            }
-            Ok(())
-        };
-
-        for (n, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            if line == "[[survivor]]" {
-                if let Some(fields) = current.take() {
-                    flush(fields)?;
-                }
-                current = Some(BTreeMap::new());
-                continue;
-            }
-            let Some((key, value)) = parse_kv(line) else {
-                return Err(format!("line {}: cannot parse {line:?}", n + 1));
-            };
-            match (&mut current, key.as_str()) {
-                (None, "schema") => {
-                    if value != "psb-mutants-v1" {
-                        return Err(format!("unsupported schema {value:?}"));
-                    }
-                    schema_seen = true;
-                }
-                (None, _) => {
-                    return Err(format!("line {}: key {key:?} outside a stanza", n + 1));
-                }
-                (Some(fields), _) => {
-                    if fields.insert(key.clone(), value).is_some() {
-                        return Err(format!("line {}: duplicate key {key:?}", n + 1));
-                    }
-                }
-            }
-        }
-        if let Some(fields) = current.take() {
-            flush(fields)?;
-        }
-        if !schema_seen {
-            return Err("missing `schema = \"psb-mutants-v1\"` header".to_string());
-        }
-        Ok(Self { survivors })
+        Ok(Self::from(BaselineFile::parse(text, SCHEMA, "survivor")?))
     }
 
-    /// Serializes back to the canonical file format (used to print
-    /// paste-ready stanzas for new survivors).
+    fn from(file: BaselineFile) -> Self {
+        let survivors = file
+            .entries
+            .into_iter()
+            .map(|(id, e)| (id, Survivor { id: e.id, reason: e.reason }))
+            .collect();
+        Baseline { survivors }
+    }
+
+    /// A paste-ready stanza for a new survivor.
     pub fn stanza(id: &str, reason: &str) -> String {
-        format!("[[survivor]]\nid = \"{id}\"\nreason = \"{reason}\"\n")
+        crate::baseline::stanza("survivor", id, reason)
     }
-}
-
-/// Parses one `key = "value"` line. Values are double-quoted strings
-/// with `\"` and `\\` escapes; keys are bare identifiers.
-fn parse_kv(line: &str) -> Option<(String, String)> {
-    let (key, rest) = line.split_once('=')?;
-    let key = key.trim();
-    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
-        return None;
-    }
-    let rest = rest.trim();
-    let inner = rest.strip_prefix('"')?;
-    let mut value = String::new();
-    let mut chars = inner.chars();
-    loop {
-        match chars.next()? {
-            '"' => break,
-            '\\' => match chars.next()? {
-                '"' => value.push('"'),
-                '\\' => value.push('\\'),
-                _ => return None,
-            },
-            c => value.push(c),
-        }
-    }
-    // Only a comment may follow the closing quote.
-    let tail = chars.as_str().trim();
-    if !tail.is_empty() && !tail.starts_with('#') {
-        return None;
-    }
-    Some((key.to_string(), value))
 }
 
 #[cfg(test)]
@@ -205,5 +125,12 @@ reason = "equivalent: bound is never reached"
     fn missing_file_is_an_empty_baseline() {
         let b = Baseline::load(Path::new("/nonexistent/MUTANTS.toml")).unwrap();
         assert!(b.survivors.is_empty());
+    }
+
+    #[test]
+    fn stanza_round_trips_through_parse() {
+        let s = Baseline::stanza("crates/mem/src/x.rs:1:2:op", "equivalent");
+        let b = Baseline::parse(&format!("schema = \"psb-mutants-v1\"\n{s}")).unwrap();
+        assert!(b.survivors.contains_key("crates/mem/src/x.rs:1:2:op"));
     }
 }

@@ -11,12 +11,12 @@
 //! exits nonzero. New blind spots therefore cannot land silently — the
 //! same lock-in pattern the bench gate uses for performance.
 //!
-//! Everything is plain `std`: a minimal Rust lexer instead of a parser
-//! crate, `std::thread` instead of a job-queue dependency, a tiny TOML
-//! subset reader for the baseline. The engine runs fully offline.
+//! Everything is plain `std`: the workspace's minimal Rust lexer
+//! ([`crate::lexer`], shared with `cargo xtask analyze`) instead of a
+//! parser crate, `std::thread` instead of a job-queue dependency, a tiny
+//! TOML subset reader for the baseline. The engine runs fully offline.
 
 pub mod baseline;
-pub mod lexer;
 pub mod ops;
 pub mod runner;
 
@@ -465,7 +465,7 @@ mod tests {
                 let Ok(source) = std::fs::read_to_string(&file) else {
                     continue;
                 };
-                let tokens = lexer::lex(&source);
+                let tokens = crate::lexer::lex(&source);
                 let rebuilt: String = tokens.iter().map(|t| t.text(&source)).collect();
                 assert_eq!(rebuilt, source, "lexer dropped bytes in {}", file.display());
                 let mut pos = 0;

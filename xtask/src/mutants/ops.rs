@@ -27,7 +27,7 @@
 //! Test regions (`#[cfg(test)]` items) are skipped: mutating a test
 //! can only ever make the suite stricter-looking, never reveals a gap.
 
-use super::lexer::{lex, Kind, Token};
+use crate::lexer::{lex, Kind, Token};
 
 /// One generated mutant: a byte-span splice into a known file.
 #[derive(Clone, Debug, PartialEq, Eq)]

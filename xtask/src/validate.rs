@@ -19,6 +19,10 @@
 //!   tolerates it; corruption anywhere else fails.
 //! * `psb-sweep-progress-v1` — the `--serve` `/progress` body:
 //!   aggregate counts, ETA and per-worker rows.
+//! * `psb-analyze-v1` — `cargo xtask analyze --report`: per-pass
+//!   finding lists (panic-freedom, lock-order, cast safety), the
+//!   baseline accounting, and the gate verdict — which must agree with
+//!   the finding lists it summarizes.
 
 use psb_obs::json::{self, Json};
 use std::process::ExitCode;
@@ -63,6 +67,7 @@ fn validate_file(path: &str) -> Result<String, String> {
         Some("psb-bench-v1") => validate_bench(&doc),
         Some("psb-sweep-v1") => validate_sweep(&doc),
         Some("psb-sweep-progress-v1") => validate_progress(&doc),
+        Some("psb-analyze-v1") => validate_analyze(&doc),
         Some(other) => Err(format!("unknown schema {other:?}")),
         None if doc.get("traceEvents").is_some() => validate_trace(&doc),
         None => Err("no `schema` key and no `traceEvents`: not a known artifact".to_string()),
@@ -238,6 +243,90 @@ fn validate_journal(text: &str) -> Result<String, String> {
         "sweep journal, {}/{total} record(s){}",
         seen.len(),
         if torn { ", torn tail ignored" } else { "" }
+    ))
+}
+
+/// Validates a `psb-analyze-v1` report: pass list, per-pass finding
+/// shapes, baseline accounting, and that the `ok` verdict agrees with
+/// the data (a report claiming `ok` may carry no new findings and no
+/// lock cycles).
+fn validate_analyze(doc: &Json) -> Result<String, String> {
+    let passes = require(doc, "passes")?.as_arr().ok_or("`passes` is not an array")?;
+    for (i, p) in passes.iter().enumerate() {
+        match p.as_str() {
+            Some("panics" | "locks" | "casts") => {}
+            Some(other) => return Err(format!("passes[{i}]: unknown pass {other:?}")),
+            None => return Err(format!("passes[{i}] is not a string")),
+        }
+    }
+    if passes.is_empty() {
+        return Err("`passes` is empty — the report validates nothing".to_string());
+    }
+    require_u64(doc, "files")?;
+
+    let check_findings = |section: &Json, key: &str| -> Result<usize, String> {
+        let findings = require(section, "findings")?.as_arr().ok_or("not an array")?;
+        for (i, f) in findings.iter().enumerate() {
+            for k in ["id", "file", "fn", "kind"] {
+                require(f, k)
+                    .and_then(|v| v.as_str().map(drop).ok_or_else(|| format!("`{k}` not a string")))
+                    .map_err(|m| format!("{key}.findings[{i}]: {m}"))?;
+            }
+            let lines = require(f, "lines")
+                .and_then(|v| v.as_arr().ok_or_else(|| "`lines` is not an array".to_string()))
+                .map_err(|m| format!("{key}.findings[{i}]: {m}"))?;
+            if lines.is_empty() {
+                return Err(format!("{key}.findings[{i}]: empty `lines`"));
+            }
+            if !matches!(f.get("baselined"), Some(Json::Bool(_))) {
+                return Err(format!("{key}.findings[{i}]: `baselined` is not a bool"));
+            }
+        }
+        Ok(findings.len())
+    };
+
+    let mut total_findings = 0usize;
+    if let Some(p) = doc.get("panics") {
+        require_u64(p, "roots").map_err(|m| format!("panics: {m}"))?;
+        require_u64(p, "reachable").map_err(|m| format!("panics: {m}"))?;
+        total_findings += check_findings(p, "panics")?;
+    }
+    let mut cycles = 0usize;
+    if let Some(l) = doc.get("locks") {
+        require(l, "classes")?.as_arr().ok_or("locks.classes is not an array")?;
+        let edges = require(l, "edges")?.as_arr().ok_or("locks.edges is not an array")?;
+        for (i, e) in edges.iter().enumerate() {
+            for k in ["from", "to", "file"] {
+                require(e, k)
+                    .and_then(|v| v.as_str().map(drop).ok_or_else(|| format!("`{k}` not a string")))
+                    .map_err(|m| format!("locks.edges[{i}]: {m}"))?;
+            }
+            require_u64(e, "line").map_err(|m| format!("locks.edges[{i}]: {m}"))?;
+        }
+        require_u64(l, "waits").map_err(|m| format!("locks: {m}"))?;
+        cycles = require(l, "cycles")?.as_arr().ok_or("locks.cycles is not an array")?.len();
+    }
+    if let Some(c) = doc.get("casts") {
+        require_u64(c, "scanned").map_err(|m| format!("casts: {m}"))?;
+        total_findings += check_findings(c, "casts")?;
+    }
+
+    let new = require_u64(doc, "new")?;
+    require_u64(doc, "baselined")?;
+    require(doc, "stale")?.as_arr().ok_or("`stale` is not an array")?;
+    let ok = match require(doc, "ok")? {
+        Json::Bool(b) => *b,
+        _ => return Err("`ok` is not a bool".to_string()),
+    };
+    if ok && (new > 0 || cycles > 0) {
+        return Err(format!(
+            "verdict says ok but the report carries {new} new finding(s) and {cycles} cycle(s)"
+        ));
+    }
+    Ok(format!(
+        "analyze report, {} pass(es), {total_findings} finding(s), {new} new, verdict {}",
+        passes.len(),
+        if ok { "ok" } else { "FAIL" },
     ))
 }
 
@@ -424,6 +513,37 @@ mod tests {
         assert!(validate_progress(&json::parse(&bad_eta).unwrap())
             .unwrap_err()
             .contains("eta_micros"));
+    }
+
+    #[test]
+    fn analyze_reports_are_checked_and_verdict_must_agree() {
+        let good = r#"{"schema":"psb-analyze-v1","passes":["panics","locks","casts"],
+            "files":10,
+            "panics":{"roots":2,"reachable":20,"findings":[
+                {"id":"panics:a.rs:F::f:index","file":"a.rs","fn":"F::f","kind":"index",
+                 "lines":[4,9],"baselined":true}]},
+            "locks":{"classes":["sim/state"],"edges":[
+                {"from":"sim/state","to":"serve/slot","file":"b.rs","line":7,"via":"publish"}],
+                "waits":1,"cycles":[]},
+            "casts":{"scanned":50,"findings":[]},
+            "new":0,"baselined":1,"stale":[],"ok":true}"#;
+        let desc = validate_analyze(&json::parse(good).unwrap()).unwrap();
+        assert!(desc.contains("3 pass(es)"), "{desc}");
+        assert!(desc.contains("verdict ok"), "{desc}");
+
+        // A verdict that disagrees with its own counts is corruption.
+        let lying = good.replace("\"new\":0", "\"new\":3");
+        let err = validate_analyze(&json::parse(&lying).unwrap()).unwrap_err();
+        assert!(err.contains("says ok"), "{err}");
+
+        // Findings must carry the full shape.
+        let bad = good.replace("\"kind\":\"index\",", "");
+        let err = validate_analyze(&json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+
+        // Unknown pass names are rejected.
+        let odd = good.replace("\"panics\",", "\"vibes\",");
+        assert!(validate_analyze(&json::parse(&odd).unwrap()).unwrap_err().contains("vibes"));
     }
 
     #[test]
